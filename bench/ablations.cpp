@@ -1,0 +1,144 @@
+// Ablation benches for the design choices called out in DESIGN.md:
+//   1. channel reordering (§V-D) on/off,
+//   2. concurrent (eq. 8) vs sequential execution of the same partition,
+//   3. ideal input mapping (paper assumption) vs a noisy threshold
+//      controller,
+//   4. hybrid NSGA selection vs the literal eq. 16 ranking,
+//   5. DRAM-contention modelling on/off,
+//   6. board-level idle-energy accounting on/off.
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/evolutionary.h"
+#include "data/exit_simulator.h"
+#include "perf/concurrent_executor.h"
+
+int main() {
+  using namespace mapcq;
+  const bench::testbed tb;
+  bench::scale s = bench::scale::from_env();
+  // Ablations compare trends; half-scale searches are enough.
+  s.generations = std::max<std::size_t>(10, s.generations / 4);
+
+  const nn::network& net = tb.visformer;
+  const soc::platform& plat = tb.xavier;
+  const auto static_cfg = core::make_static_configuration(net, plat);
+
+  std::cout << "=== Ablations ===\n\n";
+
+  {  // 1. channel reordering
+    core::evaluator_options on;
+    core::evaluator_options off;
+    off.reorder = false;
+    const core::evaluator ev_on{net, plat, on};
+    const core::evaluator ev_off{net, plat, off};
+    const auto a = ev_on.evaluate(static_cfg);
+    const auto b = ev_off.evaluate(static_cfg);
+    util::table t({"channel reordering", "stage-1 acc (%)", "avg energy (mJ)", "avg lat (ms)"});
+    t.add_row({"ranked (paper §V-D)", bench::fmt(a.stage_accuracy_pct[0]),
+               bench::fmt(a.avg_energy_mj), bench::fmt(a.avg_latency_ms)});
+    t.add_row({"unranked (ablation)", bench::fmt(b.stage_accuracy_pct[0]),
+               bench::fmt(b.avg_energy_mj), bench::fmt(b.avg_latency_ms)});
+    std::cout << t.str();
+    std::cout << "-> ranking channels lets more samples exit early, cutting avg cost.\n\n";
+  }
+
+  {  // 2. concurrent vs sequential execution
+    const core::evaluator ev{net, plat, {}};
+    const auto groups = nn::make_partition_groups(net);
+    std::vector<std::int64_t> w;
+    for (const auto& g : groups) w.push_back(g.width);
+    const nn::ranked_network rank{net, w};
+    const auto dyn = core::transform(net, groups, rank, static_cfg, plat);
+    const auto conc = perf::simulate(plat, dyn.plan);
+    const auto seq = perf::simulate_sequential(plat, dyn.plan);
+    util::table t({"execution model", "makespan (ms)", "total stall (ms)"});
+    double stall_c = 0.0;
+    for (const auto& st : conc.stages) stall_c += st.wait_ms;
+    t.add_row({"concurrent (eq. 8)", bench::fmt(conc.latency_ms()), bench::fmt(stall_c)});
+    t.add_row({"sequential", bench::fmt(seq.stages.back().latency_ms), "-"});
+    std::cout << t.str();
+    std::cout << util::format("-> concurrency hides %.1f%% of the sequential makespan.\n\n",
+                              100.0 * (1.0 - conc.latency_ms() / seq.stages.back().latency_ms));
+  }
+
+  {  // 3. ideal vs threshold exit controller
+    const core::evaluator ev{net, plat, {}};
+    const auto e = ev.evaluate(static_cfg);
+    util::table t({"exit controller", "dynamic acc (%)", "early-exit share (%)"});
+    const auto ideal = data::simulate_ideal(e.stage_accuracy_pct, 10000);
+    t.add_row({"ideal (paper §III-B)", bench::fmt(ideal.dynamic_accuracy_pct),
+               bench::fmt(100.0 * (1.0 - ideal.exit_fractions.back()), 1)});
+    for (const double noise : {0.02, 0.05, 0.10}) {
+      data::controller_params cp;
+      cp.confidence_noise = noise;
+      const auto out = data::simulate_threshold(e.stage_accuracy_pct, 10000, cp);
+      t.add_row({util::format("threshold, noise %.2f", noise),
+                 bench::fmt(out.dynamic_accuracy_pct),
+                 bench::fmt(100.0 * (1.0 - out.exit_fractions.back()), 1)});
+    }
+    std::cout << t.str();
+    std::cout << "-> controller noise trades accuracy for (mostly unchanged) exit volume.\n\n";
+  }
+
+  {  // 4. GA selection mode
+    const core::search_space space{net, plat};
+    const core::evaluator ev{net, plat, {}};
+    util::table t({"selection", "best acc on front (%)", "min energy on front (mJ)",
+                   "front size"});
+    for (const auto mode : {core::selection_mode::hybrid_nsga,
+                            core::selection_mode::objective_only}) {
+      core::ga_options ga;
+      ga.generations = s.generations;
+      ga.population = s.population;
+      ga.threads = s.threads;
+      ga.selection = mode;
+      const auto res = core::evolve(space, ev, ga);
+      double best_acc = 0.0;
+      double min_e = 1e300;
+      for (const std::size_t i : res.pareto) {
+        best_acc = std::max(best_acc, res.archive[i].accuracy_pct);
+        min_e = std::min(min_e, res.archive[i].avg_energy_mj);
+      }
+      t.add_row({mode == core::selection_mode::hybrid_nsga ? "hybrid NSGA (default)"
+                                                           : "eq. 16 only (paper-literal)",
+                 bench::fmt(best_acc), bench::fmt(min_e), std::to_string(res.pareto.size())});
+    }
+    std::cout << t.str();
+    std::cout << "-> literal eq. 16 ranking explores a much thinner front; the hybrid\n"
+                 "   selection keeps the corners and the spread (DESIGN.md §5).\n\n";
+  }
+
+  {  // 5. DRAM contention modelling (VGG19: large fmaps, memory pressure)
+    const auto vgg_cfg = core::make_static_configuration(tb.vgg19, plat);
+    core::evaluator_options on;
+    core::evaluator_options off;
+    off.model.enable_contention = false;
+    const core::evaluator ev_on{tb.vgg19, plat, on};
+    const core::evaluator ev_off{tb.vgg19, plat, off};
+    util::table t({"DRAM contention (VGG19)", "avg lat (ms)", "worst lat (ms)"});
+    const auto a = ev_on.evaluate(vgg_cfg);
+    const auto b = ev_off.evaluate(vgg_cfg);
+    t.add_row({"modelled (default)", bench::fmt(a.avg_latency_ms), bench::fmt(a.worst_latency_ms)});
+    t.add_row({"ignored", bench::fmt(b.avg_latency_ms), bench::fmt(b.worst_latency_ms)});
+    std::cout << t.str();
+    std::cout << "-> CIFAR-scale layers on the calibrated Xavier are compute-bound, so\n"
+                 "   DRAM contention barely moves the needle -- consistent with the\n"
+                 "   paper treating concurrent stages as independent (eq. 8).\n\n";
+  }
+
+  {  // 6. idle-energy accounting
+    core::evaluator_options on;
+    core::evaluator_options off;
+    off.count_idle_power = false;
+    const core::evaluator ev_on{net, plat, on};
+    const core::evaluator ev_off{net, plat, off};
+    util::table t({"energy accounting", "avg energy (mJ)"});
+    t.add_row({"board-level (idle counted)", bench::fmt(ev_on.evaluate(static_cfg).avg_energy_mj)});
+    t.add_row({"paper eq. 14 only", bench::fmt(ev_off.evaluate(static_cfg).avg_energy_mj)});
+    std::cout << t.str();
+  }
+  return 0;
+}

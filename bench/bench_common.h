@@ -1,0 +1,80 @@
+#pragma once
+// Shared setup for the reproduction benches: calibrated platform, paper
+// baselines, search-scale control and common selection helpers.
+//
+// Scale: the paper runs 200 generations x 60 population (12k evaluations,
+// §VI-A). That is the default; override with the environment variables
+// MAPCQ_GENERATIONS / MAPCQ_POPULATION / MAPCQ_THREADS for quick runs.
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/baselines.h"
+#include "core/optimizer.h"
+#include "nn/models.h"
+#include "perf/calibration.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace mapcq::bench {
+
+struct scale {
+  std::size_t generations = 200;
+  std::size_t population = 60;
+  std::size_t threads = 12;
+
+  static scale from_env() {
+    scale s;
+    if (const char* g = std::getenv("MAPCQ_GENERATIONS")) s.generations = std::strtoul(g, nullptr, 10);
+    if (const char* p = std::getenv("MAPCQ_POPULATION")) s.population = std::strtoul(p, nullptr, 10);
+    if (const char* t = std::getenv("MAPCQ_THREADS")) s.threads = std::strtoul(t, nullptr, 10);
+    return s;
+  }
+};
+
+/// Calibrated Xavier + the two paper networks, built once per bench.
+struct testbed {
+  nn::network visformer = nn::build_visformer();
+  nn::network vgg19 = nn::build_vgg19();
+  soc::platform xavier;
+
+  testbed() { xavier = perf::calibrated_xavier(visformer, vgg19).plat; }
+};
+
+/// One Map-and-Conquer search under a feature-map reuse cap (1.0 = none).
+inline core::optimize_result run_search(const nn::network& net, const soc::platform& plat,
+                                        double reuse_cap, const scale& s,
+                                        std::uint64_t seed = 1) {
+  core::optimizer_options opt;
+  opt.ga.generations = s.generations;
+  opt.ga.population = s.population;
+  opt.ga.threads = s.threads;
+  opt.ga.seed = seed;
+  opt.eval.limits.fmap_reuse_cap = reuse_cap;
+  core::optimizer mapper{net, plat, opt};
+  return mapper.run();
+}
+
+/// Best energy among validated picks with accuracy within `acc_drop` of the
+/// reference accuracy and latency below `latency_cap_ms` (paper Fig. 6
+/// highlight rule: "highest latency-energy tradeoff while preserving less
+/// than 0.5% drop in accuracy").
+inline std::optional<core::evaluation> pick_constrained(
+    const std::vector<core::evaluation>& candidates, double ref_accuracy, double acc_drop,
+    double latency_cap_ms, bool minimize_energy) {
+  std::optional<core::evaluation> best;
+  for (const auto& e : candidates) {
+    if (e.accuracy_pct < ref_accuracy - acc_drop) continue;
+    if (e.avg_latency_ms > latency_cap_ms) continue;
+    const double v = minimize_energy ? e.avg_energy_mj : e.avg_latency_ms;
+    const double b = !best ? 1e300 : (minimize_energy ? best->avg_energy_mj : best->avg_latency_ms);
+    if (v < b) best = e;
+  }
+  return best;
+}
+
+inline std::string fmt(double v, int d = 2) { return util::table::num(v, d); }
+
+}  // namespace mapcq::bench

@@ -1,0 +1,73 @@
+// Reproduces Fig. 1: performance comparison between deployment options for
+// Visformer on CIFAR-100 / AGX Xavier --
+//   left:  energy & latency of GPU-only, DLA-only, static width-partitioned
+//          mapping and the dynamic Map-Conquer mapping;
+//   right: feature-map reuse of the dynamic mapping vs the static mapping
+//          (paper: 40% less reuse at a <= 0.5% accuracy cost).
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace mapcq;
+  const bench::testbed tb;
+  const bench::scale s = bench::scale::from_env();
+
+  std::cout << "=== Fig. 1: mapping options for Visformer on AGX Xavier ===\n\n";
+
+  const auto gpu = core::single_cu_baseline(tb.visformer, tb.xavier, 0);
+  const auto dla = core::single_cu_baseline(tb.visformer, tb.xavier, 1);
+  const auto stat = core::static_mapping_baseline(tb.visformer, tb.xavier);
+
+  // Dynamic mapping: unconstrained search, then the paper's highlight rule
+  // (<= 0.5% accuracy drop, best energy).
+  const auto search = bench::run_search(tb.visformer, tb.xavier, 1.0, s);
+  const auto dynamic =
+      bench::pick_constrained(search.validated, gpu.accuracy_pct, 0.5, 1e9, true)
+          .value_or(search.ours_energy());
+
+  util::table t({"deployment", "energy (mJ)", "latency (ms)", "top-1 (%)", "fmap reuse (%)"});
+  t.add_row({"GPU-only", bench::fmt(gpu.energy_mj), bench::fmt(gpu.latency_ms),
+             bench::fmt(gpu.accuracy_pct), "-"});
+  t.add_row({"DLA-only", bench::fmt(dla.energy_mj), bench::fmt(dla.latency_ms),
+             bench::fmt(dla.accuracy_pct), "-"});
+  const auto pipe = core::pipeline_baseline(tb.visformer, tb.xavier);
+  t.add_row({"Depth pipeline (AxoNN-style)", bench::fmt(pipe.energy_mj),
+             bench::fmt(pipe.latency_ms), bench::fmt(pipe.accuracy_pct), "-"});
+  t.add_row({"Static mapping", bench::fmt(stat.avg_energy_mj), bench::fmt(stat.avg_latency_ms),
+             bench::fmt(stat.accuracy_pct), bench::fmt(stat.fmap_reuse_pct, 1)});
+  t.add_row({"Map-Conquer (dynamic)", bench::fmt(dynamic.avg_energy_mj),
+             bench::fmt(dynamic.avg_latency_ms), bench::fmt(dynamic.accuracy_pct),
+             bench::fmt(dynamic.fmap_reuse_pct, 1)});
+  std::cout << t.str() << "\n";
+
+  std::cout << "paper reference: GPU 197.35 mJ / 15.01 ms; DLA 53.71 mJ / 69.22 ms;\n"
+            << "  static ~11.1% energy gain vs GPU & ~42.6% speedup vs DLA;\n"
+            << "  dynamic dominates DLA on both axes (44.4% speedup, 14.5% energy gain).\n\n";
+
+  util::table claims({"claim (paper)", "paper", "ours", "holds"});
+  const auto yes_no = [](bool b) { return std::string(b ? "yes" : "NO"); };
+  const double stat_speedup = 100.0 * (1.0 - stat.avg_latency_ms / dla.latency_ms);
+  const double stat_egain = 100.0 * (1.0 - stat.avg_energy_mj / gpu.energy_mj);
+  const double dyn_speedup = 100.0 * (1.0 - dynamic.avg_latency_ms / dla.latency_ms);
+  const double dyn_egain_vs_dla = 100.0 * (1.0 - dynamic.avg_energy_mj / dla.energy_mj);
+  claims.add_row({"static speedup vs DLA-only", "42.6%", bench::fmt(stat_speedup, 1) + "%",
+                  yes_no(stat_speedup > 0.0)});
+  claims.add_row({"static energy gain vs GPU-only", "11.1%", bench::fmt(stat_egain, 1) + "%",
+                  yes_no(stat_egain > 0.0)});
+  claims.add_row({"dynamic speedup vs DLA-only", "44.4%", bench::fmt(dyn_speedup, 1) + "%",
+                  yes_no(dyn_speedup > stat_speedup)});
+  claims.add_row({"dynamic energy gain vs DLA-only", "14.5%",
+                  bench::fmt(dyn_egain_vs_dla, 1) + "%", yes_no(dyn_egain_vs_dla > 0.0)});
+
+  // Right subfigure: reuse reduction vs the static mapping.
+  const double reuse_cut = 100.0 * (1.0 - dynamic.fmap_reuse_pct / stat.fmap_reuse_pct);
+  const double acc_drop = gpu.accuracy_pct - dynamic.accuracy_pct;
+  claims.add_row({"fmap reuse cut vs static", "40% less", bench::fmt(reuse_cut, 1) + "% less",
+                  yes_no(reuse_cut >= 0.0)});
+  claims.add_row({"accuracy cost of the cut", "0.5%", bench::fmt(acc_drop, 2) + "%",
+                  yes_no(acc_drop <= 0.75)});
+  std::cout << claims.str();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Search-process analysis (paper §VI-B): convergence trace of the
+// evolutionary search -- best/mean eq. 16 objective and feasible count per
+// generation -- plus how the Pareto front's extremes evolve. The paper
+// observes that "most of the explored configurations achieve a good
+// trade-off between DLA energy efficiency and GPU latency speedup".
+
+#include <algorithm>
+#include <filesystem>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/evolutionary.h"
+#include "util/csv.h"
+
+int main() {
+  using namespace mapcq;
+  const bench::testbed tb;
+  bench::scale s = bench::scale::from_env();
+  s.generations = std::max<std::size_t>(20, s.generations / 2);
+
+  const core::search_space space{tb.visformer, tb.xavier};
+  const core::evaluator eval{tb.visformer, tb.xavier, {}};
+
+  core::ga_options ga;
+  ga.generations = s.generations;
+  ga.population = s.population;
+  ga.threads = s.threads;
+  const auto res = core::evolve(space, eval, ga);
+
+  std::cout << "=== §VI-B: search process analysis (Visformer, analytic evaluator) ===\n\n";
+  util::table t({"generation", "best objective", "mean objective", "feasible"});
+  const std::size_t step = std::max<std::size_t>(1, res.history.size() / 12);
+  for (std::size_t g = 0; g < res.history.size(); g += step) {
+    const auto& h = res.history[g];
+    t.add_row({std::to_string(h.generation), util::format("%.3g", h.best_objective),
+               util::format("%.3g", h.mean_objective),
+               util::format("%zu/%zu", h.feasible, s.population)});
+  }
+  std::cout << t.str() << "\n";
+
+  std::filesystem::create_directories("bench_out");
+  util::csv_writer csv{"bench_out/convergence.csv",
+                       {"generation", "best_objective", "mean_objective", "feasible"}};
+  for (const auto& h : res.history)
+    csv.write_row(std::vector<double>{static_cast<double>(h.generation), h.best_objective,
+                                      h.mean_objective, static_cast<double>(h.feasible)});
+
+  const auto& first = res.history.front();
+  const auto& last = res.history.back();
+  std::cout << util::format(
+      "objective improved %.1fx over %zu generations (%zu evaluations total)\n",
+      first.best_objective / last.best_objective, res.history.size(), res.total_evaluations);
+
+  // Trade-off coverage: how much of the front sits between the baselines.
+  const auto gpu = core::single_cu_baseline(tb.visformer, tb.xavier, 0);
+  const auto dla = core::single_cu_baseline(tb.visformer, tb.xavier, 1);
+  std::size_t in_band = 0;
+  for (const std::size_t i : res.pareto) {
+    const auto& e = res.archive[i];
+    if (e.avg_latency_ms < dla.latency_ms && e.avg_energy_mj < gpu.energy_mj) ++in_band;
+  }
+  std::cout << util::format(
+      "%zu/%zu Pareto points beat DLA latency AND GPU energy simultaneously\n", in_band,
+      res.pareto.size());
+  std::cout << "full trace: bench_out/convergence.csv\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Surrogate fidelity harness (§V-E methodology): train the GBT predictor on
+// the layer-wise benchmark set and report held-out RMSE / MAPE / R^2 for
+// latency and energy, plus the top predictive features -- the paper uses
+// XGBoost to the same end on TensorRT measurements.
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.h"
+#include "surrogate/dataset.h"
+#include "surrogate/predictor.h"
+
+int main() {
+  using namespace mapcq;
+  const bench::testbed tb;
+
+  std::cout << "=== Surrogate fidelity (GBT hardware predictor) ===\n\n";
+
+  surrogate::benchmark_options bopt;
+  bopt.samples = 6000;
+  const auto ds =
+      surrogate::generate_benchmark({&tb.visformer, &tb.vgg19}, tb.xavier, bopt);
+  const auto parts = surrogate::split(ds, 0.8, 42);
+
+  util::table setup({"quantity", "value"});
+  setup.add_row({"benchmark rows", std::to_string(ds.size())});
+  setup.add_row({"train / test", util::format("%zu / %zu", parts.train.size(), parts.test.size())});
+  setup.add_row({"measurement noise", util::format("%.1f%%", 100.0 * bopt.noise_stddev)});
+  std::cout << setup.str() << "\n";
+
+  for (const std::size_t trees : {30ul, 80ul, 160ul}) {
+    surrogate::gbt_params params;
+    params.n_trees = trees;
+    const surrogate::hw_predictor pred{parts.train, params};
+    const auto fid = pred.evaluate(parts.test);
+    std::cout << util::format(
+        "trees=%3zu | latency: RMSE %.4f ms, MAPE %5.2f%%, R2 %.4f | "
+        "energy: RMSE %.4f mJ, MAPE %5.2f%%, R2 %.4f\n",
+        trees, fid.latency_rmse, fid.latency_mape, fid.latency_r2, fid.energy_rmse,
+        fid.energy_mape, fid.energy_r2);
+  }
+
+  // Feature importance of the full model.
+  const surrogate::hw_predictor pred{parts.train};
+  const auto imp = pred.latency_model().feature_importance(surrogate::feature_count);
+  std::vector<std::size_t> order(imp.size());
+  for (std::size_t i = 0; i < imp.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return imp[a] > imp[b]; });
+
+  std::cout << "\ntop latency-model features (split-gain share):\n";
+  util::table t({"feature", "importance"});
+  for (std::size_t r = 0; r < 6; ++r)
+    t.add_row({surrogate::feature_names()[order[r]], bench::fmt(imp[order[r]], 3)});
+  std::cout << t.str();
+  return 0;
+}

@@ -1,0 +1,45 @@
+// DVFS exploration (the theta axis of the search space): sweep the GPU and
+// DLA frequency tables for whole-network Visformer inference and print the
+// latency/energy trade-off curve that eq. 10 produces. The energy-optimal
+// operating point is usually *not* the lowest frequency: static power makes
+// very slow runs expensive again.
+
+#include <iostream>
+
+#include "nn/models.h"
+#include "perf/calibration.h"
+#include "perf/single_cu.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace mapcq;
+  const nn::network vis = nn::build_visformer();
+  const nn::network vgg = nn::build_vgg19();
+  const soc::platform xavier = perf::calibrated_xavier(vis, vgg).plat;
+
+  for (const std::size_t unit_idx : {std::size_t{0}, std::size_t{1}}) {
+    const auto& cu = xavier.unit(unit_idx);
+    std::cout << "=== Visformer on " << cu.name << " across DVFS levels ===\n";
+    util::table t({"level", "freq (MHz)", "theta", "latency (ms)", "energy (mJ)", "power (W)"});
+    double best_energy = 1e300;
+    std::size_t best_level = 0;
+    for (std::size_t l = 0; l < cu.dvfs.levels(); ++l) {
+      const auto run = perf::single_cu_run(vis, cu, l);
+      if (run.energy_mj < best_energy) {
+        best_energy = run.energy_mj;
+        best_level = l;
+      }
+      t.add_row({std::to_string(l), util::table::num(cu.dvfs.frequency_mhz(l), 0),
+                 util::table::num(cu.theta(l), 3), util::table::num(run.latency_ms),
+                 util::table::num(run.energy_mj),
+                 util::table::num(run.energy_mj / run.latency_ms)});
+    }
+    std::cout << t.str();
+    std::cout << util::format("energy-optimal level: %zu (%.0f MHz) at %.2f mJ\n\n", best_level,
+                              cu.dvfs.frequency_mhz(best_level), best_energy);
+  }
+  std::cout << "the GA searches this axis jointly with partitioning and mapping\n"
+               "(paper: |theta| = 50 combinations folded into the §V-A estimate).\n";
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Anatomy of one dynamic inference: transform a Visformer with a hand-made
+// configuration, show the concurrent schedule as a Gantt chart (stalls on
+// inter-stage feature transfers, paper Fig. 3), and sweep the runtime
+// controller threshold to show the accuracy/cost trade-off a deployment
+// would tune (paper §III-B delegates this to runtime controllers [17]).
+
+#include <iostream>
+
+#include "core/dynamic_transform.h"
+#include "core/evaluator.h"
+#include "data/exit_simulator.h"
+#include "nn/models.h"
+#include "perf/calibration.h"
+#include "perf/trace.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace mapcq;
+  const nn::network vis = nn::build_visformer();
+  const nn::network vgg = nn::build_vgg19();
+  const soc::platform xavier = perf::calibrated_xavier(vis, vgg).plat;
+
+  // Hand-made configuration: fat DLA stage 1, medium DLA stage 2, GPU
+  // cleanup stage -- the shape the energy-oriented search converges to.
+  const auto groups = nn::make_partition_groups(vis);
+  core::configuration cfg;
+  cfg.partition.assign(groups.size(), {0.5, 0.25, 0.25});
+  cfg.forward.assign(groups.size(), {true, true, false});
+  cfg.mapping = {1, 2, 0};  // S1->DLA0, S2->DLA1, S3->GPU
+  cfg.dvfs = {xavier.unit(0).dvfs.max_level(), xavier.unit(1).dvfs.max_level(),
+              xavier.unit(2).dvfs.max_level()};
+
+  std::vector<std::int64_t> widths;
+  for (const auto& g : groups) widths.push_back(g.width);
+  const nn::ranked_network ranking{vis, widths};
+  const auto dyn = core::transform(vis, groups, ranking, cfg, xavier);
+
+  std::cout << "configuration: " << cfg.describe(xavier) << "\n";
+  std::cout << util::format("stored fmaps for reuse: %s (budget %s)\n\n",
+                            util::human_bytes(dyn.stored_fmap_bytes).c_str(),
+                            util::human_bytes(xavier.shared_memory_bytes).c_str());
+
+  const auto exec = perf::simulate(xavier, dyn.plan);
+  std::cout << "concurrent schedule (worst case, all three stages instantiated):\n";
+  std::cout << perf::render_gantt(exec, dyn.plan, xavier, 72) << "\n";
+
+  const core::evaluator ev{vis, xavier, {}};
+  const auto e = ev.evaluate(cfg);
+
+  util::table stages({"stage", "exit acc (%)", "T_Si (ms)", "E_Si (mJ)", "ideal exit share"});
+  for (std::size_t i = 0; i < e.stage_latency_ms.size(); ++i)
+    stages.add_row({util::format("S%zu", i + 1), util::table::num(e.stage_accuracy_pct[i]),
+                    util::table::num(e.stage_latency_ms[i]),
+                    util::table::num(e.stage_energy_mj[i]),
+                    util::table::num(100.0 * e.exit_fractions[i], 1) + "%"});
+  std::cout << stages.str() << "\n";
+
+  std::cout << "runtime-controller threshold sweep (noise 0.05):\n";
+  util::table sweep({"threshold", "accuracy (%)", "avg latency (ms)", "avg energy (mJ)"});
+  for (const double th : {-0.1, 0.0, 0.1, 0.2}) {
+    data::controller_params cp;
+    cp.threshold = th;
+    const auto out = data::simulate_threshold(e.stage_accuracy_pct, 10000, cp);
+    // Exit-weighted costs under this controller.
+    double lat = 0.0;
+    double en = 0.0;
+    double run_lat = 0.0;
+    double run_en = 0.0;
+    for (std::size_t m = 0; m < out.exit_fractions.size(); ++m) {
+      run_lat = std::max(run_lat, e.stage_latency_ms[m]);
+      run_en += e.stage_energy_mj[m];
+      lat += out.exit_fractions[m] * run_lat;
+      en += out.exit_fractions[m] * run_en;
+    }
+    sweep.add_row({util::table::num(th, 2), util::table::num(out.dynamic_accuracy_pct),
+                   util::table::num(lat), util::table::num(en)});
+  }
+  std::cout << sweep.str();
+  std::cout << "\nhigher thresholds push samples to deeper stages: accuracy recovers\n"
+               "toward the ideal mapping at the cost of latency and energy.\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Quickstart: map a Visformer onto a (calibrated) Jetson AGX Xavier model,
+// compare the single-CU baselines against a searched dynamic mapping, and
+// print the winning configuration.
+//
+// Build & run:  ./build/examples/quickstart [generations] [population]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/baselines.h"
+#include "core/optimizer.h"
+#include "nn/models.h"
+#include "perf/calibration.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace mapcq;
+
+  const std::size_t generations = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 40;
+  const std::size_t population = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 30;
+
+  // 1. Networks (CIFAR-100 variants used in the paper).
+  const nn::network visformer = nn::build_visformer();
+  const nn::network vgg = nn::build_vgg19();
+  std::cout << "Visformer: " << util::human_flops(visformer.total_flops()) << ", "
+            << util::format("%.1fM params\n", visformer.total_params() / 1e6);
+
+  // 2. Platform, calibrated against the paper's measured baselines.
+  const perf::calibrated_platform cal = perf::calibrated_xavier(visformer, vgg);
+  const soc::platform& xavier = cal.plat;
+
+  // 3. Baselines: whole network on a single CU.
+  util::table t({"deployment", "latency (ms)", "energy (mJ)", "top-1 (%)"});
+  const auto gpu = core::single_cu_baseline(visformer, xavier, xavier.first_of(soc::cu_kind::gpu));
+  const auto dla = core::single_cu_baseline(visformer, xavier, xavier.first_of(soc::cu_kind::dla));
+  t.add_row({gpu.name, util::table::num(gpu.latency_ms), util::table::num(gpu.energy_mj),
+             util::table::num(gpu.accuracy_pct)});
+  t.add_row({dla.name, util::table::num(dla.latency_ms), util::table::num(dla.energy_mj),
+             util::table::num(dla.accuracy_pct)});
+
+  // 4. Map-and-Conquer search (dynamic multi-exit mapping).
+  core::optimizer_options opt;
+  opt.ga.generations = generations;
+  opt.ga.population = population;
+  core::optimizer mapper{visformer, xavier, opt};
+  const core::optimize_result result = mapper.run();
+
+  const core::evaluation& ours_e = result.ours_energy();
+  const core::evaluation& ours_l = result.ours_latency();
+  t.add_row({"Ours-L (latency-oriented)", util::table::num(ours_l.avg_latency_ms),
+             util::table::num(ours_l.avg_energy_mj), util::table::num(ours_l.accuracy_pct)});
+  t.add_row({"Ours-E (energy-oriented)", util::table::num(ours_e.avg_latency_ms),
+             util::table::num(ours_e.avg_energy_mj), util::table::num(ours_e.accuracy_pct)});
+  std::cout << t.str();
+
+  std::cout << "\nOurs-E mapping: " << ours_e.config.describe(xavier) << "\n";
+  std::cout << util::format(
+      "searched %zu configurations; %zu on the Pareto front; surrogate MAPE %.1f%% (latency)\n",
+      result.search.total_evaluations, result.search.pareto.size(),
+      result.surrogate_fidelity ? result.surrogate_fidelity->latency_mape : 0.0);
+  std::cout << util::format("energy gain vs GPU-only: %.2fx | speedup vs DLA-only: %.2fx\n",
+                            gpu.energy_mj / ours_e.avg_energy_mj,
+                            dla.latency_ms / ours_l.avg_latency_ms);
+  return 0;
+}

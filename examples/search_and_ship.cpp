@@ -1,0 +1,53 @@
+// Deployment workflow: search once on the workstation, persist the winning
+// configuration, then reload it (as a runtime daemon on the MPSoC would)
+// and re-evaluate to confirm the shipped artifact reproduces the searched
+// performance bit-for-bit.
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/evaluator.h"
+#include "core/optimizer.h"
+#include "core/serialization.h"
+#include "nn/models.h"
+#include "perf/calibration.h"
+#include "util/strings.h"
+
+int main() {
+  using namespace mapcq;
+  const nn::network vis = nn::build_visformer();
+  const nn::network vgg = nn::build_vgg19();
+  const soc::platform xavier = perf::calibrated_xavier(vis, vgg).plat;
+
+  // 1. Search (small budget for the demo).
+  core::optimizer_options opt;
+  opt.ga.generations = 30;
+  opt.ga.population = 30;
+  core::optimizer mapper{vis, xavier, opt};
+  const auto res = mapper.run();
+  const core::evaluation& winner = res.ours_energy();
+  std::cout << "searched: " << winner.config.describe(xavier) << "\n";
+  std::cout << util::format("searched metrics: %.2f mJ / %.2f ms / %.2f%%\n",
+                            winner.avg_energy_mj, winner.avg_latency_ms, winner.accuracy_pct);
+
+  // 2. Ship: persist the configuration.
+  const std::string path = "/tmp/mapcq_shipped_config.txt";
+  core::save_configuration(path, winner.config);
+  std::cout << "\nconfiguration written to " << path << ":\n";
+  std::cout << core::to_text(winner.config).substr(0, 220) << "...\n";
+
+  // 3. Runtime side: reload and re-evaluate.
+  const core::configuration loaded = core::load_configuration(path);
+  const core::evaluator runtime_eval{vis, xavier, {}};
+  const core::evaluation replay = runtime_eval.evaluate(loaded);
+  std::cout << util::format("\nreplayed metrics: %.2f mJ / %.2f ms / %.2f%%\n",
+                            replay.avg_energy_mj, replay.avg_latency_ms, replay.accuracy_pct);
+
+  const bool identical = replay.avg_energy_mj == winner.avg_energy_mj &&
+                         replay.avg_latency_ms == winner.avg_latency_ms &&
+                         replay.accuracy_pct == winner.accuracy_pct;
+  std::cout << (identical ? "shipped artifact reproduces the search exactly.\n"
+                          : "WARNING: replay diverged from the searched metrics!\n");
+  std::remove(path.c_str());
+  return identical ? 0 : 1;
+}

@@ -1,0 +1,105 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+
+#include "nn/partition_groups.h"
+#include "perf/energy_model.h"
+
+namespace mapcq::core {
+
+baseline_result single_cu_baseline(const nn::network& net, const soc::platform& plat,
+                                   std::size_t unit_index, const perf::model_options& opt) {
+  const soc::compute_unit& cu = plat.unit(unit_index);
+  const perf::single_cu_result run = perf::single_cu_run(net, cu, cu.dvfs.max_level(), opt);
+  // Board-level view: the other CUs idle at their gated floor meanwhile.
+  double idle_w = 0.0;
+  for (std::size_t u = 0; u < plat.size(); ++u)
+    if (u != unit_index) idle_w += plat.unit(u).idle_power_w();
+  baseline_result out;
+  out.name = cu.name + "-only";
+  out.latency_ms = run.latency_ms;
+  out.energy_mj = run.energy_mj + idle_w * run.latency_ms;
+  out.accuracy_pct = net.base_accuracy;  // unmodified pretrained model
+  out.fmap_reuse_pct = 0.0;
+  return out;
+}
+
+configuration make_static_configuration(const nn::network& net, const soc::platform& plat) {
+  const auto groups = nn::make_partition_groups(net);
+  const std::size_t m = plat.size();
+
+  configuration c;
+  c.partition.assign(groups.size(), std::vector<double>(m, 1.0 / static_cast<double>(m)));
+  c.forward.assign(groups.size(), std::vector<bool>(m, true));
+  for (auto& row : c.forward) row[m - 1] = false;  // last stage feeds no one
+  c.mapping.resize(m);
+  for (std::size_t i = 0; i < m; ++i) c.mapping[i] = i;
+  c.dvfs.resize(m);
+  for (std::size_t u = 0; u < m; ++u) c.dvfs[u] = plat.unit(u).dvfs.max_level();
+  return c;
+}
+
+evaluation static_mapping_baseline(const nn::network& net, const soc::platform& plat,
+                                   const perf::model_options& opt) {
+  evaluator_options eopt;
+  eopt.dynamic_exits = false;  // single exit at the tail
+  eopt.model = opt;
+  const evaluator eval{net, plat, eopt};
+  return eval.evaluate(make_static_configuration(net, plat));
+}
+
+pipeline_result pipeline_baseline(const nn::network& net, const soc::platform& plat,
+                                  const perf::model_options& opt) {
+  net.validate();
+  const std::size_t m = plat.size();
+  const double total_flops = net.total_flops();
+
+  // Greedy balanced cut: start a new segment whenever the running FLOP
+  // share crosses the next 1/m boundary.
+  pipeline_result out;
+  out.name = "pipeline (depth-split)";
+  out.accuracy_pct = net.base_accuracy;  // model is unmodified
+  out.cut_points.push_back(0);
+  double acc_flops = 0.0;
+  for (std::size_t j = 0; j + 1 < net.layers.size() && out.cut_points.size() < m; ++j) {
+    acc_flops += net.layers[j].flops();
+    const double boundary =
+        static_cast<double>(out.cut_points.size()) / static_cast<double>(m) * total_flops;
+    if (acc_flops >= boundary) out.cut_points.push_back(j + 1);
+  }
+
+  // Cost each segment on its CU; single-input latency chains segments with
+  // an inter-CU handoff of the boundary feature map.
+  std::vector<double> segment_ms(out.cut_points.size(), 0.0);
+  for (std::size_t seg = 0; seg < out.cut_points.size(); ++seg) {
+    const std::size_t first = out.cut_points[seg];
+    const std::size_t last =
+        seg + 1 < out.cut_points.size() ? out.cut_points[seg + 1] : net.layers.size();
+    const soc::compute_unit& cu = plat.unit(seg);
+    const std::size_t level = cu.dvfs.max_level();
+    for (std::size_t j = first; j < last; ++j) {
+      const nn::layer& l = net.layers[j];
+      perf::sublayer_cost cost;
+      cost.kind = l.kind;
+      cost.flops = l.flops();
+      cost.weight_bytes = l.weight_bytes();
+      cost.in_bytes = l.input_bytes();
+      cost.out_bytes = l.output_bytes();
+      cost.width_frac = 1.0;
+      segment_ms[seg] += perf::sublayer_latency_ms(cost, cu, level, 1, opt);
+      out.energy_mj += perf::sublayer_energy_mj(cost, cu, level, 1, opt);
+    }
+    out.latency_ms += segment_ms[seg];
+    if (seg + 1 < out.cut_points.size()) {
+      const double bytes = net.layers[last - 1].output_bytes();
+      out.latency_ms += plat.xfer.transfer_ms(bytes);
+      out.energy_mj += plat.xfer.transfer_mj(bytes);
+    }
+  }
+
+  const double bottleneck = *std::max_element(segment_ms.begin(), segment_ms.end());
+  out.throughput_ips = bottleneck > 0.0 ? 1000.0 / bottleneck : 0.0;
+  return out;
+}
+
+}  // namespace mapcq::core

@@ -1,0 +1,59 @@
+#pragma once
+// Deployment baselines the paper compares against (Fig. 1, Table II "None"
+// rows): whole-network single-CU mappings, and the hand-made static width
+// partition that runs all stages with every feature forwarded and a single
+// exit (the "Static Mapping" bar of Fig. 1).
+
+#include <string>
+
+#include "core/evaluator.h"
+#include "nn/graph.h"
+#include "perf/single_cu.h"
+#include "soc/platform.h"
+
+namespace mapcq::core {
+
+/// Outcome of one baseline deployment.
+struct baseline_result {
+  std::string name;
+  double latency_ms = 0.0;
+  double energy_mj = 0.0;
+  double accuracy_pct = 0.0;
+  double fmap_reuse_pct = 0.0;  ///< 0 for single-CU; 100 for static partition
+};
+
+/// Full network on a single CU at its max DVFS level.
+[[nodiscard]] baseline_result single_cu_baseline(const nn::network& net,
+                                                 const soc::platform& plat,
+                                                 std::size_t unit_index,
+                                                 const perf::model_options& opt = {});
+
+/// Equal width split across all CUs, every indicator bit set, identity
+/// mapping, max DVFS everywhere -- evaluated as a single-exit (static)
+/// deployment on the concurrent executor.
+[[nodiscard]] configuration make_static_configuration(const nn::network& net,
+                                                      const soc::platform& plat);
+
+/// Evaluates the static configuration (single exit, all features exchanged).
+[[nodiscard]] evaluation static_mapping_baseline(const nn::network& net,
+                                                 const soc::platform& plat,
+                                                 const perf::model_options& opt = {});
+
+/// Depth-wise pipeline baseline (AxoNN [4] / Jedi [14] style): the network
+/// is cut into |CU| contiguous *depth* segments balanced by FLOPs, each
+/// mapped to one CU. A single inference traverses the segments in sequence
+/// (latency adds up); batched inference overlaps segments, so throughput is
+/// set by the slowest segment.
+struct pipeline_result {
+  std::string name;
+  double latency_ms = 0.0;        ///< single-input end-to-end latency
+  double energy_mj = 0.0;         ///< per-inference energy
+  double throughput_ips = 0.0;    ///< steady-state pipelined inferences/s
+  double accuracy_pct = 0.0;
+  std::vector<std::size_t> cut_points;  ///< first layer index of each segment
+};
+[[nodiscard]] pipeline_result pipeline_baseline(const nn::network& net,
+                                                const soc::platform& plat,
+                                                const perf::model_options& opt = {});
+
+}  // namespace mapcq::core

@@ -1,0 +1,81 @@
+#include "core/configuration.h"
+
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace mapcq::core {
+
+double configuration::fmap_reuse_ratio() const {
+  std::size_t possible = 0;
+  std::size_t set = 0;
+  for (std::size_t g = 0; g < groups(); ++g) {
+    for (std::size_t i = 0; i + 1 < stages(); ++i) {
+      if (partition[g][i] <= 0.0) continue;  // nothing to forward
+      ++possible;
+      if (forward[g][i]) ++set;
+    }
+  }
+  if (possible == 0) return 0.0;
+  return static_cast<double>(set) / static_cast<double>(possible);
+}
+
+void configuration::validate(const soc::platform& plat) const {
+  if (partition.empty()) throw std::logic_error("configuration: no partition groups");
+  if (mapping.empty()) throw std::logic_error("configuration: no stages");
+  if (forward.size() != partition.size())
+    throw std::logic_error("configuration: forward/partition group mismatch");
+
+  const std::size_t m = stages();
+  for (std::size_t g = 0; g < groups(); ++g) {
+    if (partition[g].size() != m || forward[g].size() != m)
+      throw std::logic_error("configuration: ragged row");
+    double sum = 0.0;
+    for (const double p : partition[g]) {
+      if (p < -1e-12 || p > 1.0 + 1e-12)
+        throw std::logic_error("configuration: partition fraction out of [0,1]");
+      sum += p;
+    }
+    if (std::abs(sum - 1.0) > 1e-6)
+      throw std::logic_error("configuration: partition row must sum to 1");
+    if (partition[g][0] <= 0.0)
+      throw std::logic_error("configuration: stage 1 must own a nonzero slice");
+  }
+
+  std::set<std::size_t> seen;
+  for (const std::size_t cu : mapping) {
+    if (cu >= plat.size()) throw std::logic_error("configuration: CU index out of range");
+    if (!seen.insert(cu).second)
+      throw std::logic_error("configuration: mapping must be injective (eq. 7)");
+  }
+
+  if (dvfs.size() != plat.size())
+    throw std::logic_error("configuration: dvfs must cover every platform unit");
+  for (std::size_t u = 0; u < dvfs.size(); ++u)
+    if (dvfs[u] >= plat.unit(u).dvfs.levels())
+      throw std::logic_error("configuration: DVFS level out of range");
+}
+
+std::string configuration::describe(const soc::platform& plat) const {
+  std::ostringstream os;
+  os << "stages: ";
+  for (std::size_t i = 0; i < stages(); ++i) {
+    const auto& cu = plat.unit(mapping[i]);
+    os << util::format("S%zu->%s@%.0fMHz ", i + 1, cu.name.c_str(),
+                       cu.dvfs.frequency_mhz(dvfs[mapping[i]]));
+  }
+  // Mean per-stage width share across groups.
+  os << "| mean widths: ";
+  for (std::size_t i = 0; i < stages(); ++i) {
+    double acc = 0.0;
+    for (std::size_t g = 0; g < groups(); ++g) acc += partition[g][i];
+    os << util::format("%.2f ", acc / static_cast<double>(groups()));
+  }
+  os << util::format("| reuse %.1f%%", 100.0 * fmap_reuse_ratio());
+  return os.str();
+}
+
+}  // namespace mapcq::core

@@ -1,0 +1,44 @@
+#pragma once
+// The full mapping configuration Pi = (P, I, M, theta) of paper §IV.
+//
+//  * P (partition):  partition[g][i] -- fraction of group g's width units
+//                    assigned to stage i; per group the fractions sum to 1.
+//  * I (indicator):  forward[g][i]   -- whether stage i's slice of group g's
+//                    output features is forwarded to ("reused by") later
+//                    stages. The last stage never forwards.
+//  * M (mapping):    mapping[i]      -- CU index executing stage i; an
+//                    injective assignment (eq. 7).
+//  * theta (DVFS):   dvfs[u]         -- DVFS level of platform unit u.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "soc/platform.h"
+
+namespace mapcq::core {
+
+/// A candidate mapping of one network onto one platform.
+struct configuration {
+  std::vector<std::vector<double>> partition;  ///< [group][stage], rows sum to 1
+  std::vector<std::vector<bool>> forward;      ///< [group][stage]
+  std::vector<std::size_t> mapping;            ///< [stage] -> CU index
+  std::vector<std::size_t> dvfs;               ///< [unit]  -> DVFS level
+
+  [[nodiscard]] std::size_t groups() const noexcept { return partition.size(); }
+  [[nodiscard]] std::size_t stages() const noexcept { return mapping.size(); }
+
+  /// Fraction of settable indicator bits that are set: the paper's
+  /// "Fmap reuse (%)" metric (Table II). Only stages 1..M-1 count (the last
+  /// stage's features feed no one) and only stages holding a nonzero slice.
+  [[nodiscard]] double fmap_reuse_ratio() const;
+
+  /// Throws std::logic_error on structural problems (ragged rows, fractions
+  /// not summing to 1, non-injective mapping, out-of-range indices).
+  void validate(const soc::platform& plat) const;
+
+  /// Compact human-readable summary (for logs and examples).
+  [[nodiscard]] std::string describe(const soc::platform& plat) const;
+};
+
+}  // namespace mapcq::core

@@ -1,0 +1,153 @@
+#include "core/dynamic_transform.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/multi_exit.h"
+
+namespace mapcq::core {
+
+namespace {
+
+/// Sum of forwarded predecessor fractions of group `g` visible to stage `i`.
+double reused_fraction(const configuration& c, std::size_t g, std::size_t i) {
+  double frac = 0.0;
+  for (std::size_t k = 0; k < i; ++k)
+    if (c.forward[g][k]) frac += c.partition[g][k];
+  return frac;
+}
+
+}  // namespace
+
+dynamic_network transform(const nn::network& net,
+                          const std::vector<nn::partition_group>& groups,
+                          const nn::ranked_network& ranking, const configuration& config,
+                          const soc::platform& plat, bool reorder) {
+  config.validate(plat);
+  if (groups.size() != config.groups())
+    throw std::invalid_argument("transform: group count mismatch");
+  if (ranking.groups() != groups.size())
+    throw std::invalid_argument("transform: ranking profile count mismatch");
+
+  const std::size_t n_stages = config.stages();
+  const std::size_t n_groups = groups.size();
+
+  dynamic_network dyn;
+  dyn.plan.steps.assign(n_stages, std::vector<perf::stage_step>(n_groups + 1));
+  dyn.plan.cu_of_stage = config.mapping;
+  dyn.plan.dvfs_level = config.dvfs;
+  dyn.fmap_reuse_ratio = config.fmap_reuse_ratio();
+
+  // --- body steps ---------------------------------------------------------
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    const nn::partition_group& grp = groups[g];
+    const nn::layer& lead = net.layers[grp.lead];
+
+    for (std::size_t i = 0; i < n_stages; ++i) {
+      perf::stage_step& step = dyn.plan.steps[i][g];
+      const double out_frac = config.partition[g][i];
+      if (out_frac <= 0.0) continue;  // stage holds no units of this group
+
+      // Visible input features: the stage's own slice of the previous
+      // group's output plus every forwarded predecessor slice. The first
+      // group consumes the network input, which every stage can read.
+      double own_in = 1.0;
+      double reused_in = 0.0;
+      if (g > 0) {
+        own_in = config.partition[g - 1][i];
+        reused_in = reused_fraction(config, g - 1, i);
+      }
+      const double in_frac = std::min(1.0, own_in + reused_in);
+
+      perf::sublayer_cost& cost = step.cost;
+      cost.kind = lead.kind;
+      cost.width_frac = out_frac;
+      cost.flops = lead.flops(in_frac, out_frac);
+      cost.weight_bytes = lead.weight_bytes(in_frac, out_frac);
+      cost.out_bytes = grp.output_bytes(net, out_frac);
+      cost.in_bytes = g == 0 ? net.input.bytes()
+                             : groups[g - 1].output_bytes(net, std::min(1.0, in_frac));
+      for (std::size_t m = 1; m < grp.members.size(); ++m) {
+        const nn::layer& member = net.layers[grp.members[m]];
+        cost.flops += member.flops(1.0, out_frac);
+        cost.weight_bytes += member.weight_bytes(1.0, out_frac);
+      }
+
+      // Cross-stage feature transfers (the I matrix column of group g-1).
+      if (g > 0) {
+        for (std::size_t k = 0; k < i; ++k) {
+          if (!config.forward[g - 1][k]) continue;
+          const double src_frac = config.partition[g - 1][k];
+          if (src_frac <= 0.0) continue;
+          step.incoming.push_back(
+              {k, groups[g - 1].output_bytes(net, src_frac)});
+        }
+      }
+    }
+  }
+
+  // --- exit heads (step n_groups) -----------------------------------------
+  const nn::partition_group& last_grp = groups.back();
+  const nn::tensor_shape feat_shape = net.layers[last_grp.members.back()].output();
+  dyn.exit_visible_frac.assign(n_stages, 0.0);
+  for (std::size_t i = 0; i < n_stages; ++i) {
+    const double visible =
+        std::min(1.0, config.partition[n_groups - 1][i] + reused_fraction(config, n_groups - 1, i));
+    dyn.exit_visible_frac[i] = visible;
+    if (visible <= 0.0) continue;
+
+    const nn::exit_head head = nn::make_exit_head(feat_shape, net.classes);
+    perf::stage_step& step = dyn.plan.steps[i][n_groups];
+    perf::sublayer_cost& cost = step.cost;
+    cost.kind = nn::layer_kind::classifier;
+    cost.width_frac = 1.0;  // heads are tiny; occupancy derate is meaningless
+    cost.flops = head.pool.flops(1.0, visible) + head.fc.flops(visible, 1.0);
+    cost.weight_bytes = head.fc.weight_bytes(visible, 1.0);
+    cost.in_bytes = feat_shape.bytes(visible);
+    cost.out_bytes = head.fc.output_bytes(1.0);
+
+    for (std::size_t k = 0; k < i; ++k) {
+      if (!config.forward[n_groups - 1][k]) continue;
+      const double src_frac = config.partition[n_groups - 1][k];
+      if (src_frac <= 0.0) continue;
+      step.incoming.push_back({k, last_grp.output_bytes(net, src_frac)});
+    }
+  }
+
+  // --- stage quality (importance coverage at the exit) ---------------------
+  // Flops-weighted geometric mean over groups of the visible importance
+  // share; a group with nothing visible breaks the feature path (q -> 0).
+  std::vector<double> weights(n_groups, 0.0);
+  double total_w = 0.0;
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    weights[g] = net.layers[groups[g].lead].flops();
+    total_w += weights[g];
+  }
+  dyn.stage_quality.assign(n_stages, 0.0);
+  for (std::size_t i = 0; i < n_stages; ++i) {
+    double log_q = 0.0;
+    bool broken = false;
+    for (std::size_t g = 0; g < n_groups; ++g) {
+      const double v = nn::visible_importance(ranking.profile(g), config.partition[g],
+                                              config.forward[g], i, reorder);
+      if (v <= 0.0) {
+        broken = true;
+        break;
+      }
+      log_q += weights[g] / total_w * std::log(v);
+    }
+    dyn.stage_quality[i] = broken ? 0.0 : std::exp(log_q);
+  }
+
+  // --- shared-memory footprint of parked features --------------------------
+  for (std::size_t g = 0; g < n_groups; ++g)
+    for (std::size_t k = 0; k + 1 < n_stages; ++k)
+      if (config.forward[g][k] && config.partition[g][k] > 0.0)
+        dyn.stored_fmap_bytes += groups[g].output_bytes(net, config.partition[g][k]);
+
+  dyn.plan.validate(plat.size());
+  return dyn;
+}
+
+}  // namespace mapcq::core

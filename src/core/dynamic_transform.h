@@ -1,0 +1,44 @@
+#pragma once
+// Static -> dynamic transformation (paper §III-A, Fig. 2): slices every
+// partition group across the stages according to P, wires the inter-stage
+// feature reuse edges according to I, attaches an exit head to each stage's
+// tail, and resolves everything into a perf::stage_plan ready for the
+// concurrent executor. Also derives the quality (importance coverage) each
+// stage's exit sees, which drives the accuracy model.
+
+#include <vector>
+
+#include "core/configuration.h"
+#include "nn/channel_ranking.h"
+#include "nn/graph.h"
+#include "nn/partition_groups.h"
+#include "perf/work.h"
+
+namespace mapcq::core {
+
+/// The dynamic multi-exit version of a network under one configuration.
+struct dynamic_network {
+  perf::stage_plan plan;  ///< resolved schedule (last step per stage = exit head)
+
+  /// q_i: importance coverage at stage i's exit -- flops-weighted geometric
+  /// mean over groups of the visible importance share. A stage whose feature
+  /// path is broken at any group (nothing visible) has quality 0.
+  std::vector<double> stage_quality;
+
+  /// Fraction of final-feature channels visible to each stage's exit head.
+  std::vector<double> exit_visible_frac;
+
+  double stored_fmap_bytes = 0.0;  ///< size_Pi(F, I): bytes parked for reuse
+  double fmap_reuse_ratio = 0.0;   ///< share of indicator bits set
+};
+
+/// Performs the transformation. `reorder` enables importance-based channel
+/// reordering (paper §V-D); disabling it is the ablation path.
+/// Throws std::logic_error / std::invalid_argument on inconsistent inputs.
+[[nodiscard]] dynamic_network transform(const nn::network& net,
+                                        const std::vector<nn::partition_group>& groups,
+                                        const nn::ranked_network& ranking,
+                                        const configuration& config,
+                                        const soc::platform& plat, bool reorder = true);
+
+}  // namespace mapcq::core

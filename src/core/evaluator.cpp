@@ -1,0 +1,166 @@
+#include "core/evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/objective.h"
+#include "perf/characterizer.h"
+#include "util/strings.h"
+
+namespace mapcq::core {
+
+namespace {
+
+std::vector<std::int64_t> widths_of(const std::vector<nn::partition_group>& groups) {
+  std::vector<std::int64_t> w;
+  w.reserve(groups.size());
+  for (const auto& g : groups) w.push_back(g.width);
+  return w;
+}
+
+/// Number of stages owning any work (must match the executor's notion of
+/// concurrency so surrogate features line up with analytic ones).
+std::size_t active_stages(const perf::stage_plan& plan) {
+  std::size_t n = 0;
+  for (const auto& stage : plan.steps) {
+    for (const auto& step : stage)
+      if (!step.cost.empty()) {
+        ++n;
+        break;
+      }
+  }
+  return std::max<std::size_t>(n, 1);
+}
+
+/// Builds the per-step cost grid from the GBT surrogate.
+perf::step_costs predict_costs(const perf::stage_plan& plan, const soc::platform& plat,
+                               const surrogate::hw_predictor& predictor) {
+  const std::size_t concurrency = active_stages(plan);
+  perf::step_costs costs;
+  costs.tau_ms.assign(plan.stages(), std::vector<double>(plan.groups(), 0.0));
+  costs.energy_mj.assign(plan.stages(), std::vector<double>(plan.groups(), 0.0));
+  for (std::size_t i = 0; i < plan.stages(); ++i) {
+    const soc::compute_unit& cu = plat.unit(plan.cu_of_stage[i]);
+    const std::size_t level = plan.dvfs_level[plan.cu_of_stage[i]];
+    for (std::size_t j = 0; j < plan.groups(); ++j) {
+      const auto& cost = plan.steps[i][j].cost;
+      if (cost.empty()) continue;
+      costs.tau_ms[i][j] = predictor.latency_ms(cost, cu, level, concurrency);
+      costs.energy_mj[i][j] = predictor.energy_mj(cost, cu, level, concurrency);
+    }
+  }
+  return costs;
+}
+
+/// Exit outcome of a static (single-exit) deployment: every sample runs all
+/// stages; the last exit classifies.
+data::exit_outcome static_exits(double last_acc_pct, std::size_t stages,
+                                std::size_t population) {
+  data::exit_outcome out;
+  out.population = population;
+  out.correct_counts.assign(stages, 0);
+  out.exit_fractions.assign(stages, 0.0);
+  out.exit_fractions.back() = 1.0;
+  out.correct_counts.back() = static_cast<std::size_t>(
+      std::llround(last_acc_pct / 100.0 * static_cast<double>(population)));
+  out.dynamic_accuracy_pct = last_acc_pct;
+  return out;
+}
+
+}  // namespace
+
+evaluator::evaluator(const nn::network& net, const soc::platform& plat, evaluator_options opt,
+                     std::uint64_t ranking_seed)
+    : net_(&net),
+      plat_(&plat),
+      opt_(opt),
+      groups_(nn::make_partition_groups(net)),
+      ranking_(net, widths_of(groups_), ranking_seed),
+      acc_params_(data::accuracy_params::from(net)) {
+  net.validate();
+  plat.validate();
+  if (opt_.population == 0) throw std::invalid_argument("evaluator: empty population");
+  if (opt_.limits.fmap_reuse_cap < 0.0 || opt_.limits.fmap_reuse_cap > 1.0)
+    throw std::invalid_argument("evaluator: fmap_reuse_cap out of [0,1]");
+}
+
+evaluation evaluator::evaluate(const configuration& config) const {
+  evaluation ev;
+  ev.config = config;
+
+  const dynamic_network dyn =
+      transform(*net_, groups_, ranking_, config, *plat_, opt_.reorder);
+  ev.fmap_reuse_pct = 100.0 * dyn.fmap_reuse_ratio;
+  ev.stored_fmap_bytes = dyn.stored_fmap_bytes;
+
+  // --- hardware simulation (analytic or surrogate) ------------------------
+  const perf::execution_result exec =
+      opt_.predictor != nullptr
+          ? perf::simulate_costed(*plat_, dyn.plan, predict_costs(dyn.plan, *plat_, *opt_.predictor))
+          : perf::simulate(*plat_, dyn.plan, opt_.model);
+  ev.fmap_traffic_bytes = exec.fmap_traffic_bytes;
+
+  const std::size_t m = exec.stages.size();
+  ev.stage_latency_ms.resize(m);
+  ev.stage_energy_mj.resize(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    ev.stage_latency_ms[i] = exec.stages[i].latency_ms;
+    ev.stage_energy_mj[i] = exec.stages[i].energy_mj;
+  }
+  const perf::dynamic_profile profile =
+      opt_.count_idle_power ? perf::characterize_system(exec, dyn.plan, *plat_)
+                            : perf::characterize(exec);
+
+  // --- accuracy + exits ----------------------------------------------------
+  ev.stage_accuracy_pct = data::stage_accuracies_pct(acc_params_, dyn.stage_quality);
+  ev.last_stage_accuracy_pct = ev.stage_accuracy_pct.back();
+
+  const data::exit_outcome exits =
+      opt_.dynamic_exits
+          ? data::simulate_ideal(ev.stage_accuracy_pct, opt_.population)
+          : static_exits(ev.last_stage_accuracy_pct, m, opt_.population);
+  ev.exit_fractions = exits.exit_fractions;
+  ev.accuracy_pct = exits.dynamic_accuracy_pct;
+
+  ev.avg_latency_ms = profile.avg_latency_ms(ev.exit_fractions);
+  ev.avg_energy_mj = profile.avg_energy_mj(ev.exit_fractions);
+  ev.worst_latency_ms = profile.worst_latency_ms();
+  ev.worst_energy_mj = profile.worst_energy_mj();
+
+  // --- objective (eq. 16) ---------------------------------------------------
+  objective_inputs in;
+  in.base_accuracy_pct = net_->base_accuracy;
+  in.stage_latency_ms = ev.stage_latency_ms;
+  in.cumulative_energy_mj = profile.energy_upto;
+  in.stage_accuracy_pct = ev.stage_accuracy_pct;
+  in.exits = &exits;
+  ev.objective = objective_value(in);
+
+  // --- constraint filter (eq. 15) -------------------------------------------
+  const auto reject = [&](const std::string& why) {
+    ev.feasible = false;
+    if (!ev.reject_reason.empty()) ev.reject_reason += "; ";
+    ev.reject_reason += why;
+  };
+  if (dyn.fmap_reuse_ratio > opt_.limits.fmap_reuse_cap + 1e-9)
+    reject(util::format("fmap reuse %.1f%% exceeds cap %.1f%%", 100.0 * dyn.fmap_reuse_ratio,
+                        100.0 * opt_.limits.fmap_reuse_cap));
+  if (dyn.stored_fmap_bytes > plat_->shared_memory_bytes)
+    reject(util::format("stored fmaps %.0f B exceed shared memory %.0f B",
+                        dyn.stored_fmap_bytes, plat_->shared_memory_bytes));
+  if (ev.avg_latency_ms >= opt_.limits.latency_target_ms)
+    reject(util::format("latency %.2f ms exceeds target", ev.avg_latency_ms));
+  if (ev.avg_energy_mj >= opt_.limits.energy_target_mj)
+    reject(util::format("energy %.2f mJ exceeds target", ev.avg_energy_mj));
+  if (opt_.thermal && ev.avg_latency_ms > 0.0) {
+    const double sustained_w = ev.avg_energy_mj / ev.avg_latency_ms;  // mJ/ms = W
+    if (opt_.thermal->throttles(sustained_w))
+      reject(util::format("sustained %.2f W trips the %.0f C throttle", sustained_w,
+                          opt_.thermal->throttle_c));
+  }
+  if (!std::isfinite(ev.objective)) reject("degenerate objective");
+
+  return ev;
+}
+
+}  // namespace mapcq::core

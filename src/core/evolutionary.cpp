@@ -1,0 +1,275 @@
+#include "core/evolutionary.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+#include "core/pareto.h"
+#include "util/thread_pool.h"
+
+namespace mapcq::core {
+
+namespace {
+
+void mutate(genome& g, const search_space& space, const ga_options& opt, util::rng& gen) {
+  const std::size_t stages = space.stages();
+  for (std::size_t grp = 0; grp < g.ratio_levels.size(); ++grp) {
+    if (gen.bernoulli(opt.ratio_mutation_prob)) {
+      const auto s = static_cast<std::size_t>(
+          gen.uniform_int(0, static_cast<std::int64_t>(stages) - 1));
+      const int delta = gen.bernoulli(0.5) ? 1 : -1;
+      const int lo = s == 0 ? 1 : 0;
+      g.ratio_levels[grp][s] =
+          std::clamp(g.ratio_levels[grp][s] + delta, lo, space.ratio_levels() - 1);
+    }
+    if (stages > 1 && gen.bernoulli(opt.forward_mutation_prob)) {
+      const auto s = static_cast<std::size_t>(
+          gen.uniform_int(0, static_cast<std::int64_t>(stages) - 2));
+      g.forward[grp][s] = !g.forward[grp][s];
+    }
+  }
+  if (gen.bernoulli(opt.mapping_swap_prob) && stages > 1) {
+    const auto a = static_cast<std::size_t>(
+        gen.uniform_int(0, static_cast<std::int64_t>(stages) - 1));
+    const auto b = static_cast<std::size_t>(
+        gen.uniform_int(0, static_cast<std::int64_t>(stages) - 1));
+    std::swap(g.mapping[a], g.mapping[b]);
+  }
+  for (std::size_t u = 0; u < g.dvfs.size(); ++u) {
+    if (!gen.bernoulli(opt.dvfs_mutation_prob)) continue;
+    const auto levels = static_cast<std::int64_t>(space.plat().unit(u).dvfs.levels());
+    const std::int64_t delta = gen.bernoulli(0.5) ? 1 : -1;
+    const std::int64_t next =
+        std::clamp<std::int64_t>(static_cast<std::int64_t>(g.dvfs[u]) + delta, 0, levels - 1);
+    g.dvfs[u] = static_cast<std::size_t>(next);
+  }
+}
+
+genome crossover(const genome& a, const genome& b, util::rng& gen) {
+  genome child = a;
+  for (std::size_t grp = 0; grp < child.ratio_levels.size(); ++grp) {
+    if (gen.bernoulli(0.5)) {
+      child.ratio_levels[grp] = b.ratio_levels[grp];
+      child.forward[grp] = b.forward[grp];
+    }
+  }
+  if (gen.bernoulli(0.5)) child.mapping = b.mapping;  // permutations swap atomically
+  for (std::size_t u = 0; u < child.dvfs.size(); ++u)
+    if (gen.bernoulli(0.5)) child.dvfs[u] = b.dvfs[u];
+  return child;
+}
+
+/// Tournament of two among the ranked (ascending objective) survivors.
+const genome& tournament(const std::vector<genome>& pool, util::rng& gen) {
+  const auto n = static_cast<std::int64_t>(pool.size());
+  const auto a = static_cast<std::size_t>(gen.uniform_int(0, n - 1));
+  const auto b = static_cast<std::size_t>(gen.uniform_int(0, n - 1));
+  return pool[std::min(a, b)];  // pool is sorted best-first
+}
+
+/// Non-dominated front index per candidate over (latency, energy, -acc);
+/// infeasible candidates get a sentinel beyond every front.
+std::vector<std::size_t> front_indices(const std::vector<evaluation>& evals) {
+  constexpr std::size_t unranked = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> front(evals.size(), unranked);
+  std::vector<std::vector<double>> pts(evals.size());
+  for (std::size_t i = 0; i < evals.size(); ++i)
+    pts[i] = {evals[i].avg_latency_ms, evals[i].avg_energy_mj, -evals[i].accuracy_pct};
+
+  std::size_t assigned = 0;
+  std::size_t total_feasible = 0;
+  for (const auto& e : evals)
+    if (e.feasible) ++total_feasible;
+
+  // Peel fronts: at each level, collect every unassigned candidate not
+  // dominated by another unassigned candidate, then assign the whole set.
+  for (std::size_t level = 0; assigned < total_feasible; ++level) {
+    std::vector<std::size_t> peel;
+    for (std::size_t i = 0; i < evals.size(); ++i) {
+      if (!evals[i].feasible || front[i] != unranked) continue;
+      bool dominated = false;
+      for (std::size_t j = 0; j < evals.size() && !dominated; ++j) {
+        if (i == j || !evals[j].feasible || front[j] != unranked) continue;
+        if (dominates(pts[j], pts[i])) dominated = true;
+      }
+      if (!dominated) peel.push_back(i);
+    }
+    for (const std::size_t i : peel) front[i] = level;
+    assigned += peel.size();
+  }
+  for (std::size_t i = 0; i < evals.size(); ++i)
+    if (front[i] == unranked) front[i] = evals.size() + 1;  // infeasible sentinel
+  return front;
+}
+
+/// NSGA-II crowding distance over (latency, energy, -accuracy), computed
+/// within each front. Boundary candidates get +inf so the front's extreme
+/// corners (cheapest, most accurate) always survive.
+std::vector<double> crowding_distances(const std::vector<evaluation>& evals,
+                                       const std::vector<std::size_t>& fronts) {
+  std::vector<double> dist(evals.size(), 0.0);
+  const auto metric = [&](std::size_t i, int axis) {
+    switch (axis) {
+      case 0: return evals[i].avg_latency_ms;
+      case 1: return evals[i].avg_energy_mj;
+      default: return -evals[i].accuracy_pct;
+    }
+  };
+
+  std::map<std::size_t, std::vector<std::size_t>> by_front;
+  for (std::size_t i = 0; i < evals.size(); ++i)
+    if (evals[i].feasible) by_front[fronts[i]].push_back(i);
+
+  for (auto& [level, members] : by_front) {
+    if (members.size() <= 2) {
+      for (const std::size_t i : members) dist[i] = std::numeric_limits<double>::infinity();
+      continue;
+    }
+    for (int axis = 0; axis < 3; ++axis) {
+      std::sort(members.begin(), members.end(),
+                [&](std::size_t a, std::size_t b) { return metric(a, axis) < metric(b, axis); });
+      const double lo = metric(members.front(), axis);
+      const double hi = metric(members.back(), axis);
+      dist[members.front()] = std::numeric_limits<double>::infinity();
+      dist[members.back()] = std::numeric_limits<double>::infinity();
+      if (hi <= lo) continue;
+      for (std::size_t r = 1; r + 1 < members.size(); ++r)
+        dist[members[r]] +=
+            (metric(members[r + 1], axis) - metric(members[r - 1], axis)) / (hi - lo);
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+ga_result evolve(const search_space& space, const evaluator& eval, const ga_options& opt) {
+  if (opt.population < 4) throw std::invalid_argument("evolve: population too small");
+  if (opt.elite_fraction <= 0.0 || opt.elite_fraction >= 1.0)
+    throw std::invalid_argument("evolve: elite_fraction out of (0,1)");
+
+  util::rng gen{opt.seed};
+  util::thread_pool pool{opt.threads};
+
+  std::vector<genome> population;
+  population.reserve(opt.population);
+  // Anchor the high-accuracy corner with the static seed (plus mapping
+  // rotations of it); fill the rest randomly.
+  const genome anchor = space.static_seed();
+  population.push_back(anchor);
+  for (std::size_t r = 1; r < space.stages() && population.size() + 1 < opt.population; ++r) {
+    genome rotated = population.back();
+    std::rotate(rotated.mapping.begin(), rotated.mapping.begin() + 1, rotated.mapping.end());
+    population.push_back(std::move(rotated));
+  }
+  while (population.size() < opt.population) population.push_back(space.random(gen));
+
+  ga_result result;
+
+  for (std::size_t g = 0; g < opt.generations; ++g) {
+    // --- evaluate in parallel (the paper's evaluation cluster) -------------
+    std::vector<evaluation> evals(population.size());
+    pool.parallel_for(population.size(), [&](std::size_t i) {
+      evals[i] = eval.evaluate(space.decode(population[i]));
+    });
+    result.total_evaluations += population.size();
+
+    // --- rank ----------------------------------------------------------------
+    // hybrid_nsga: non-dominated front first, eq. 16 objective within a
+    // front. objective_only: the paper-literal pure P ranking.
+    std::vector<std::size_t> order(population.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    if (opt.selection == selection_mode::hybrid_nsga) {
+      const std::vector<std::size_t> fronts = front_indices(evals);
+      const std::vector<double> crowd = crowding_distances(evals, fronts);
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        if (evals[a].feasible != evals[b].feasible) return evals[a].feasible;
+        if (fronts[a] != fronts[b]) return fronts[a] < fronts[b];
+        if (crowd[a] != crowd[b]) return crowd[a] > crowd[b];
+        return evals[a].objective < evals[b].objective;
+      });
+    } else {
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        if (evals[a].feasible != evals[b].feasible) return evals[a].feasible;
+        return evals[a].objective < evals[b].objective;
+      });
+    }
+
+    generation_stats stats;
+    stats.generation = g;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < population.size(); ++i) {
+      const evaluation& e = evals[i];
+      if (!e.feasible) continue;
+      ++stats.feasible;
+      sum += e.objective;
+      result.archive.push_back(e);
+    }
+    if (stats.feasible > 0) {
+      stats.best_objective = evals[order.front()].objective;
+      stats.mean_objective = sum / static_cast<double>(stats.feasible);
+    }
+    result.history.push_back(stats);
+
+    if (g + 1 == opt.generations) break;
+
+    // --- elite selection + offspring ---------------------------------------
+    const std::size_t n_elite = std::max<std::size_t>(
+        2, static_cast<std::size_t>(opt.elite_fraction * static_cast<double>(opt.population)));
+    std::vector<genome> survivors;
+    survivors.reserve(n_elite + opt.accuracy_elites);
+    for (std::size_t r = 0; r < n_elite && r < order.size(); ++r) {
+      if (!evals[order[r]].feasible) break;  // never breed from violators
+      survivors.push_back(population[order[r]]);
+    }
+    if (opt.accuracy_elites > 0 && !survivors.empty()) {
+      // Also protect the most accurate feasible candidates of the
+      // generation (see ga_options::accuracy_elites).
+      std::vector<std::size_t> by_acc = order;
+      std::sort(by_acc.begin(), by_acc.end(), [&](std::size_t a, std::size_t b) {
+        if (evals[a].feasible != evals[b].feasible) return evals[a].feasible;
+        return evals[a].accuracy_pct > evals[b].accuracy_pct;
+      });
+      for (std::size_t r = 0; r < opt.accuracy_elites && r < by_acc.size(); ++r) {
+        if (!evals[by_acc[r]].feasible) break;
+        survivors.push_back(population[by_acc[r]]);
+      }
+    }
+    if (survivors.empty()) {
+      // No feasible candidate yet: reseed the whole generation.
+      for (auto& p : population) p = space.random(gen);
+      continue;
+    }
+
+    std::vector<genome> next;
+    next.reserve(opt.population);
+    for (const auto& s : survivors) next.push_back(s);
+    while (next.size() < opt.population) {
+      genome child = gen.bernoulli(opt.crossover_prob)
+                         ? crossover(tournament(survivors, gen), tournament(survivors, gen), gen)
+                         : tournament(survivors, gen);
+      mutate(child, space, opt, gen);
+      next.push_back(std::move(child));
+    }
+    population = std::move(next);
+  }
+
+  if (result.archive.empty())
+    throw std::runtime_error("evolve: no feasible configuration found");
+
+  // --- best + Pareto over (latency, energy, -accuracy) ----------------------
+  result.best_index = 0;
+  for (std::size_t i = 1; i < result.archive.size(); ++i)
+    if (result.archive[i].objective < result.archive[result.best_index].objective)
+      result.best_index = i;
+
+  std::vector<std::vector<double>> points;
+  points.reserve(result.archive.size());
+  for (const auto& e : result.archive)
+    points.push_back({e.avg_latency_ms, e.avg_energy_mj, -e.accuracy_pct});
+  result.pareto = pareto_front(points);
+  return result;
+}
+
+}  // namespace mapcq::core

@@ -1,0 +1,75 @@
+#pragma once
+// Evolutionary search engine (paper §V-C, Fig. 5): per generation, evaluate
+// the population in parallel, drop constraint violators, rank the rest by
+// the eq. 16 objective, keep an elite set, and refill via crossover +
+// mutation of tournament-selected parents. Every feasible evaluation is
+// archived; the Pareto set over (avg latency, avg energy, -accuracy) is
+// extracted at the end.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/search_space.h"
+
+namespace mapcq::core {
+
+/// Parent/elite ranking scheme.
+///
+/// The paper ranks candidates by the scalar objective P (eq. 16) and
+/// extracts a Pareto set from all generated populations at the end. Taken
+/// literally, eq. 16 rewards shrinking stage costs far more than it
+/// penalizes accuracy loss, so a pure-P population abandons the
+/// high-accuracy region that the paper's reported Pareto fronts (Fig. 6)
+/// clearly cover. Since §IV explicitly leaves P "generic and tunable", the
+/// default ranking is a hybrid: non-dominated front index over
+/// (avg latency, avg energy, -accuracy) first, eq. 16 within a front.
+/// `objective_only` is the literal paper ranking, kept for the ablation
+/// bench.
+enum class selection_mode { hybrid_nsga, objective_only };
+
+/// GA hyper-parameters. Paper defaults: 200 generations x 60 population
+/// (12k evaluations); benches shrink these via CLI for quick runs.
+struct ga_options {
+  std::size_t generations = 200;
+  std::size_t population = 60;
+  double elite_fraction = 0.25;
+  double crossover_prob = 0.9;
+  double ratio_mutation_prob = 0.20;    ///< per partition group
+  double forward_mutation_prob = 0.15;  ///< per partition group
+  double mapping_swap_prob = 0.30;      ///< per offspring
+  double dvfs_mutation_prob = 0.30;     ///< per compute unit
+  /// Extra elites kept for the highest dynamic accuracy (keeps the
+  /// high-accuracy corner of the Pareto front alive even though eq. 16
+  /// only weakly rewards accuracy).
+  std::size_t accuracy_elites = 2;
+  selection_mode selection = selection_mode::hybrid_nsga;
+  std::uint64_t seed = 1;
+  std::size_t threads = 12;  ///< evaluation workers (paper: 12-GPU cluster)
+};
+
+/// Convergence trace entry.
+struct generation_stats {
+  std::size_t generation = 0;
+  double best_objective = 0.0;
+  double mean_objective = 0.0;
+  std::size_t feasible = 0;
+};
+
+/// Search output.
+struct ga_result {
+  std::vector<evaluation> archive;       ///< all feasible evaluations
+  std::vector<std::size_t> pareto;       ///< archive indices on the Pareto front
+  std::size_t best_index = 0;            ///< archive index of the min-objective entry
+  std::vector<generation_stats> history;
+  std::size_t total_evaluations = 0;
+
+  [[nodiscard]] const evaluation& best() const { return archive.at(best_index); }
+};
+
+/// Runs the GA. Throws std::runtime_error if no feasible configuration is
+/// ever found.
+[[nodiscard]] ga_result evolve(const search_space& space, const evaluator& eval,
+                               const ga_options& opt = {});
+
+}  // namespace mapcq::core

@@ -1,0 +1,34 @@
+#include "core/objective.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace mapcq::core {
+
+double objective_value(const objective_inputs& in) {
+  if (in.exits == nullptr) throw std::invalid_argument("objective_value: null exits");
+  const std::size_t m = in.stage_latency_ms.size();
+  if (m == 0 || in.cumulative_energy_mj.size() != m || in.stage_accuracy_pct.size() != m ||
+      in.exits->correct_counts.size() != m)
+    throw std::invalid_argument("objective_value: span size mismatch");
+  if (in.base_accuracy_pct <= 0.0)
+    throw std::invalid_argument("objective_value: non-positive base accuracy");
+
+  const double acc_sm = in.stage_accuracy_pct.back();
+  if (acc_sm <= 0.0) return std::numeric_limits<double>::infinity();
+
+  const double pop = static_cast<double>(in.exits->population);
+  double t_term = 0.0;
+  double e_term = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const double n_i = static_cast<double>(in.exits->correct_counts[i]) / pop;
+    t_term += in.stage_latency_ms[i] * n_i;
+    e_term += in.cumulative_energy_mj[i] * n_i;
+  }
+  // Degenerate configuration that classifies nothing correctly anywhere.
+  if (t_term <= 0.0 || e_term <= 0.0) return std::numeric_limits<double>::infinity();
+
+  return (in.base_accuracy_pct / acc_sm) * t_term * e_term;
+}
+
+}  // namespace mapcq::core

@@ -1,0 +1,31 @@
+#pragma once
+// The paper's performance objective (eq. 16):
+//
+//   P = (Acc_base / Acc_SM) * (sum_i T_Si * N_i) * (sum_i E_S1:i * N_i)
+//
+// Acc_SM is the accuracy of the dynamic model's LAST stage; N_i counts the
+// validation samples first classified correctly at stage i; T_Si is the
+// stage latency (eq. 9) and E_S1:i the energy of instantiating stages 1..i.
+// Lower is better. Counts are normalized by the population size so the
+// objective's magnitude is population-independent.
+
+#include <span>
+
+#include "data/exit_simulator.h"
+
+namespace mapcq::core {
+
+/// Inputs to the objective.
+struct objective_inputs {
+  double base_accuracy_pct = 0.0;              ///< Acc_base of the pretrained model
+  std::span<const double> stage_latency_ms;    ///< T_Si
+  std::span<const double> cumulative_energy_mj;///< E_S1:i
+  std::span<const double> stage_accuracy_pct;  ///< A_i (last entry = Acc_SM)
+  const data::exit_outcome* exits = nullptr;   ///< provides N_i
+};
+
+/// Evaluates eq. 16; throws std::invalid_argument on inconsistent spans and
+/// returns +inf when the last stage has zero accuracy (broken model).
+[[nodiscard]] double objective_value(const objective_inputs& in);
+
+}  // namespace mapcq::core

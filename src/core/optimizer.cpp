@@ -1,0 +1,64 @@
+#include "core/optimizer.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace mapcq::core {
+
+optimizer::optimizer(const nn::network& net, const soc::platform& plat, optimizer_options opt)
+    : net_(&net), plat_(&plat), opt_(std::move(opt)), space_(net, plat, opt_.ratio_levels) {}
+
+optimize_result optimizer::run() {
+  optimize_result out;
+
+  // --- surrogate training (paper §V-E) -------------------------------------
+  evaluator_options search_eval_opt = opt_.eval;
+  if (opt_.use_surrogate) {
+    const std::vector<const nn::network*> nets = {net_};
+    const surrogate::dataset bench = surrogate::generate_benchmark(nets, *plat_, opt_.bench);
+    const surrogate::dataset_split parts = surrogate::split(bench, 0.8, opt_.bench.seed ^ 0x5eed);
+    predictor_ = std::make_unique<surrogate::hw_predictor>(parts.train, opt_.gbt);
+    out.surrogate_fidelity = predictor_->evaluate(parts.test);
+    search_eval_opt.predictor = predictor_.get();
+  }
+
+  // --- evolutionary search ---------------------------------------------------
+  const evaluator search_eval{*net_, *plat_, search_eval_opt, opt_.ranking_seed};
+  out.search = evolve(space_, search_eval, opt_.ga);
+
+  // --- validate Pareto picks on the analytic model ---------------------------
+  evaluator_options validate_opt = opt_.eval;
+  validate_opt.predictor = nullptr;
+  const evaluator validate_eval{*net_, *plat_, validate_opt, opt_.ranking_seed};
+  out.validated.reserve(out.search.pareto.size());
+  for (const std::size_t idx : out.search.pareto)
+    out.validated.push_back(validate_eval.evaluate(out.search.archive[idx].config));
+  if (out.validated.empty()) throw std::runtime_error("optimizer: empty Pareto set");
+
+  // --- Ours-L / Ours-E selection (Table II) ----------------------------------
+  double best_acc = 0.0;
+  for (const auto& e : out.validated) best_acc = std::max(best_acc, e.accuracy_pct);
+
+  const auto pick = [&](double slack, auto metric) {
+    std::size_t best = out.validated.size();
+    double best_v = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < out.validated.size(); ++i) {
+      const auto& e = out.validated[i];
+      if (e.accuracy_pct < best_acc - slack) continue;
+      const double v = metric(e);
+      if (v < best_v) {
+        best_v = v;
+        best = i;
+      }
+    }
+    // Slack never excludes everything: the max-accuracy entry qualifies.
+    return best;
+  };
+  out.ours_energy_index = pick(opt_.ours_e_accuracy_slack,
+                               [](const evaluation& e) { return e.avg_energy_mj; });
+  out.ours_latency_index = pick(opt_.ours_l_accuracy_slack,
+                                [](const evaluation& e) { return e.avg_latency_ms; });
+  return out;
+}
+
+}  // namespace mapcq::core

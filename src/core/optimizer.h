@@ -1,0 +1,71 @@
+#pragma once
+// Top-level Map-and-Conquer facade (paper Fig. 5): trains the hardware
+// surrogate, runs the evolutionary search under the requested constraints,
+// then validates the Pareto picks on the analytic ("measured") model --
+// mirroring the paper's search-on-predictor / report-on-hardware flow --
+// and finally selects the latency-oriented (Ours-L) and energy-oriented
+// (Ours-E) models reported in Table II.
+
+#include <memory>
+#include <optional>
+
+#include "core/evaluator.h"
+#include "core/evolutionary.h"
+#include "core/search_space.h"
+#include "surrogate/predictor.h"
+
+namespace mapcq::core {
+
+/// End-to-end options.
+struct optimizer_options {
+  ga_options ga;
+  evaluator_options eval;
+  int ratio_levels = 8;  ///< paper §V-A: 8 channel partitioning ratios
+
+  bool use_surrogate = true;  ///< search on the GBT predictor (paper flow)
+  surrogate::benchmark_options bench;
+  surrogate::gbt_params gbt;
+
+  /// Accuracy slack (points below the best Pareto accuracy) tolerated when
+  /// picking the energy-/latency-oriented models.
+  double ours_e_accuracy_slack = 0.75;
+  double ours_l_accuracy_slack = 2.50;
+
+  std::uint64_t ranking_seed = 0xC0FFEE;
+};
+
+/// End-to-end result.
+struct optimize_result {
+  ga_result search;  ///< archive/pareto from the (surrogate) search
+
+  /// Pareto picks re-evaluated on the analytic model ("hardware").
+  std::vector<evaluation> validated;
+  std::size_t ours_latency_index = 0;
+  std::size_t ours_energy_index = 0;
+
+  /// Surrogate held-out fidelity (populated when use_surrogate).
+  std::optional<surrogate::hw_predictor::fidelity> surrogate_fidelity;
+
+  [[nodiscard]] const evaluation& ours_latency() const { return validated.at(ours_latency_index); }
+  [[nodiscard]] const evaluation& ours_energy() const { return validated.at(ours_energy_index); }
+};
+
+/// One search run for one network on one platform.
+class optimizer {
+ public:
+  optimizer(const nn::network& net, const soc::platform& plat, optimizer_options opt = {});
+
+  /// Executes surrogate training (optional), GA search and validation.
+  [[nodiscard]] optimize_result run();
+
+  [[nodiscard]] const search_space& space() const noexcept { return space_; }
+
+ private:
+  const nn::network* net_;
+  const soc::platform* plat_;
+  optimizer_options opt_;
+  search_space space_;
+  std::unique_ptr<surrogate::hw_predictor> predictor_;
+};
+
+}  // namespace mapcq::core

@@ -1,0 +1,31 @@
+#include "core/pareto.h"
+
+#include <stdexcept>
+
+namespace mapcq::core {
+
+bool dominates(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size() || a.empty())
+    throw std::invalid_argument("dominates: size mismatch");
+  bool strictly = false;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    if (a[k] > b[k]) return false;
+    if (a[k] < b[k]) strictly = true;
+  }
+  return strictly;
+}
+
+std::vector<std::size_t> pareto_front(const std::vector<std::vector<double>>& points) {
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+      if (i == j) continue;
+      if (dominates(points[j], points[i])) dominated = true;
+    }
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+}  // namespace mapcq::core

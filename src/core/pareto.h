@@ -1,0 +1,21 @@
+#pragma once
+// Pareto-front extraction over minimization objectives (paper §V-C: "a
+// Pareto set is calculated from all the generated populations from which
+// the ideal dynamic mapping strategy is extracted").
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mapcq::core {
+
+/// Returns true if `a` dominates `b`: a <= b in every component and a < b
+/// in at least one (all objectives minimized).
+[[nodiscard]] bool dominates(std::span<const double> a, std::span<const double> b);
+
+/// Indices of the non-dominated rows of `points` (each row = one candidate's
+/// objective vector; all rows must have equal, nonzero width).
+[[nodiscard]] std::vector<std::size_t> pareto_front(
+    const std::vector<std::vector<double>>& points);
+
+}  // namespace mapcq::core

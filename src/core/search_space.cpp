@@ -1,0 +1,106 @@
+#include "core/search_space.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mapcq::core {
+
+search_space::search_space(const nn::network& net, const soc::platform& plat, int ratio_levels)
+    : plat_(&plat), stages_(plat.size()), ratio_levels_(ratio_levels) {
+  if (ratio_levels < 2) throw std::invalid_argument("search_space: need >= 2 ratio levels");
+  if (plat.size() < 2) throw std::invalid_argument("search_space: need >= 2 compute units");
+  for (const auto& g : nn::make_partition_groups(net)) group_widths_.push_back(g.width);
+}
+
+genome search_space::random(util::rng& gen) const {
+  genome g;
+  g.ratio_levels.assign(groups(), std::vector<int>(stages_, 0));
+  g.forward.assign(groups(), std::vector<bool>(stages_, false));
+  for (std::size_t grp = 0; grp < groups(); ++grp) {
+    for (std::size_t s = 0; s < stages_; ++s) {
+      const int lo = s == 0 ? 1 : 0;  // stage 1 must own a slice
+      g.ratio_levels[grp][s] = static_cast<int>(gen.uniform_int(lo, ratio_levels_ - 1));
+      if (s + 1 < stages_) g.forward[grp][s] = gen.bernoulli(0.5);
+    }
+  }
+  g.mapping.resize(stages_);
+  for (std::size_t i = 0; i < stages_; ++i) g.mapping[i] = i;
+  gen.shuffle(g.mapping);
+  g.dvfs.resize(plat_->size());
+  for (std::size_t u = 0; u < plat_->size(); ++u)
+    g.dvfs[u] = static_cast<std::size_t>(
+        gen.uniform_int(0, static_cast<std::int64_t>(plat_->unit(u).dvfs.levels()) - 1));
+  return g;
+}
+
+genome search_space::static_seed() const {
+  genome g;
+  g.ratio_levels.assign(groups(), std::vector<int>(stages_, 1));
+  g.forward.assign(groups(), std::vector<bool>(stages_, false));
+  for (auto& row : g.forward)
+    for (std::size_t s = 0; s + 1 < stages_; ++s) row[s] = true;
+  g.mapping.resize(stages_);
+  for (std::size_t i = 0; i < stages_; ++i) g.mapping[i] = i;
+  g.dvfs.resize(plat_->size());
+  for (std::size_t u = 0; u < plat_->size(); ++u) g.dvfs[u] = plat_->unit(u).dvfs.max_level();
+  return g;
+}
+
+configuration search_space::decode(const genome& g) const {
+  if (!in_bounds(g)) throw std::invalid_argument("search_space::decode: genome out of bounds");
+  configuration c;
+  c.partition.assign(groups(), std::vector<double>(stages_, 0.0));
+  c.forward.assign(groups(), std::vector<bool>(stages_, false));
+  for (std::size_t grp = 0; grp < groups(); ++grp) {
+    double sum = 0.0;
+    for (std::size_t s = 0; s < stages_; ++s) sum += static_cast<double>(g.ratio_levels[grp][s]);
+    for (std::size_t s = 0; s < stages_; ++s) {
+      c.partition[grp][s] = static_cast<double>(g.ratio_levels[grp][s]) / sum;
+      if (s + 1 < stages_) c.forward[grp][s] = g.forward[grp][s];
+    }
+  }
+  c.mapping = g.mapping;
+  c.dvfs = g.dvfs;
+  return c;
+}
+
+bool search_space::in_bounds(const genome& g) const noexcept {
+  if (g.ratio_levels.size() != groups() || g.forward.size() != groups()) return false;
+  for (std::size_t grp = 0; grp < groups(); ++grp) {
+    if (g.ratio_levels[grp].size() != stages_ || g.forward[grp].size() != stages_) return false;
+    if (g.ratio_levels[grp][0] < 1) return false;
+    for (const int lvl : g.ratio_levels[grp])
+      if (lvl < 0 || lvl >= ratio_levels_) return false;
+  }
+  if (g.mapping.size() != stages_ || g.dvfs.size() != plat_->size()) return false;
+  std::vector<bool> used(plat_->size(), false);
+  for (const std::size_t cu : g.mapping) {
+    if (cu >= plat_->size() || used[cu]) return false;
+    used[cu] = true;
+  }
+  for (std::size_t u = 0; u < g.dvfs.size(); ++u)
+    if (g.dvfs[u] >= plat_->unit(u).dvfs.levels()) return false;
+  return true;
+}
+
+double search_space::log10_per_group() const {
+  return static_cast<double>(stages_) * std::log10(static_cast<double>(ratio_levels_)) +
+         static_cast<double>(stages_ - 1) * std::log10(2.0);
+}
+
+double search_space::log10_total() const {
+  double lg = static_cast<double>(groups()) * log10_per_group();
+  // stage -> CU injections: U! / (U - M)!; here M == U so it's M!.
+  for (std::size_t i = 2; i <= stages_; ++i) lg += std::log10(static_cast<double>(i));
+  lg += std::log10(plat_->dvfs_configurations());
+  return lg;
+}
+
+double search_space::paper_per_layer_estimate(double dvfs_combos) const {
+  double est = std::pow(static_cast<double>(ratio_levels_), static_cast<double>(stages_));
+  for (std::size_t i = 2; i <= stages_; ++i) est *= static_cast<double>(i);
+  return est * dvfs_combos;
+}
+
+}  // namespace mapcq::core

@@ -1,0 +1,74 @@
+#pragma once
+// Search space X of mapping parameters (paper §V-A): per-group discrete
+// width-ratio levels, per-group indicator bits, the stage->CU permutation
+// and per-CU DVFS levels. Also exposes the combinatorial size estimate the
+// paper quotes (O(1.5e5) per Visformer layer = 8^3 * 3! * 50).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/configuration.h"
+#include "nn/partition_groups.h"
+#include "soc/platform.h"
+#include "util/rng.h"
+
+namespace mapcq::core {
+
+/// Discrete genome: integer ratio levels (0..levels-1) that normalize into
+/// the partition fractions of a `configuration`.
+struct genome {
+  std::vector<std::vector<int>> ratio_levels;  ///< [group][stage]
+  std::vector<std::vector<bool>> forward;      ///< [group][stage]
+  std::vector<std::size_t> mapping;            ///< [stage] -> CU
+  std::vector<std::size_t> dvfs;               ///< [unit] -> level
+};
+
+/// Bounds and factories for genomes.
+class search_space {
+ public:
+  /// `ratio_levels` = number of per-stage width choices (paper: 8).
+  search_space(const nn::network& net, const soc::platform& plat, int ratio_levels = 8);
+
+  [[nodiscard]] std::size_t groups() const noexcept { return group_widths_.size(); }
+  [[nodiscard]] std::size_t stages() const noexcept { return stages_; }
+  [[nodiscard]] int ratio_levels() const noexcept { return ratio_levels_; }
+  [[nodiscard]] const soc::platform& plat() const noexcept { return *plat_; }
+  [[nodiscard]] const std::vector<std::int64_t>& group_widths() const noexcept {
+    return group_widths_;
+  }
+
+  /// Uniformly random genome (stage 1 always owns a nonzero level).
+  [[nodiscard]] genome random(util::rng& gen) const;
+
+  /// The static-mapping seed: equal split, every feature forwarded,
+  /// identity mapping, max DVFS. Decodes to the paper's Fig. 1 "static"
+  /// deployment and anchors the high-accuracy corner of the first
+  /// generation.
+  [[nodiscard]] genome static_seed() const;
+
+  /// Normalizes a genome into fractions/flags; clamps out-of-range values.
+  [[nodiscard]] configuration decode(const genome& g) const;
+
+  /// Structural check of a genome against the space bounds.
+  [[nodiscard]] bool in_bounds(const genome& g) const noexcept;
+
+  /// log10 of the per-group configuration count: ratio^M * 2^(M-1).
+  [[nodiscard]] double log10_per_group() const;
+
+  /// log10 of the full space size:
+  /// (ratio^M * 2^(M-1))^G * M-permutations * DVFS combos.
+  [[nodiscard]] double log10_total() const;
+
+  /// The paper's per-layer estimate ignores the indicator bits:
+  /// ratio^M * M! * dvfs_combos (§V-A quotes 8^3 * 3! * 50 ~ 1.5e5 with
+  /// |theta| = 50).
+  [[nodiscard]] double paper_per_layer_estimate(double dvfs_combos) const;
+
+ private:
+  const soc::platform* plat_;
+  std::vector<std::int64_t> group_widths_;
+  std::size_t stages_;
+  int ratio_levels_;
+};
+
+}  // namespace mapcq::core

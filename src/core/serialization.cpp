@@ -1,0 +1,125 @@
+#include "core/serialization.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace mapcq::core {
+
+namespace {
+constexpr const char* format_tag = "mapcq-config-v1";
+}
+
+std::string to_text(const configuration& config) {
+  std::ostringstream os;
+  os << format_tag << "\n";
+  os << "groups " << config.groups() << "\n";
+  os << "stages " << config.stages() << "\n";
+  os << "partition\n";
+  os.precision(17);
+  for (const auto& row : config.partition) {
+    for (std::size_t i = 0; i < row.size(); ++i) os << (i ? " " : "") << row[i];
+    os << "\n";
+  }
+  os << "forward\n";
+  for (const auto& row : config.forward) {
+    for (std::size_t i = 0; i < row.size(); ++i) os << (i ? " " : "") << (row[i] ? 1 : 0);
+    os << "\n";
+  }
+  os << "mapping";
+  for (const std::size_t cu : config.mapping) os << ' ' << cu;
+  os << "\ndvfs";
+  for (const std::size_t level : config.dvfs) os << ' ' << level;
+  os << "\n";
+  return os.str();
+}
+
+configuration configuration_from_text(const std::string& text) {
+  std::istringstream is{text};
+  std::string line;
+
+  const auto next_line = [&](const char* what) {
+    if (!std::getline(is, line))
+      throw std::runtime_error(std::string("configuration_from_text: missing ") + what);
+    return line;
+  };
+
+  if (next_line("header") != format_tag)
+    throw std::runtime_error("configuration_from_text: bad header");
+
+  const auto read_sized = [&](const char* key) {
+    std::istringstream ls{next_line(key)};
+    std::string k;
+    std::size_t v = 0;
+    if (!(ls >> k >> v) || k != key)
+      throw std::runtime_error(std::string("configuration_from_text: expected ") + key);
+    return v;
+  };
+  const std::size_t groups = read_sized("groups");
+  const std::size_t stages = read_sized("stages");
+  if (groups == 0 || stages == 0)
+    throw std::runtime_error("configuration_from_text: empty dimensions");
+
+  configuration c;
+  if (next_line("partition") != "partition")
+    throw std::runtime_error("configuration_from_text: expected partition section");
+  c.partition.assign(groups, std::vector<double>(stages));
+  for (auto& row : c.partition) {
+    std::istringstream ls{next_line("partition row")};
+    for (auto& v : row)
+      if (!(ls >> v)) throw std::runtime_error("configuration_from_text: short partition row");
+  }
+
+  if (next_line("forward") != "forward")
+    throw std::runtime_error("configuration_from_text: expected forward section");
+  c.forward.assign(groups, std::vector<bool>(stages));
+  for (auto& row : c.forward) {
+    std::istringstream ls{next_line("forward row")};
+    for (std::size_t i = 0; i < stages; ++i) {
+      int bit = 0;
+      if (!(ls >> bit) || (bit != 0 && bit != 1))
+        throw std::runtime_error("configuration_from_text: bad forward bit");
+      row[i] = bit == 1;
+    }
+  }
+
+  {
+    std::istringstream ls{next_line("mapping")};
+    std::string k;
+    if (!(ls >> k) || k != "mapping")
+      throw std::runtime_error("configuration_from_text: expected mapping");
+    std::size_t v = 0;
+    while (ls >> v) c.mapping.push_back(v);
+    if (c.mapping.size() != stages)
+      throw std::runtime_error("configuration_from_text: mapping size mismatch");
+  }
+  {
+    std::istringstream ls{next_line("dvfs")};
+    std::string k;
+    if (!(ls >> k) || k != "dvfs")
+      throw std::runtime_error("configuration_from_text: expected dvfs");
+    std::size_t v = 0;
+    while (ls >> v) c.dvfs.push_back(v);
+    if (c.dvfs.empty()) throw std::runtime_error("configuration_from_text: empty dvfs");
+  }
+  return c;
+}
+
+void save_configuration(const std::string& path, const configuration& config) {
+  std::ofstream out{path};
+  if (!out) throw std::runtime_error("save_configuration: cannot open " + path);
+  out << to_text(config);
+  if (!out) throw std::runtime_error("save_configuration: write failed for " + path);
+}
+
+configuration load_configuration(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error("load_configuration: cannot open " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return configuration_from_text(buf.str());
+}
+
+}  // namespace mapcq::core

@@ -1,0 +1,25 @@
+#pragma once
+// Persistence for mapping configurations: a deployment tool wants to search
+// once and ship the winning Pi = (P, I, M, theta) to the runtime. The format
+// is a simple line-oriented text file (key = value, matrix rows as
+// whitespace-separated values) -- trivially diffable and versioned.
+
+#include <iosfwd>
+#include <string>
+
+#include "core/configuration.h"
+
+namespace mapcq::core {
+
+/// Serializes a configuration to the text format.
+[[nodiscard]] std::string to_text(const configuration& config);
+
+/// Parses a configuration back. Throws std::runtime_error on malformed
+/// input (missing sections, ragged matrices, non-numeric fields).
+[[nodiscard]] configuration configuration_from_text(const std::string& text);
+
+/// File convenience wrappers. save throws std::runtime_error on I/O failure.
+void save_configuration(const std::string& path, const configuration& config);
+[[nodiscard]] configuration load_configuration(const std::string& path);
+
+}  // namespace mapcq::core

@@ -1,0 +1,35 @@
+#include "data/accuracy_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mapcq::data {
+
+double stage_accuracy_pct(const accuracy_params& params, double q) {
+  if (params.base_pct < 0.0 || params.base_pct >= 100.0)
+    throw std::invalid_argument("stage_accuracy_pct: base accuracy out of [0,100)");
+  q = std::clamp(q, 0.0, 1.0);
+  if (q == 0.0) return 0.0;
+  const double acc = (params.base_pct + params.bonus_pct * q) * std::pow(q, params.sensitivity);
+  return std::clamp(acc, 0.0, 99.99);
+}
+
+std::vector<double> stage_accuracies_pct(const accuracy_params& params,
+                                         std::span<const double> q_per_stage) {
+  if (params.early_exit_discount < 0.0 || params.early_exit_discount >= 1.0)
+    throw std::invalid_argument("stage_accuracies_pct: discount out of [0,1)");
+  const std::size_t m = q_per_stage.size();
+  std::vector<double> out;
+  out.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double head_strength =
+        m <= 1 ? 1.0
+               : 1.0 - params.early_exit_discount *
+                           (static_cast<double>(m - 1 - i) / static_cast<double>(m - 1));
+    out.push_back(stage_accuracy_pct(params, q_per_stage[i]) * head_strength);
+  }
+  return out;
+}
+
+}  // namespace mapcq::data

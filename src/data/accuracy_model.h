@@ -1,0 +1,49 @@
+#pragma once
+// Closed-form stage-accuracy model (DESIGN.md §2). Replaces the paper's
+// multi-exit fine-tuning runs: a stage that can see an importance-coverage
+// share q of the original channels reaches
+//
+//     A(q) = (base + bonus * q) * q^sensitivity      [percent]
+//
+// * base         -- the pretrained full-width accuracy (paper Table II),
+// * bonus        -- deep-supervision gain of multi-exit training; large for
+//                   redundant CNNs (VGG19 rows in Table II beat the static
+//                   baseline), near zero for ViTs,
+// * sensitivity  -- how steeply accuracy decays when importance is lost
+//                   (reuse constraints cut q; paper reports ~6 % drop at the
+//                   50 % reuse cap for Visformer).
+
+#include <span>
+#include <vector>
+
+#include "nn/graph.h"
+
+namespace mapcq::data {
+
+/// Architecture-level accuracy parameters.
+struct accuracy_params {
+  double base_pct = 0.0;
+  double bonus_pct = 0.0;
+  double sensitivity = 0.15;
+  /// Early exit heads are weaker than the final one (shallow features,
+  /// weak heads -- especially for ViT slices): stage i of M keeps a factor
+  /// 1 - discount * (M-1-i)/(M-1) of its coverage-driven accuracy.
+  double early_exit_discount = 0.15;
+
+  /// Pulls the parameters recorded on the network description.
+  [[nodiscard]] static accuracy_params from(const nn::network& net) {
+    return {net.base_accuracy, net.multi_exit_bonus, net.accuracy_sensitivity,
+            net.early_exit_discount};
+  }
+};
+
+/// Accuracy (percent, in [0, 100)) of a stage whose exit sees importance
+/// share `q` in [0, 1], before the exit-position discount.
+[[nodiscard]] double stage_accuracy_pct(const accuracy_params& params, double q);
+
+/// Applies the model to a vector of per-stage importance shares, including
+/// the early-exit position discount (entry i of M).
+[[nodiscard]] std::vector<double> stage_accuracies_pct(const accuracy_params& params,
+                                                       std::span<const double> q_per_stage);
+
+}  // namespace mapcq::data

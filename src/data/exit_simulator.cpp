@@ -1,0 +1,96 @@
+#include "data/exit_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace mapcq::data {
+
+namespace {
+void check_acc(std::span<const double> acc) {
+  if (acc.empty()) throw std::invalid_argument("exit_simulator: no stages");
+  for (const double a : acc)
+    if (a < 0.0 || a >= 100.0)
+      throw std::invalid_argument("exit_simulator: accuracy out of [0,100)");
+}
+}  // namespace
+
+exit_outcome simulate_ideal(std::span<const double> stage_acc_pct, std::size_t population) {
+  check_acc(stage_acc_pct);
+  if (population == 0) throw std::invalid_argument("simulate_ideal: empty population");
+
+  const std::size_t m = stage_acc_pct.size();
+  exit_outcome out;
+  out.population = population;
+  out.correct_counts.assign(m, 0);
+  out.exit_fractions.assign(m, 0.0);
+
+  // Nested correctness: the running max of stage accuracies gives the
+  // cumulative fraction of samples correctly classified by stage i.
+  double prev_cum = 0.0;
+  double cum = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    cum = std::max(cum, stage_acc_pct[i] / 100.0);
+    const double newly = std::max(0.0, cum - prev_cum);
+    out.correct_counts[i] =
+        static_cast<std::size_t>(std::llround(newly * static_cast<double>(population)));
+    if (i + 1 < m) {
+      out.exit_fractions[i] = newly;  // exit at first correct stage
+    } else {
+      out.exit_fractions[i] = 1.0 - prev_cum;  // remaining samples run everything
+    }
+    prev_cum = cum;
+  }
+  out.dynamic_accuracy_pct = cum * 100.0;
+  return out;
+}
+
+exit_outcome simulate_threshold(std::span<const double> stage_acc_pct, std::size_t population,
+                                const controller_params& params) {
+  check_acc(stage_acc_pct);
+  if (population == 0) throw std::invalid_argument("simulate_threshold: empty population");
+  if (params.confidence_noise < 0.0)
+    throw std::invalid_argument("simulate_threshold: negative noise");
+
+  const std::size_t m = stage_acc_pct.size();
+  exit_outcome out;
+  out.population = population;
+  out.correct_counts.assign(m, 0);
+  out.exit_fractions.assign(m, 0.0);
+
+  util::rng gen{params.seed};
+  std::size_t correct_total = 0;
+
+  for (std::size_t s = 0; s < population; ++s) {
+    // Deterministic difficulty grid; noise only affects the controller.
+    const double d = (static_cast<double>(s) + 0.5) / static_cast<double>(population);
+    bool ever_correct = false;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double a = stage_acc_pct[i] / 100.0;
+      const bool correct = d <= a;
+      const double margin = (a - d) + gen.normal(0.0, params.confidence_noise);
+      const bool last = i + 1 == m;
+      if (margin > params.threshold || last) {
+        out.exit_fractions[i] += 1.0;
+        if (correct) {
+          ++correct_total;
+          if (!ever_correct) ++out.correct_counts[i];
+        }
+        break;
+      }
+      if (correct && !ever_correct) {
+        // The sample was correct here but the controller kept going; it
+        // no longer counts as "first correct" later (paper's N_i).
+        ever_correct = true;
+      }
+    }
+  }
+  for (double& f : out.exit_fractions) f /= static_cast<double>(population);
+  out.dynamic_accuracy_pct = 100.0 * static_cast<double>(correct_total) /
+                             static_cast<double>(population);
+  return out;
+}
+
+}  // namespace mapcq::data

@@ -1,0 +1,49 @@
+#pragma once
+// Early-exit simulation over a synthetic validation population.
+//
+// Difficulty model (DESIGN.md §2): each sample s carries a scalar
+// difficulty d_s; a stage with accuracy A classifies s correctly iff
+// d_s <= A/100. Stage correct-sets are therefore nested, which makes the
+// paper's N_i ("samples correctly classified at S_i given that every prior
+// stage misclassifies them", eq. 16) well defined.
+//
+// Two controllers are provided:
+//  * ideal      -- the paper's assumption (§III-B): the exit stage of each
+//                  sample is known a priori; a sample exits at the first
+//                  stage that classifies it correctly, or runs all stages.
+//  * threshold  -- a realistic confidence controller (extension): the
+//                  decision uses a noisy margin, so samples can exit early
+//                  while wrong or continue while right.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mapcq::data {
+
+/// Outcome of pushing the population through the multi-exit network.
+struct exit_outcome {
+  std::vector<std::size_t> correct_counts;  ///< N_i of paper eq. 16
+  std::vector<double> exit_fractions;       ///< fraction of samples exiting at stage i
+  double dynamic_accuracy_pct = 0.0;        ///< overall top-1 of the dynamic model
+  std::size_t population = 0;
+
+  [[nodiscard]] std::size_t stages() const noexcept { return exit_fractions.size(); }
+};
+
+/// Ideal input mapping (paper's assumption).
+/// `stage_acc_pct` must be non-empty with entries in [0, 100).
+[[nodiscard]] exit_outcome simulate_ideal(std::span<const double> stage_acc_pct,
+                                          std::size_t population = 10000);
+
+/// Confidence-threshold controller.
+struct controller_params {
+  double confidence_noise = 0.05;  ///< stddev of the margin estimate
+  double threshold = 0.0;          ///< exit when (A_i/100 - d) + noise > threshold
+  std::uint64_t seed = 99;
+};
+[[nodiscard]] exit_outcome simulate_threshold(std::span<const double> stage_acc_pct,
+                                              std::size_t population,
+                                              const controller_params& params);
+
+}  // namespace mapcq::data

@@ -1,0 +1,94 @@
+#include "nn/channel_ranking.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace mapcq::nn {
+
+importance_profile::importance_profile(std::int64_t width, double skew, std::uint64_t seed)
+    : width_(width) {
+  if (width <= 0) throw std::invalid_argument("importance_profile: width must be positive");
+  if (skew < 0.0) throw std::invalid_argument("importance_profile: negative skew");
+
+  util::rng gen{seed};
+  std::vector<double> original(static_cast<std::size_t>(width));
+  double total = 0.0;
+  for (auto& s : original) {
+    s = gen.lognormal(0.0, skew);
+    total += s;
+  }
+  for (auto& s : original) s /= total;
+
+  ranked_ = original;
+  std::sort(ranked_.begin(), ranked_.end(), std::greater<>());
+
+  const auto prefix_of = [](const std::vector<double>& v) {
+    std::vector<double> p(v.size() + 1, 0.0);
+    for (std::size_t i = 0; i < v.size(); ++i) p[i + 1] = p[i] + v[i];
+    return p;
+  };
+  prefix_ranked_ = prefix_of(ranked_);
+  prefix_original_ = prefix_of(original);
+}
+
+double importance_profile::prefix_share(const std::vector<double>& prefix,
+                                        double fraction) noexcept {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const double units = fraction * static_cast<double>(prefix.size() - 1);
+  const auto lo = static_cast<std::size_t>(units);
+  const auto hi = std::min(lo + 1, prefix.size() - 1);
+  const double frac = units - static_cast<double>(lo);
+  return prefix[lo] + frac * (prefix[hi] - prefix[lo]);
+}
+
+double importance_profile::coverage_ranked(double fraction) const noexcept {
+  return prefix_share(prefix_ranked_, fraction);
+}
+
+double importance_profile::coverage_unranked(double fraction) const noexcept {
+  return prefix_share(prefix_original_, fraction);
+}
+
+double visible_importance(const importance_profile& prof, std::span<const double> stage_fracs,
+                          const std::vector<bool>& forwarded, std::size_t stage, bool reordered) {
+  if (stage >= stage_fracs.size())
+    throw std::invalid_argument("visible_importance: stage out of range");
+  if (forwarded.size() + 1 < stage_fracs.size())
+    throw std::invalid_argument("visible_importance: forwarded flags too short");
+
+  const auto cov = [&](double f) {
+    return reordered ? prof.coverage_ranked(f) : prof.coverage_unranked(f);
+  };
+
+  double share = 0.0;
+  double cum = 0.0;
+  for (std::size_t k = 0; k <= stage; ++k) {
+    const double lo = cum;
+    cum = std::min(1.0, cum + std::max(0.0, stage_fracs[k]));
+    const bool visible = k == stage || (k < forwarded.size() && forwarded[k]);
+    if (visible) share += cov(cum) - cov(lo);
+  }
+  return std::clamp(share, 0.0, 1.0);
+}
+
+ranked_network::ranked_network(const network& net, const std::vector<std::int64_t>& group_widths,
+                               std::uint64_t seed) {
+  if (group_widths.empty())
+    throw std::invalid_argument("ranked_network: no partition groups supplied");
+  util::rng root{seed};
+  profiles_.reserve(group_widths.size());
+  for (std::size_t g = 0; g < group_widths.size(); ++g) {
+    auto child = root.split(g + 1);
+    profiles_.emplace_back(group_widths[g], net.redundancy, child.next_u64());
+  }
+}
+
+const importance_profile& ranked_network::profile(std::size_t group) const {
+  if (group >= profiles_.size()) throw std::out_of_range("ranked_network::profile");
+  return profiles_[group];
+}
+
+}  // namespace mapcq::nn

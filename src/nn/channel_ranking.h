@@ -1,0 +1,83 @@
+#pragma once
+// Channel importance ranking (paper §V-D).
+//
+// The paper ranks each layer's channels by importance (Taylor-expansion
+// criterion of Molchanov et al. [19]) and assigns the most important
+// channels to the earliest inference stages. Without trained weights we
+// synthesize per-channel importance scores from a seeded log-normal
+// distribution whose spread is the architecture's `redundancy` parameter:
+// redundant networks (VGG19) have a few dominant channels and a long tail,
+// so the top fraction of ranked channels covers most of the total
+// importance -- exactly the concavity the paper's early exits exploit.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/graph.h"
+
+namespace mapcq::nn {
+
+/// Importance scores of one layer's width units.
+class importance_profile {
+ public:
+  /// Builds a profile of `width` synthetic scores ~ LogNormal(0, skew),
+  /// deterministic in (seed, width, skew).
+  importance_profile(std::int64_t width, double skew, std::uint64_t seed);
+
+  /// Share of total importance captured by the first `fraction` of units
+  /// when units are sorted by descending importance (channel reordering ON).
+  /// Concave in `fraction`; coverage(0)=0, coverage(1)=1. Fractional unit
+  /// counts are linearly interpolated.
+  [[nodiscard]] double coverage_ranked(double fraction) const noexcept;
+
+  /// Same share in the original (unranked) channel order -- approximately
+  /// linear. Used by the reordering ablation.
+  [[nodiscard]] double coverage_unranked(double fraction) const noexcept;
+
+  [[nodiscard]] std::int64_t width() const noexcept { return width_; }
+
+  /// Descending scores (normalized to sum 1).
+  [[nodiscard]] const std::vector<double>& ranked_scores() const noexcept { return ranked_; }
+
+ private:
+  static double prefix_share(const std::vector<double>& prefix, double fraction) noexcept;
+
+  std::int64_t width_;
+  std::vector<double> ranked_;          // descending, sum = 1
+  std::vector<double> prefix_ranked_;   // prefix sums of ranked_
+  std::vector<double> prefix_original_; // prefix sums in generation order
+};
+
+/// Importance share of one group visible to `stage` under a partitioning.
+///
+/// Channel reordering places stage 1's slice on the most important units:
+/// stage k owns the ranked interval [cum_{k-1}, cum_k) where cum_k is the
+/// prefix sum of `stage_fracs`. Stage `stage` sees its own slice plus every
+/// predecessor slice whose indicator bit is set (`forwarded[k]`, k < stage).
+/// With reordering disabled the unranked (≈linear) coverage curve is used.
+///
+/// Returns the summed importance share of the visible slices, in [0, 1].
+[[nodiscard]] double visible_importance(const importance_profile& prof,
+                                        std::span<const double> stage_fracs,
+                                        const std::vector<bool>& forwarded, std::size_t stage,
+                                        bool reordered = true);
+
+/// Per-group importance profiles for a whole network. Group g's profile has
+/// that group's width; seeds derive deterministically from a root seed, so
+/// two builds of the same network agree.
+class ranked_network {
+ public:
+  /// Builds profiles for the given group widths using the network's
+  /// redundancy as the skew.
+  ranked_network(const network& net, const std::vector<std::int64_t>& group_widths,
+                 std::uint64_t seed = 0xC0FFEE);
+
+  [[nodiscard]] const importance_profile& profile(std::size_t group) const;
+  [[nodiscard]] std::size_t groups() const noexcept { return profiles_.size(); }
+
+ private:
+  std::vector<importance_profile> profiles_;
+};
+
+}  // namespace mapcq::nn

@@ -1,0 +1,43 @@
+#include "nn/flops.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace mapcq::nn {
+
+std::vector<layer_cost> analyze(const network& net) {
+  std::vector<layer_cost> out;
+  out.reserve(net.layers.size());
+  const double total = net.total_flops();
+  for (const auto& l : net.layers) {
+    layer_cost c;
+    c.name = l.name;
+    c.kind = l.kind;
+    c.flops = l.flops();
+    c.params = l.params();
+    c.activation_bytes = l.output_bytes();
+    c.share = total > 0.0 ? c.flops / total : 0.0;
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string cost_table(const network& net, std::size_t max_rows) {
+  auto costs = analyze(net);
+  if (max_rows != 0 && costs.size() > max_rows) {
+    std::stable_sort(costs.begin(), costs.end(),
+                     [](const layer_cost& a, const layer_cost& b) { return a.flops > b.flops; });
+    costs.resize(max_rows);
+  }
+  util::table t({"layer", "kind", "flops", "params", "act bytes", "share"});
+  for (const auto& c : costs) {
+    t.add_row({c.name, to_string(c.kind), util::human_flops(c.flops),
+               util::format("%.0f", c.params), util::human_bytes(c.activation_bytes),
+               util::format("%.1f%%", 100.0 * c.share)});
+  }
+  return t.str();
+}
+
+}  // namespace mapcq::nn

@@ -1,0 +1,29 @@
+#pragma once
+// FLOPs / parameter / byte breakdown reporting for a network -- used by
+// examples and by the search-space bench to show workload composition.
+
+#include <string>
+#include <vector>
+
+#include "nn/graph.h"
+
+namespace mapcq::nn {
+
+/// Per-layer cost summary.
+struct layer_cost {
+  std::string name;
+  layer_kind kind;
+  double flops = 0.0;
+  double params = 0.0;
+  double activation_bytes = 0.0;  // output fmap bytes
+  double share = 0.0;             // flops share of the whole network
+};
+
+/// Computes the per-layer breakdown (shares sum to ~1).
+[[nodiscard]] std::vector<layer_cost> analyze(const network& net);
+
+/// Renders the breakdown as an ASCII table (top `max_rows` layers by FLOPs,
+/// or all if 0).
+[[nodiscard]] std::string cost_table(const network& net, std::size_t max_rows = 0);
+
+}  // namespace mapcq::nn

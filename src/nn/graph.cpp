@@ -1,0 +1,63 @@
+#include "nn/graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace mapcq::nn {
+
+void network::validate() const {
+  if (layers.empty()) throw std::logic_error("network '" + name + "': no layers");
+  if (classes <= 0) throw std::logic_error("network '" + name + "': classes must be positive");
+  if (layers.front().input != input)
+    throw std::logic_error("network '" + name + "': first layer input mismatch");
+  for (std::size_t j = 1; j < layers.size(); ++j) {
+    if (layers[j].input != layers[j - 1].output())
+      throw std::logic_error(util::format(
+          "network '%s': shape break between '%s' (out %s) and '%s' (in %s)", name.c_str(),
+          layers[j - 1].name.c_str(), layers[j - 1].output().str().c_str(),
+          layers[j].name.c_str(), layers[j].input.str().c_str()));
+  }
+  const layer& last = layers.back();
+  if (last.kind != layer_kind::classifier || last.classes != classes)
+    throw std::logic_error("network '" + name + "': must end in a classifier over `classes`");
+}
+
+double network::total_flops() const noexcept {
+  double s = 0.0;
+  for (const auto& l : layers) s += l.flops();
+  return s;
+}
+
+double network::total_params() const noexcept {
+  double s = 0.0;
+  for (const auto& l : layers) s += l.params();
+  return s;
+}
+
+double network::total_weight_bytes() const noexcept {
+  double s = 0.0;
+  for (const auto& l : layers) s += l.weight_bytes();
+  return s;
+}
+
+double network::peak_activation_bytes() const noexcept {
+  double peak = input.bytes();
+  for (const auto& l : layers) peak = std::max(peak, l.output_bytes());
+  return peak;
+}
+
+std::vector<std::size_t> network::partitionable_layers() const {
+  std::vector<std::size_t> out;
+  for (std::size_t j = 0; j < layers.size(); ++j)
+    if (layers[j].partitionable) out.push_back(j);
+  return out;
+}
+
+std::int64_t network::feature_dim() const {
+  if (layers.empty()) throw std::logic_error("network::feature_dim: empty network");
+  return layers.back().input.channels;
+}
+
+}  // namespace mapcq::nn

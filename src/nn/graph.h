@@ -1,0 +1,57 @@
+#pragma once
+// Sequential network container (paper eq. 1: NN = L_n o ... o L_1) plus
+// architecture-level properties consumed by the synthetic accuracy model.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace mapcq::nn {
+
+/// A static, sequential neural network. Layers are stored in execution
+/// order; layer j+1 consumes layer j's output. `validate()` enforces shape
+/// chaining so builders cannot silently produce inconsistent graphs.
+struct network {
+  std::string name;
+  tensor_shape input;       ///< model input (e.g. 3x32x32 for CIFAR-100)
+  std::int64_t classes = 0; ///< classification classes
+
+  std::vector<layer> layers;
+
+  // --- accuracy-model parameters (see DESIGN.md §2) -----------------------
+  // These replace the trained checkpoints the paper evaluates: they drive
+  // the closed-form stage-accuracy model in data::accuracy_model.
+  double base_accuracy = 0.0;    ///< full-width top-1 accuracy (percent)
+  double redundancy = 1.0;       ///< channel-importance skew; higher = more redundant
+  double multi_exit_bonus = 0.0; ///< max deep-supervision gain (accuracy points)
+  double accuracy_sensitivity = 0.15;  ///< exponent of accuracy vs importance coverage
+  /// Relative accuracy handicap of the earliest exit head vs the final one
+  /// (early heads see shallower features and train weakly; ViT slices
+  /// especially so). Interpolated linearly across stages.
+  double early_exit_discount = 0.15;
+
+  /// Throws std::logic_error if consecutive shapes do not chain or the last
+  /// layer is not a classifier with `classes` outputs.
+  void validate() const;
+
+  /// Total FLOPs / parameters / weight bytes of the full network.
+  [[nodiscard]] double total_flops() const noexcept;
+  [[nodiscard]] double total_params() const noexcept;
+  [[nodiscard]] double total_weight_bytes() const noexcept;
+
+  /// Largest intermediate feature map in bytes (memory high-water mark).
+  [[nodiscard]] double peak_activation_bytes() const noexcept;
+
+  /// Indices of layers whose width can be partitioned across stages.
+  [[nodiscard]] std::vector<std::size_t> partitionable_layers() const;
+
+  /// Number of layers.
+  [[nodiscard]] std::size_t depth() const noexcept { return layers.size(); }
+
+  /// Feature dimension (channels) entering the classifier.
+  [[nodiscard]] std::int64_t feature_dim() const;
+};
+
+}  // namespace mapcq::nn

@@ -1,0 +1,350 @@
+#include "nn/layer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mapcq::nn {
+
+const char* to_string(layer_kind kind) noexcept {
+  switch (kind) {
+    case layer_kind::conv2d: return "conv2d";
+    case layer_kind::depthwise_conv2d: return "dwconv2d";
+    case layer_kind::linear: return "linear";
+    case layer_kind::attention: return "attention";
+    case layer_kind::mlp: return "mlp";
+    case layer_kind::norm: return "norm";
+    case layer_kind::activation: return "activation";
+    case layer_kind::pool: return "pool";
+    case layer_kind::patch_embed: return "patch_embed";
+    case layer_kind::global_pool: return "global_pool";
+    case layer_kind::classifier: return "classifier";
+  }
+  return "unknown";
+}
+
+tensor_shape layer::output() const noexcept {
+  switch (kind) {
+    case layer_kind::conv2d:
+    case layer_kind::depthwise_conv2d: {
+      const std::int64_t h = (input.height + 2 * padding - kernel) / stride + 1;
+      const std::int64_t w = (input.width + 2 * padding - kernel) / stride + 1;
+      return {out_channels, h, w};
+    }
+    case layer_kind::patch_embed: {
+      const std::int64_t h = input.height / kernel;
+      const std::int64_t w = input.width / kernel;
+      return {out_channels, h, w};
+    }
+    case layer_kind::linear:
+      return {out_channels, 1, 1};
+    case layer_kind::attention:
+    case layer_kind::mlp:
+    case layer_kind::norm:
+    case layer_kind::activation:
+      return input;
+    case layer_kind::pool: {
+      const std::int64_t h = input.height / stride;
+      const std::int64_t w = input.width / stride;
+      return {input.channels, h, w};
+    }
+    case layer_kind::global_pool:
+      return {input.channels, 1, 1};
+    case layer_kind::classifier:
+      return {classes, 1, 1};
+  }
+  return input;
+}
+
+std::int64_t layer::width() const noexcept {
+  switch (kind) {
+    case layer_kind::conv2d:
+    case layer_kind::depthwise_conv2d:
+    case layer_kind::patch_embed:
+    case layer_kind::linear:
+      return out_channels;
+    case layer_kind::attention:
+      return heads;
+    case layer_kind::mlp:
+      return mlp_hidden;
+    case layer_kind::norm:
+    case layer_kind::activation:
+    case layer_kind::pool:
+    case layer_kind::global_pool:
+      return input.channels;
+    case layer_kind::classifier:
+      return classes;
+  }
+  return 0;
+}
+
+double layer::flops(double in_frac, double out_frac) const noexcept {
+  in_frac = std::clamp(in_frac, 0.0, 1.0);
+  out_frac = std::clamp(out_frac, 0.0, 1.0);
+  const auto out = output();
+  const double spatial = static_cast<double>(out.height) * static_cast<double>(out.width);
+  switch (kind) {
+    case layer_kind::conv2d:
+    case layer_kind::patch_embed: {
+      const double cin = static_cast<double>(input.channels) * in_frac;
+      const double cout = static_cast<double>(out_channels) * out_frac;
+      return 2.0 * cin * cout * static_cast<double>(kernel) * static_cast<double>(kernel) * spatial;
+    }
+    case layer_kind::depthwise_conv2d: {
+      // Channel i consumes only channel i: cost follows the slice width and
+      // is capped by the available input channels.
+      const double ch = static_cast<double>(out_channels) * std::min(in_frac, out_frac);
+      return 2.0 * ch * static_cast<double>(kernel) * static_cast<double>(kernel) * spatial;
+    }
+    case layer_kind::linear:
+      return 2.0 * static_cast<double>(input.channels) * in_frac *
+             static_cast<double>(out_channels) * out_frac;
+    case layer_kind::attention: {
+      // Q/K/V projections + attention matmuls + output projection for a
+      // subset of heads. D = embed dim, T = tokens (= H*W), dh = head dim.
+      const double d = static_cast<double>(input.channels);
+      const double t = static_cast<double>(input.height) * static_cast<double>(input.width);
+      const double dh = static_cast<double>(head_dim);
+      const double h = static_cast<double>(heads) * out_frac;
+      const double qkv = 3.0 * 2.0 * (d * in_frac) * (h * dh) * t;
+      const double scores = 2.0 * t * t * dh * h;      // Q K^T
+      const double context = 2.0 * t * t * dh * h;     // softmax(.) V
+      const double proj = 2.0 * (h * dh) * d * t;      // concat -> D
+      return qkv + scores + context + proj;
+    }
+    case layer_kind::mlp: {
+      const double d = static_cast<double>(input.channels);
+      const double t = static_cast<double>(input.height) * static_cast<double>(input.width);
+      const double hidden = static_cast<double>(mlp_hidden) * out_frac;
+      return 2.0 * (d * in_frac) * hidden * t + 2.0 * hidden * d * t;
+    }
+    case layer_kind::norm:
+    case layer_kind::activation:
+      // elementwise: ~4 ops per element (norm), 1 (act); keep 4 for both to
+      // stay conservative -- these are latency-negligible either way.
+      return 4.0 * static_cast<double>(input.elements()) * out_frac;
+    case layer_kind::pool:
+      return static_cast<double>(out.elements()) * out_frac *
+             static_cast<double>(kernel) * static_cast<double>(kernel);
+    case layer_kind::global_pool:
+      return static_cast<double>(input.elements()) * out_frac;
+    case layer_kind::classifier:
+      return 2.0 * static_cast<double>(input.channels) * in_frac * static_cast<double>(classes);
+  }
+  return 0.0;
+}
+
+double layer::params(double in_frac, double out_frac) const noexcept {
+  in_frac = std::clamp(in_frac, 0.0, 1.0);
+  out_frac = std::clamp(out_frac, 0.0, 1.0);
+  switch (kind) {
+    case layer_kind::conv2d:
+    case layer_kind::patch_embed:
+      return static_cast<double>(input.channels) * in_frac * static_cast<double>(out_channels) *
+                 out_frac * static_cast<double>(kernel) * static_cast<double>(kernel) +
+             static_cast<double>(out_channels) * out_frac;  // bias
+    case layer_kind::depthwise_conv2d:
+      return static_cast<double>(out_channels) * out_frac *
+                 (static_cast<double>(kernel) * static_cast<double>(kernel) + 1.0);
+    case layer_kind::linear:
+      return (static_cast<double>(input.channels) * in_frac + 1.0) *
+             static_cast<double>(out_channels) * out_frac;
+    case layer_kind::attention: {
+      const double d = static_cast<double>(input.channels);
+      const double dh = static_cast<double>(head_dim);
+      const double h = static_cast<double>(heads) * out_frac;
+      return 3.0 * (d * in_frac) * (h * dh) + (h * dh) * d;  // qkv + out proj
+    }
+    case layer_kind::mlp: {
+      const double d = static_cast<double>(input.channels);
+      const double hidden = static_cast<double>(mlp_hidden) * out_frac;
+      return (d * in_frac + 1.0) * hidden + (hidden + 1.0) * d;
+    }
+    case layer_kind::norm:
+      return 2.0 * static_cast<double>(input.channels) * out_frac;  // scale + shift
+    case layer_kind::activation:
+    case layer_kind::pool:
+    case layer_kind::global_pool:
+      return 0.0;
+    case layer_kind::classifier:
+      return (static_cast<double>(input.channels) * in_frac + 1.0) * static_cast<double>(classes);
+  }
+  return 0.0;
+}
+
+double layer::weight_bytes(double in_frac, double out_frac) const noexcept {
+  return params(in_frac, out_frac) * fp16_bytes;
+}
+
+double layer::input_bytes(double in_frac) const noexcept { return input.bytes(in_frac); }
+
+double layer::output_bytes(double out_frac) const noexcept { return output().bytes(out_frac); }
+
+double layer::arithmetic_intensity(double in_frac, double out_frac) const noexcept {
+  const double moved =
+      input_bytes(in_frac) + output_bytes(out_frac) + weight_bytes(in_frac, out_frac);
+  if (moved <= 0.0) return 0.0;
+  return flops(in_frac, out_frac) / moved;
+}
+
+namespace {
+
+void require_positive(std::int64_t v, const char* what) {
+  if (v <= 0) throw std::invalid_argument(std::string("layer: non-positive ") + what);
+}
+
+void require_shape(const tensor_shape& s) {
+  require_positive(s.channels, "channels");
+  require_positive(s.height, "height");
+  require_positive(s.width, "width");
+}
+
+}  // namespace
+
+layer make_conv2d(std::string name, tensor_shape input, std::int64_t out_channels,
+                  std::int64_t kernel, std::int64_t stride, std::int64_t padding) {
+  require_shape(input);
+  require_positive(out_channels, "out_channels");
+  require_positive(kernel, "kernel");
+  require_positive(stride, "stride");
+  if (padding < 0) throw std::invalid_argument("layer: negative padding");
+  if (input.height + 2 * padding < kernel)
+    throw std::invalid_argument("layer: kernel larger than padded input");
+  layer l;
+  l.name = std::move(name);
+  l.kind = layer_kind::conv2d;
+  l.input = input;
+  l.out_channels = out_channels;
+  l.kernel = kernel;
+  l.stride = stride;
+  l.padding = padding;
+  return l;
+}
+
+layer make_depthwise_conv2d(std::string name, tensor_shape input, std::int64_t kernel,
+                            std::int64_t stride, std::int64_t padding) {
+  require_shape(input);
+  require_positive(kernel, "kernel");
+  require_positive(stride, "stride");
+  if (padding < 0) throw std::invalid_argument("layer: negative padding");
+  if (input.height + 2 * padding < kernel)
+    throw std::invalid_argument("layer: kernel larger than padded input");
+  layer l;
+  l.name = std::move(name);
+  l.kind = layer_kind::depthwise_conv2d;
+  l.input = input;
+  l.out_channels = input.channels;
+  l.kernel = kernel;
+  l.stride = stride;
+  l.padding = padding;
+  return l;
+}
+
+layer make_linear(std::string name, std::int64_t in_features, std::int64_t out_features) {
+  require_positive(in_features, "in_features");
+  require_positive(out_features, "out_features");
+  layer l;
+  l.name = std::move(name);
+  l.kind = layer_kind::linear;
+  l.input = {in_features, 1, 1};
+  l.out_channels = out_features;
+  return l;
+}
+
+layer make_attention(std::string name, tensor_shape input, std::int64_t heads) {
+  require_shape(input);
+  require_positive(heads, "heads");
+  if (input.channels % heads != 0)
+    throw std::invalid_argument("layer: embed_dim must be divisible by heads");
+  layer l;
+  l.name = std::move(name);
+  l.kind = layer_kind::attention;
+  l.input = input;
+  l.heads = heads;
+  l.head_dim = input.channels / heads;
+  return l;
+}
+
+layer make_mlp(std::string name, tensor_shape input, std::int64_t hidden) {
+  require_shape(input);
+  require_positive(hidden, "mlp_hidden");
+  layer l;
+  l.name = std::move(name);
+  l.kind = layer_kind::mlp;
+  l.input = input;
+  l.mlp_hidden = hidden;
+  return l;
+}
+
+layer make_norm(std::string name, tensor_shape input) {
+  require_shape(input);
+  layer l;
+  l.name = std::move(name);
+  l.kind = layer_kind::norm;
+  l.input = input;
+  return l;
+}
+
+layer make_activation(std::string name, tensor_shape input) {
+  require_shape(input);
+  layer l;
+  l.name = std::move(name);
+  l.kind = layer_kind::activation;
+  l.input = input;
+  return l;
+}
+
+layer make_pool(std::string name, tensor_shape input, std::int64_t kernel, std::int64_t stride) {
+  require_shape(input);
+  require_positive(kernel, "kernel");
+  require_positive(stride, "stride");
+  if (input.height < kernel) throw std::invalid_argument("layer: pool kernel larger than input");
+  layer l;
+  l.name = std::move(name);
+  l.kind = layer_kind::pool;
+  l.input = input;
+  l.kernel = kernel;
+  l.stride = stride;
+  return l;
+}
+
+layer make_patch_embed(std::string name, tensor_shape input, std::int64_t out_channels,
+                       std::int64_t patch) {
+  require_shape(input);
+  require_positive(out_channels, "out_channels");
+  require_positive(patch, "patch");
+  if (input.height % patch != 0 || input.width % patch != 0)
+    throw std::invalid_argument("layer: input not divisible by patch size");
+  layer l;
+  l.name = std::move(name);
+  l.kind = layer_kind::patch_embed;
+  l.input = input;
+  l.out_channels = out_channels;
+  l.kernel = patch;
+  l.stride = patch;
+  return l;
+}
+
+layer make_global_pool(std::string name, tensor_shape input) {
+  require_shape(input);
+  layer l;
+  l.name = std::move(name);
+  l.kind = layer_kind::global_pool;
+  l.input = input;
+  l.partitionable = false;
+  return l;
+}
+
+layer make_classifier(std::string name, std::int64_t in_features, std::int64_t classes) {
+  require_positive(in_features, "in_features");
+  require_positive(classes, "classes");
+  layer l;
+  l.name = std::move(name);
+  l.kind = layer_kind::classifier;
+  l.input = {in_features, 1, 1};
+  l.classes = classes;
+  l.partitionable = false;
+  return l;
+}
+
+}  // namespace mapcq::nn

@@ -1,0 +1,113 @@
+#pragma once
+// Typed layer descriptors (paper eq. 1-2). A layer L_j owns a set of width
+// units C^j_1..C^j_W -- output channels for convolutions / linear layers,
+// attention heads for ViT attention blocks. Width partitioning (paper eq. 3)
+// assigns contiguous fractions of those units to inference stages, so every
+// cost quantity here is parameterized by
+//   in_frac  -- fraction of the layer's *input* features visible to a stage
+//   out_frac -- fraction of the layer's *output* width computed by a stage.
+
+#include <cstdint>
+#include <string>
+
+#include "nn/tensor.h"
+
+namespace mapcq::nn {
+
+/// Operator families with distinct cost models and CU affinities.
+enum class layer_kind {
+  conv2d,       ///< dense 2-D convolution
+  depthwise_conv2d,  ///< per-channel convolution (MobileNet-style)
+  linear,       ///< fully-connected / projection
+  attention,    ///< multi-head self-attention (width unit = head)
+  mlp,          ///< transformer MLP block (fused fc-gelu-fc)
+  norm,         ///< layer/batch normalization
+  activation,   ///< ReLU / GELU (standalone)
+  pool,         ///< spatial max/avg pooling
+  patch_embed,  ///< strided-conv patch embedding / downsampling
+  global_pool,  ///< global average pooling before a classifier
+  classifier    ///< final (or exit) linear head to class logits
+};
+
+/// Readable kind name, e.g. "conv2d".
+[[nodiscard]] const char* to_string(layer_kind kind) noexcept;
+
+/// One computational layer of a static network.
+///
+/// Invariants: positive dims for the fields used by its kind; `width()` > 0
+/// for partitionable kinds. Construct through the factory functions below,
+/// which validate and derive output geometry.
+struct layer {
+  std::string name;
+  layer_kind kind = layer_kind::conv2d;
+
+  tensor_shape input;  ///< input feature-map shape (C,H,W); ViT: (D,T,1)
+
+  std::int64_t out_channels = 0;  ///< conv/linear/patch_embed output channels
+  std::int64_t kernel = 1;        ///< conv kernel size (square)
+  std::int64_t stride = 1;        ///< conv/pool stride
+  std::int64_t padding = 0;       ///< conv padding
+
+  std::int64_t heads = 0;      ///< attention heads (width unit for attention)
+  std::int64_t head_dim = 0;   ///< per-head dimension
+  std::int64_t mlp_hidden = 0; ///< hidden width for mlp kind
+
+  std::int64_t classes = 0;  ///< classifier output classes
+
+  /// True if this layer's width can be split across stages. Non-partitionable
+  /// layers (global_pool, classifier) are replicated per stage instead.
+  bool partitionable = true;
+
+  // --- geometry ----------------------------------------------------------
+
+  /// Output feature-map shape for the full (unpartitioned) layer.
+  [[nodiscard]] tensor_shape output() const noexcept;
+
+  /// Number of width units (channels or heads) available for partitioning.
+  [[nodiscard]] std::int64_t width() const noexcept;
+
+  // --- cost model --------------------------------------------------------
+
+  /// Multiply-accumulate-based FLOP count (2 FLOPs per MAC) when `in_frac`
+  /// of the input features are visible and `out_frac` of the width units are
+  /// computed. Fractions in [0,1]; full layer = flops(1,1).
+  [[nodiscard]] double flops(double in_frac = 1.0, double out_frac = 1.0) const noexcept;
+
+  /// Weight parameter count under the same fractional view.
+  [[nodiscard]] double params(double in_frac = 1.0, double out_frac = 1.0) const noexcept;
+
+  /// Weight bytes at deployment precision.
+  [[nodiscard]] double weight_bytes(double in_frac = 1.0, double out_frac = 1.0) const noexcept;
+
+  /// Input / output activation bytes for the fractional view.
+  [[nodiscard]] double input_bytes(double in_frac = 1.0) const noexcept;
+  [[nodiscard]] double output_bytes(double out_frac = 1.0) const noexcept;
+
+  /// Arithmetic intensity (FLOPs per byte moved) of the fractional view;
+  /// used by the roofline latency model.
+  [[nodiscard]] double arithmetic_intensity(double in_frac = 1.0, double out_frac = 1.0) const noexcept;
+};
+
+// --- factories (validate and derive geometry) ----------------------------
+
+[[nodiscard]] layer make_conv2d(std::string name, tensor_shape input, std::int64_t out_channels,
+                                std::int64_t kernel, std::int64_t stride, std::int64_t padding);
+/// Depthwise convolution: one filter per channel (out channels = in channels).
+[[nodiscard]] layer make_depthwise_conv2d(std::string name, tensor_shape input,
+                                          std::int64_t kernel, std::int64_t stride,
+                                          std::int64_t padding);
+[[nodiscard]] layer make_linear(std::string name, std::int64_t in_features, std::int64_t out_features);
+/// Attention over a CHW feature map: embed dim = channels, tokens = H*W.
+[[nodiscard]] layer make_attention(std::string name, tensor_shape input, std::int64_t heads);
+/// Transformer MLP block over a CHW feature map (tokens = H*W).
+[[nodiscard]] layer make_mlp(std::string name, tensor_shape input, std::int64_t hidden);
+[[nodiscard]] layer make_norm(std::string name, tensor_shape input);
+[[nodiscard]] layer make_activation(std::string name, tensor_shape input);
+[[nodiscard]] layer make_pool(std::string name, tensor_shape input, std::int64_t kernel,
+                              std::int64_t stride);
+[[nodiscard]] layer make_patch_embed(std::string name, tensor_shape input, std::int64_t out_channels,
+                                     std::int64_t patch);
+[[nodiscard]] layer make_global_pool(std::string name, tensor_shape input);
+[[nodiscard]] layer make_classifier(std::string name, std::int64_t in_features, std::int64_t classes);
+
+}  // namespace mapcq::nn

@@ -1,0 +1,35 @@
+#pragma once
+// Reference architectures used in the paper's evaluation (§VI-A), adapted to
+// CIFAR-100 input (3x32x32):
+//   * Visformer  -- ViT-based architecture [Chen et al., ICCV'21]
+//   * VGG19      -- CNN-based architecture [Simonyan & Zisserman, ICLR'15]
+// plus a small CNN used by examples and tests.
+//
+// The builders produce shape-validated sequential graphs. Accuracy-model
+// parameters (base accuracy, redundancy, multi-exit bonus) are set from the
+// paper's reported baselines -- see DESIGN.md §2 for the substitution story.
+
+#include "nn/graph.h"
+
+namespace mapcq::nn {
+
+/// Visformer adapted to CIFAR-100: conv stem + conv stage + two attention
+/// stages (width unit: attention heads in transformer stages, channels in
+/// conv stages). ~0.6 GFLOPs.
+[[nodiscard]] network build_visformer(std::int64_t classes = 100);
+
+/// VGG19 with CIFAR-style head (512-512-classes). ~0.8 GFLOPs.
+[[nodiscard]] network build_vgg19(std::int64_t classes = 100);
+
+/// Small 6-conv CNN for quickstart examples and fast tests. ~40 MFLOPs.
+[[nodiscard]] network build_simple_cnn(std::int64_t classes = 10);
+
+/// MobileNet-style network for CIFAR: depthwise-separable blocks.
+/// Exercises the depthwise cost model; ~50 MFLOPs.
+[[nodiscard]] network build_mobilenet_cifar(std::int64_t classes = 100);
+
+/// The 20-layer "plain" (skip-free) network of the ResNet paper, CIFAR
+/// variant -- a deeper sequential CNN for generalization experiments.
+[[nodiscard]] network build_plain20(std::int64_t classes = 100);
+
+}  // namespace mapcq::nn

@@ -1,0 +1,12 @@
+#include "nn/multi_exit.h"
+
+namespace mapcq::nn {
+
+exit_head make_exit_head(const tensor_shape& features, std::int64_t classes) {
+  exit_head head;
+  head.pool = make_global_pool("exit.pool", features);
+  head.fc = make_classifier("exit.fc", features.channels, classes);
+  return head;
+}
+
+}  // namespace mapcq::nn

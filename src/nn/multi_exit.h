@@ -1,0 +1,29 @@
+#pragma once
+// Early-exit heads. After the static->dynamic transformation every stage is
+// "augmented with an exit at its tail (e.g., a classifier layer)" (paper
+// §III-A). An exit head is a global pool + linear classifier over the
+// features the stage can see.
+
+#include <cstdint>
+
+#include "nn/layer.h"
+
+namespace mapcq::nn {
+
+/// Exit head of one inference stage.
+struct exit_head {
+  layer pool;        ///< global average pool over the visible features
+  layer fc;          ///< linear head to class logits
+
+  [[nodiscard]] double flops() const noexcept { return pool.flops() + fc.flops(); }
+  [[nodiscard]] double params() const noexcept { return pool.params() + fc.params(); }
+  [[nodiscard]] double weight_bytes() const noexcept {
+    return pool.weight_bytes() + fc.weight_bytes();
+  }
+};
+
+/// Builds an exit head over `features` (the stage's visible slice of the
+/// final feature map) into `classes` logits. Throws on non-positive dims.
+[[nodiscard]] exit_head make_exit_head(const tensor_shape& features, std::int64_t classes);
+
+}  // namespace mapcq::nn

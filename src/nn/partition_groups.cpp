@@ -1,0 +1,86 @@
+#include "nn/partition_groups.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mapcq::nn {
+
+namespace {
+
+bool is_width_defining(layer_kind kind) noexcept {
+  switch (kind) {
+    case layer_kind::conv2d:
+    case layer_kind::depthwise_conv2d:
+    case layer_kind::patch_embed:
+    case layer_kind::linear:
+    case layer_kind::attention:
+    case layer_kind::mlp:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_elementwise(layer_kind kind) noexcept {
+  switch (kind) {
+    case layer_kind::norm:
+    case layer_kind::activation:
+    case layer_kind::pool:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+double partition_group::output_bytes(const network& net, double fraction) const {
+  if (members.empty()) throw std::logic_error("partition_group: empty group");
+  // The group's visible output is the last member's output (pools shrink the
+  // spatial dims, so use the shape after the full run of members).
+  return net.layers[members.back()].output_bytes(fraction);
+}
+
+std::vector<partition_group> make_partition_groups(const network& net) {
+  std::vector<partition_group> groups;
+  std::vector<std::size_t> prefix;  // elementwise layers before the first lead
+  partition_group pending;
+  bool have_lead = false;
+
+  for (std::size_t j = 0; j < net.layers.size(); ++j) {
+    const layer& l = net.layers[j];
+    if (!l.partitionable) break;  // global_pool / classifier tail
+
+    if (is_width_defining(l.kind)) {
+      if (have_lead) groups.push_back(pending);
+      pending = partition_group{};
+      pending.lead = j;
+      pending.members = {j};
+      pending.width = l.width();
+      if (!have_lead && !prefix.empty()) {
+        // Fold any pre-lead elementwise layers into the first group.
+        pending.members.insert(pending.members.end(), prefix.begin(), prefix.end());
+        prefix.clear();
+      }
+      have_lead = true;
+    } else if (is_elementwise(l.kind)) {
+      if (have_lead) {
+        pending.members.push_back(j);
+      } else {
+        prefix.push_back(j);
+      }
+    } else {
+      throw std::logic_error("make_partition_groups: unexpected layer kind in body");
+    }
+  }
+  if (have_lead) groups.push_back(pending);
+  if (groups.empty()) throw std::logic_error("make_partition_groups: no partitionable groups");
+
+  for (auto& g : groups) {
+    std::sort(g.members.begin(), g.members.end());
+    if (g.width <= 0) throw std::logic_error("make_partition_groups: zero-width group");
+  }
+  return groups;
+}
+
+}  // namespace mapcq::nn

@@ -1,0 +1,36 @@
+#pragma once
+// Partition groups: the unit of the P / I matrices (paper eq. 4).
+//
+// The paper assigns one split ratio per layer. In a real graph, elementwise
+// layers (norm, activation, pool) must inherit the split of the
+// width-defining layer that produced their input -- splitting them
+// independently would be meaningless. A *partition group* is therefore a
+// width-defining layer (conv / patch_embed / linear / attention / mlp)
+// together with the run of dependent elementwise layers that follows it.
+// The search space has one ratio vector and one indicator bit-row per group.
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/graph.h"
+
+namespace mapcq::nn {
+
+/// One unit of width partitioning.
+struct partition_group {
+  std::size_t lead = 0;                ///< index of the width-defining layer
+  std::vector<std::size_t> members;    ///< lead + trailing elementwise layers
+  std::int64_t width = 0;              ///< width units of the lead layer
+
+  /// Feature-map bytes produced by the group (= lead layer's output) for a
+  /// fractional view; this is what crosses CUs when a later stage reuses it.
+  [[nodiscard]] double output_bytes(const network& net, double fraction) const;
+};
+
+/// Splits the network into partition groups. Leading elementwise layers
+/// (before any width-defining layer) join the first group; trailing
+/// non-partitionable layers (global_pool / classifier) are excluded --
+/// they are replicated per stage as exit heads instead.
+[[nodiscard]] std::vector<partition_group> make_partition_groups(const network& net);
+
+}  // namespace mapcq::nn

@@ -1,0 +1,12 @@
+#include "nn/tensor.h"
+
+#include "util/strings.h"
+
+namespace mapcq::nn {
+
+std::string tensor_shape::str() const {
+  return util::format("%ldx%ldx%ld", static_cast<long>(channels), static_cast<long>(height),
+                      static_cast<long>(width));
+}
+
+}  // namespace mapcq::nn

@@ -1,0 +1,34 @@
+#pragma once
+// Tensor shape descriptors. The framework never materializes tensor data;
+// it reasons about shapes, byte volumes and operation counts only.
+
+#include <cstdint>
+#include <string>
+
+namespace mapcq::nn {
+
+/// Bytes per element for the deployed precision. The paper deploys through
+/// TensorRT with fp16 engines on both GPU and DLA.
+inline constexpr double fp16_bytes = 2.0;
+
+/// Feature-map shape in CHW layout (sequence data is modeled as C=embedding
+/// dim, H=tokens, W=1 so one struct serves CNNs and ViTs).
+struct tensor_shape {
+  std::int64_t channels = 0;
+  std::int64_t height = 0;
+  std::int64_t width = 0;
+
+  [[nodiscard]] std::int64_t elements() const noexcept { return channels * height * width; }
+
+  /// Feature-map bytes at deployment precision, optionally for a channel
+  /// fraction (partitioned stage views see only a slice of the channels).
+  [[nodiscard]] double bytes(double channel_fraction = 1.0) const noexcept {
+    return static_cast<double>(elements()) * channel_fraction * fp16_bytes;
+  }
+
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const tensor_shape&, const tensor_shape&) = default;
+};
+
+}  // namespace mapcq::nn

@@ -1,0 +1,72 @@
+#pragma once
+// Baseline-anchored calibration (DESIGN.md §2, §5).
+//
+// The analytic CU model has four free scalars per CU: sustained-efficiency
+// and switching-activity for each operator class (spatial / matmul). The
+// calibrator solves for them so that full-network single-CU runs reproduce
+// the paper's measured baselines (Table II):
+//
+//     Visformer  GPU 15.01 ms / 197.35 mJ     DLA 69.22 ms /  53.71 mJ
+//     VGG19      GPU 25.23 ms / 630.11 mJ     DLA 114.41 ms / 164.89 mJ
+//
+// Latency is monotone-decreasing in each efficiency and energy is
+// monotone-increasing in each activity, so alternating 1-D bisections
+// converge quickly (VGG19 pins the spatial class, Visformer the matmul
+// class). Everything downstream -- DVFS response, partitioned occupancy,
+// concurrency, transfer stalls -- then follows the model's structure.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nn/graph.h"
+#include "perf/single_cu.h"
+#include "soc/platform.h"
+
+namespace mapcq::perf {
+
+/// One measured anchor: the network's full run on one CU at max DVFS.
+struct reference_point {
+  const nn::network* net = nullptr;
+  double latency_ms = 0.0;
+  double energy_mj = 0.0;
+  /// Operator class this anchor should pin (the class dominating its mix).
+  soc::op_class pins = soc::op_class::spatial;
+};
+
+/// Calibration tolerances/limits.
+struct calibration_options {
+  double tolerance = 1e-4;   ///< relative error target on each anchor
+  int max_rounds = 60;       ///< alternating-solve rounds
+  model_options model;       ///< latency/energy model options
+  /// Constant extra power (W) drawn by the rest of the platform during the
+  /// anchor run (gated-idle floor of the other CUs). Board-level anchor
+  /// measurements include it, so the solve must too.
+  double external_idle_w = 0.0;
+};
+
+/// Result of calibrating one CU.
+struct calibration_report {
+  std::string unit;
+  std::vector<double> latency_error;  ///< relative error per anchor after solve
+  std::vector<double> energy_error;
+};
+
+/// Calibrates `cu` in place against the anchors (run at the CU's max DVFS
+/// level). Throws std::invalid_argument on empty/invalid anchors and
+/// std::runtime_error if a target is unreachable within parameter bounds.
+calibration_report calibrate_unit(soc::compute_unit& cu,
+                                  std::span<const reference_point> anchors,
+                                  const calibration_options& opt = {});
+
+/// AGX Xavier calibrated against the paper's four baselines; both DLAs
+/// receive the DLA anchors. Returns the platform plus per-unit reports.
+struct calibrated_platform {
+  soc::platform plat;
+  std::vector<calibration_report> reports;
+};
+[[nodiscard]] calibrated_platform calibrated_xavier(const nn::network& visformer,
+                                                    const nn::network& vgg19,
+                                                    const calibration_options& opt = {});
+
+}  // namespace mapcq::perf

@@ -1,0 +1,84 @@
+#include "perf/characterizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace mapcq::perf {
+
+namespace {
+void check_fractions(std::span<const double> f, std::size_t stages) {
+  if (f.size() != stages)
+    throw std::invalid_argument("dynamic_profile: exit fraction count != stage count");
+  double s = 0.0;
+  for (const double x : f) {
+    if (x < -1e-9) throw std::invalid_argument("dynamic_profile: negative exit fraction");
+    s += x;
+  }
+  if (std::abs(s - 1.0) > 1e-6)
+    throw std::invalid_argument("dynamic_profile: exit fractions must sum to 1");
+}
+}  // namespace
+
+double dynamic_profile::avg_latency_ms(std::span<const double> exit_fractions) const {
+  check_fractions(exit_fractions, stages());
+  double acc = 0.0;
+  for (std::size_t m = 0; m < stages(); ++m) acc += exit_fractions[m] * latency_upto[m];
+  return acc;
+}
+
+double dynamic_profile::avg_energy_mj(std::span<const double> exit_fractions) const {
+  check_fractions(exit_fractions, stages());
+  double acc = 0.0;
+  for (std::size_t m = 0; m < stages(); ++m) acc += exit_fractions[m] * energy_upto[m];
+  return acc;
+}
+
+double dynamic_profile::worst_latency_ms() const {
+  if (latency_upto.empty()) throw std::logic_error("dynamic_profile: empty");
+  return latency_upto.back();
+}
+
+double dynamic_profile::worst_energy_mj() const {
+  if (energy_upto.empty()) throw std::logic_error("dynamic_profile: empty");
+  return energy_upto.back();
+}
+
+dynamic_profile characterize(const execution_result& result) {
+  dynamic_profile p;
+  const std::size_t n = result.stages.size();
+  p.latency_upto.resize(n);
+  p.energy_upto.resize(n);
+  for (std::size_t m = 1; m <= n; ++m) {
+    p.latency_upto[m - 1] = result.latency_ms(m);
+    p.energy_upto[m - 1] = result.energy_mj(m);
+  }
+  return p;
+}
+
+dynamic_profile characterize_system(const execution_result& result, const stage_plan& plan,
+                                    const soc::platform& plat) {
+  dynamic_profile p = characterize(result);
+  const std::size_t n = result.stages.size();
+  if (plan.cu_of_stage.size() != n)
+    throw std::invalid_argument("characterize_system: plan/result stage mismatch");
+
+  for (std::size_t m = 1; m <= n; ++m) {
+    const double window = p.latency_upto[m - 1];
+    double idle_mj = 0.0;
+    std::vector<bool> hosts_active(plat.size(), false);
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::size_t u = plan.cu_of_stage[i];
+      hosts_active[u] = true;
+      // Gated once its stage's work is done.
+      idle_mj += plat.unit(u).idle_power_w() * std::max(0.0, window - result.stages[i].busy_ms);
+    }
+    for (std::size_t u = 0; u < plat.size(); ++u)
+      if (!hosts_active[u]) idle_mj += plat.unit(u).idle_power_w() * window;
+    p.energy_upto[m - 1] += idle_mj;
+  }
+  return p;
+}
+
+}  // namespace mapcq::perf

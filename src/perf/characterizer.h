@@ -1,0 +1,42 @@
+#pragma once
+// Overall characterization (paper eqs. 13-14) and exit-weighted expectations
+// over a validation population: a dynamic inference that terminates at stage
+// M' pays max-latency over stages 1..M' (concurrency) and the summed energy
+// of the instantiated stages.
+
+#include <span>
+#include <vector>
+
+#include "perf/concurrent_executor.h"
+
+namespace mapcq::perf {
+
+/// Aggregated dynamic-inference costs of one mapping configuration.
+struct dynamic_profile {
+  std::vector<double> latency_upto;  ///< [m] = T for exit at stage m (eq. 13)
+  std::vector<double> energy_upto;   ///< [m] = E for exit at stage m (eq. 14)
+
+  [[nodiscard]] std::size_t stages() const noexcept { return latency_upto.size(); }
+
+  /// Expected latency/energy given the fraction of inputs exiting at each
+  /// stage (fractions must sum to ~1 and match the stage count).
+  [[nodiscard]] double avg_latency_ms(std::span<const double> exit_fractions) const;
+  [[nodiscard]] double avg_energy_mj(std::span<const double> exit_fractions) const;
+
+  /// Worst case (all stages instantiated).
+  [[nodiscard]] double worst_latency_ms() const;
+  [[nodiscard]] double worst_energy_mj() const;
+};
+
+/// Folds an execution result into cumulative per-exit costs.
+[[nodiscard]] dynamic_profile characterize(const execution_result& result);
+
+/// Like characterize(), but adds the idle energy the MPSoC burns during the
+/// inference window (what a board-level power measurement sees): a CU whose
+/// stage finished idles at its gated power until the window closes; CUs
+/// whose stages are not instantiated idle for the whole window.
+[[nodiscard]] dynamic_profile characterize_system(const execution_result& result,
+                                                  const stage_plan& plan,
+                                                  const soc::platform& plat);
+
+}  // namespace mapcq::perf

@@ -1,0 +1,166 @@
+#include "perf/concurrent_executor.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "perf/energy_model.h"
+
+namespace mapcq::perf {
+
+double execution_result::latency_ms(std::size_t instantiated) const {
+  if (instantiated == 0 || instantiated > stages.size()) instantiated = stages.size();
+  double t = 0.0;
+  for (std::size_t i = 0; i < instantiated; ++i) t = std::max(t, stages[i].latency_ms);
+  return t;
+}
+
+double execution_result::energy_mj(std::size_t instantiated) const {
+  if (instantiated == 0 || instantiated > stages.size()) instantiated = stages.size();
+  double e = 0.0;
+  for (std::size_t i = 0; i < instantiated; ++i) e += stages[i].energy_mj;
+  return e;
+}
+
+namespace {
+
+/// Number of stages that execute any work at all (idle stages do not
+/// contend for DRAM).
+std::size_t active_stages(const stage_plan& plan) {
+  std::size_t n = 0;
+  for (const auto& stage : plan.steps) {
+    for (const auto& step : stage)
+      if (!step.cost.empty()) {
+        ++n;
+        break;
+      }
+  }
+  return std::max<std::size_t>(n, 1);
+}
+
+}  // namespace
+
+namespace {
+
+/// Shared eq. 8 recurrence; `tau_of` / `energy_of` supply per-step costs.
+template <typename TauFn, typename EnergyFn>
+execution_result run_recurrence(const soc::platform& plat, const stage_plan& plan,
+                                TauFn&& tau_of, EnergyFn&& energy_of) {
+  const std::size_t n_stages = plan.stages();
+  const std::size_t n_groups = plan.groups();
+
+  execution_result res;
+  res.stages.assign(n_stages, {});
+  res.timeline.assign(n_stages, std::vector<step_timing>(n_groups));
+
+  // completion[i][j] = T^j_i. Column j-1 feeds column j, including
+  // cross-stage edges, so iterate groups outermost.
+  std::vector<std::vector<double>> completion(n_stages, std::vector<double>(n_groups, 0.0));
+
+  for (std::size_t j = 0; j < n_groups; ++j) {
+    for (std::size_t i = 0; i < n_stages; ++i) {
+      const stage_step& step = plan.steps[i][j];
+
+      const double own_prev = j == 0 ? 0.0 : completion[i][j - 1];
+      double ready = own_prev;
+      for (const auto& t : step.incoming) {
+        const double src_done = j == 0 ? 0.0 : completion[t.from_stage][j - 1];
+        const double u = plat.xfer.transfer_ms(t.bytes);
+        ready = std::max(ready, src_done + u);
+        res.fmap_traffic_bytes += t.bytes;
+        res.transfer_energy_mj += plat.xfer.transfer_mj(t.bytes);
+      }
+
+      const double tau = tau_of(i, j);
+      completion[i][j] = ready + tau;
+
+      step_timing& tl = res.timeline[i][j];
+      tl.start_ms = ready;
+      tl.end_ms = completion[i][j];
+      tl.busy_ms = tau;
+      tl.wait_ms = std::max(0.0, ready - own_prev);
+
+      res.stages[i].busy_ms += tau;
+      res.stages[i].wait_ms += tl.wait_ms;
+      res.stages[i].energy_mj += energy_of(i, j);
+    }
+  }
+
+  for (std::size_t i = 0; i < n_stages; ++i)
+    res.stages[i].latency_ms = n_groups == 0 ? 0.0 : completion[i][n_groups - 1];
+  return res;
+}
+
+}  // namespace
+
+execution_result simulate(const soc::platform& plat, const stage_plan& plan,
+                          const model_options& opt) {
+  plan.validate(plat.size());
+  const std::size_t concurrency = active_stages(plan);
+
+  const auto cu_and_level = [&](std::size_t i) {
+    const std::size_t cu_idx = plan.cu_of_stage[i];
+    return std::pair<const soc::compute_unit&, std::size_t>(plat.unit(cu_idx),
+                                                            plan.dvfs_level[cu_idx]);
+  };
+  return run_recurrence(
+      plat, plan,
+      [&](std::size_t i, std::size_t j) {
+        const auto [cu, level] = cu_and_level(i);
+        return sublayer_latency_ms(plan.steps[i][j].cost, cu, level, concurrency, opt);
+      },
+      [&](std::size_t i, std::size_t j) {
+        const auto [cu, level] = cu_and_level(i);
+        return sublayer_energy_mj(plan.steps[i][j].cost, cu, level, concurrency, opt);
+      });
+}
+
+execution_result simulate_costed(const soc::platform& plat, const stage_plan& plan,
+                                 const step_costs& costs) {
+  plan.validate(plat.size());
+  if (costs.tau_ms.size() != plan.stages() || costs.energy_mj.size() != plan.stages())
+    throw std::logic_error("simulate_costed: cost grid shape mismatch");
+  for (std::size_t i = 0; i < plan.stages(); ++i)
+    if (costs.tau_ms[i].size() != plan.groups() || costs.energy_mj[i].size() != plan.groups())
+      throw std::logic_error("simulate_costed: cost grid shape mismatch");
+
+  return run_recurrence(
+      plat, plan, [&](std::size_t i, std::size_t j) { return costs.tau_ms[i][j]; },
+      [&](std::size_t i, std::size_t j) { return costs.energy_mj[i][j]; });
+}
+
+execution_result simulate_sequential(const soc::platform& plat, const stage_plan& plan,
+                                     const model_options& opt) {
+  plan.validate(plat.size());
+
+  execution_result res;
+  res.stages.assign(plan.stages(), {});
+  res.timeline.assign(plan.stages(), std::vector<step_timing>(plan.groups()));
+
+  double clock = 0.0;
+  for (std::size_t i = 0; i < plan.stages(); ++i) {
+    const soc::compute_unit& cu = plat.unit(plan.cu_of_stage[i]);
+    const std::size_t level = plan.dvfs_level[plan.cu_of_stage[i]];
+    const double stage_start = clock;
+    for (std::size_t j = 0; j < plan.groups(); ++j) {
+      const stage_step& step = plan.steps[i][j];
+      for (const auto& t : step.incoming) {
+        clock += plat.xfer.transfer_ms(t.bytes);
+        res.fmap_traffic_bytes += t.bytes;
+        res.transfer_energy_mj += plat.xfer.transfer_mj(t.bytes);
+      }
+      // One stage at a time -> no DRAM contention.
+      const double tau = sublayer_latency_ms(step.cost, cu, level, 1, opt);
+      res.timeline[i][j] = {clock, clock + tau, 0.0, tau};
+      clock += tau;
+      res.stages[i].busy_ms += tau;
+      res.stages[i].energy_mj += sublayer_energy_mj(step.cost, cu, level, 1, opt);
+    }
+    // Sequential semantics: a stage's completion time includes every
+    // predecessor stage (they ran first on the wall clock).
+    res.stages[i].latency_ms = clock;
+    res.stages[i].wait_ms = stage_start;
+  }
+  return res;
+}
+
+}  // namespace mapcq::perf

@@ -1,0 +1,19 @@
+#include "perf/energy_model.h"
+
+namespace mapcq::perf {
+
+double sublayer_energy_mj(const sublayer_cost& cost, const soc::compute_unit& cu,
+                          std::size_t level, std::size_t concurrent_stages,
+                          const model_options& opt) {
+  if (cost.empty()) return 0.0;
+  const double tau = sublayer_latency_ms(cost, cu, level, concurrent_stages, opt);
+  return tau * cu.power_w(cost.kind, level);
+}
+
+double energy_for_latency_mj(double latency_ms, nn::layer_kind kind, const soc::compute_unit& cu,
+                             std::size_t level) {
+  if (latency_ms <= 0.0) return 0.0;
+  return latency_ms * cu.power_w(kind, level);
+}
+
+}  // namespace mapcq::perf

@@ -1,0 +1,22 @@
+#pragma once
+// Per-sublayer energy model (paper eq. 11): e^j_i = tau^j_i * P_m, with the
+// CU power from eq. 10 (P = alpha + beta * theta) scaled by the operator
+// class's switching activity.
+
+#include "perf/latency_model.h"
+#include "perf/work.h"
+#include "soc/compute_unit.h"
+
+namespace mapcq::perf {
+
+/// Energy (mJ) of executing `cost` on `cu` at DVFS `level` (ms * W = mJ).
+[[nodiscard]] double sublayer_energy_mj(const sublayer_cost& cost, const soc::compute_unit& cu,
+                                        std::size_t level, std::size_t concurrent_stages = 1,
+                                        const model_options& opt = {});
+
+/// Energy (mJ) for a known latency (used when the latency came from a
+/// surrogate prediction rather than the analytic model).
+[[nodiscard]] double energy_for_latency_mj(double latency_ms, nn::layer_kind kind,
+                                           const soc::compute_unit& cu, std::size_t level);
+
+}  // namespace mapcq::perf

@@ -1,0 +1,24 @@
+#include "perf/single_cu.h"
+
+#include "perf/energy_model.h"
+
+namespace mapcq::perf {
+
+single_cu_result single_cu_run(const nn::network& net, const soc::compute_unit& cu,
+                               std::size_t level, const model_options& opt) {
+  single_cu_result out;
+  for (const auto& l : net.layers) {
+    sublayer_cost cost;
+    cost.kind = l.kind;
+    cost.flops = l.flops();
+    cost.weight_bytes = l.weight_bytes();
+    cost.in_bytes = l.input_bytes();
+    cost.out_bytes = l.output_bytes();
+    cost.width_frac = 1.0;
+    out.latency_ms += sublayer_latency_ms(cost, cu, level, 1, opt);
+    out.energy_mj += sublayer_energy_mj(cost, cu, level, 1, opt);
+  }
+  return out;
+}
+
+}  // namespace mapcq::perf

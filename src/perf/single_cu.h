@@ -1,0 +1,22 @@
+#pragma once
+// Whole-network execution on a single CU (the paper's GPU-only / DLA-only
+// baselines and the reference runs the calibrator anchors against).
+
+#include "nn/graph.h"
+#include "perf/latency_model.h"
+#include "soc/compute_unit.h"
+
+namespace mapcq::perf {
+
+/// Latency/energy of one full, unpartitioned inference.
+struct single_cu_result {
+  double latency_ms = 0.0;
+  double energy_mj = 0.0;
+};
+
+/// Runs every layer of `net` at full width on `cu` at DVFS `level`
+/// (sequential, no partitioning, no early exits).
+[[nodiscard]] single_cu_result single_cu_run(const nn::network& net, const soc::compute_unit& cu,
+                                             std::size_t level, const model_options& opt = {});
+
+}  // namespace mapcq::perf

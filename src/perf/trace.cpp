@@ -1,0 +1,45 @@
+#include "perf/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace mapcq::perf {
+
+std::string render_gantt(const execution_result& result, const stage_plan& plan,
+                         const soc::platform& plat, std::size_t columns) {
+  if (columns < 10) columns = 10;
+  double horizon = 0.0;
+  for (const auto& s : result.stages) horizon = std::max(horizon, s.latency_ms);
+  if (horizon <= 0.0) horizon = 1.0;
+  const double ms_per_col = horizon / static_cast<double>(columns);
+
+  std::ostringstream os;
+  os << util::format("time axis: %zu cols, %.3f ms/col, horizon %.2f ms\n", columns, ms_per_col,
+                     horizon);
+  for (std::size_t i = 0; i < result.timeline.size(); ++i) {
+    std::string bar(columns, ' ');
+    for (const auto& step : result.timeline[i]) {
+      const auto col_of = [&](double t) {
+        return std::min(columns - 1, static_cast<std::size_t>(t / ms_per_col));
+      };
+      if (step.busy_ms <= 0.0 && step.wait_ms <= 0.0) continue;
+      // stall segment
+      for (std::size_t c = col_of(step.start_ms - step.wait_ms); c < col_of(step.start_ms); ++c)
+        if (bar[c] == ' ') bar[c] = '.';
+      // busy segment
+      for (std::size_t c = col_of(step.start_ms); c <= col_of(std::max(step.start_ms,
+                                                                       step.end_ms - 1e-12));
+           ++c)
+        bar[c] = '#';
+    }
+    const auto& cu = plat.unit(plan.cu_of_stage[i]);
+    os << util::format("S%zu %-5s |%s| %7.2f ms (busy %.2f, stall %.2f)\n", i + 1,
+                       cu.name.c_str(), bar.c_str(), result.stages[i].latency_ms,
+                       result.stages[i].busy_ms, result.stages[i].wait_ms);
+  }
+  return os.str();
+}
+
+}  // namespace mapcq::perf

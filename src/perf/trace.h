@@ -1,0 +1,17 @@
+#pragma once
+// ASCII Gantt rendering of an execution result -- visualizes the concurrent
+// schedule with compute vs. stall segments (paper Fig. 3).
+
+#include <string>
+
+#include "perf/concurrent_executor.h"
+
+namespace mapcq::perf {
+
+/// Renders one bar per stage ('#' compute, '.' stall) against a shared time
+/// axis of `columns` characters.
+[[nodiscard]] std::string render_gantt(const execution_result& result,
+                                       const stage_plan& plan, const soc::platform& plat,
+                                       std::size_t columns = 80);
+
+}  // namespace mapcq::perf

@@ -1,0 +1,43 @@
+#include "perf/work.h"
+
+#include <set>
+#include <stdexcept>
+
+namespace mapcq::perf {
+
+double stage_plan::fmap_traffic_bytes() const noexcept {
+  double total = 0.0;
+  for (const auto& stage : steps)
+    for (const auto& step : stage)
+      for (const auto& t : step.incoming) total += t.bytes;
+  return total;
+}
+
+void stage_plan::validate(std::size_t platform_units) const {
+  if (steps.empty()) throw std::logic_error("stage_plan: no stages");
+  const std::size_t n_groups = steps.front().size();
+  if (n_groups == 0) throw std::logic_error("stage_plan: no steps");
+  for (const auto& stage : steps)
+    if (stage.size() != n_groups) throw std::logic_error("stage_plan: ragged step grid");
+
+  if (cu_of_stage.size() != steps.size())
+    throw std::logic_error("stage_plan: cu_of_stage size mismatch");
+  std::set<std::size_t> seen;
+  for (const std::size_t cu : cu_of_stage) {
+    if (cu >= platform_units) throw std::logic_error("stage_plan: CU index out of range");
+    if (!seen.insert(cu).second)
+      throw std::logic_error("stage_plan: two stages mapped to one CU (violates eq. 7)");
+  }
+  if (dvfs_level.size() != platform_units)
+    throw std::logic_error("stage_plan: dvfs_level must cover every platform unit");
+
+  for (std::size_t i = 0; i < steps.size(); ++i)
+    for (const auto& step : steps[i])
+      for (const auto& t : step.incoming) {
+        if (t.from_stage >= i)
+          throw std::logic_error("stage_plan: transfer from a non-earlier stage");
+        if (t.bytes < 0.0) throw std::logic_error("stage_plan: negative transfer");
+      }
+}
+
+}  // namespace mapcq::perf

@@ -1,0 +1,71 @@
+#pragma once
+// Neutral work descriptors exchanged between the dynamic-NN transform
+// (core) and the performance models (perf). A stage plan is the fully
+// resolved execution schedule of one partitioned network on one platform:
+// per stage and per partition group, the sublayer's compute/byte volumes
+// and the inter-stage feature transfers mandated by the I matrix.
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace mapcq::perf {
+
+/// Cost view of one sublayer l^j_i (paper eq. 3): the slice of partition
+/// group j executed by stage i.
+struct sublayer_cost {
+  nn::layer_kind kind = nn::layer_kind::conv2d;
+  double flops = 0.0;         ///< arithmetic work of the slice
+  double weight_bytes = 0.0;  ///< parameters the slice must stream
+  double in_bytes = 0.0;      ///< locally available input activations
+  double out_bytes = 0.0;     ///< produced activations
+  double width_frac = 0.0;    ///< slice width / full layer width (occupancy)
+
+  /// True when the stage holds no units of this group.
+  [[nodiscard]] bool empty() const noexcept { return width_frac <= 0.0 && flops <= 0.0; }
+
+  [[nodiscard]] double moved_bytes() const noexcept {
+    return weight_bytes + in_bytes + out_bytes;
+  }
+};
+
+/// One incoming feature-map transfer (the u_{k->i} term of eq. 8).
+struct transfer_in {
+  std::size_t from_stage = 0;  ///< producer stage index (< consumer's)
+  double bytes = 0.0;          ///< forwarded fmap bytes (F^{j-1}_k . I^{j-1}_k)
+};
+
+/// One (stage, group) cell of the schedule.
+struct stage_step {
+  sublayer_cost cost;
+  std::vector<transfer_in> incoming;  ///< deps on earlier stages' group j-1 output
+};
+
+/// Fully resolved schedule of a partitioned network.
+struct stage_plan {
+  /// steps[i][j]: stage i's work at partition group j. All stages have the
+  /// same number of steps (possibly empty ones). The final step of each
+  /// stage is its exit head.
+  std::vector<std::vector<stage_step>> steps;
+
+  /// cu_of_stage[i]: platform unit index executing stage i (paper eq. 7,
+  /// all distinct).
+  std::vector<std::size_t> cu_of_stage;
+
+  /// dvfs_level[u]: DVFS level of platform unit u.
+  std::vector<std::size_t> dvfs_level;
+
+  [[nodiscard]] std::size_t stages() const noexcept { return steps.size(); }
+  [[nodiscard]] std::size_t groups() const noexcept {
+    return steps.empty() ? 0 : steps.front().size();
+  }
+
+  /// Total inter-stage feature traffic in bytes.
+  [[nodiscard]] double fmap_traffic_bytes() const noexcept;
+
+  /// Throws std::logic_error on ragged steps, duplicate CUs or bad indices.
+  void validate(std::size_t platform_units) const;
+};
+
+}  // namespace mapcq::perf

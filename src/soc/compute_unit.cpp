@@ -1,0 +1,71 @@
+#include "soc/compute_unit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mapcq::soc {
+
+const char* to_string(cu_kind kind) noexcept {
+  switch (kind) {
+    case cu_kind::gpu: return "GPU";
+    case cu_kind::dla: return "DLA";
+    case cu_kind::cpu: return "CPU";
+  }
+  return "?";
+}
+
+op_class classify(nn::layer_kind kind) noexcept {
+  switch (kind) {
+    case nn::layer_kind::conv2d:
+    case nn::layer_kind::depthwise_conv2d:
+    case nn::layer_kind::patch_embed:
+    case nn::layer_kind::pool:
+    case nn::layer_kind::norm:
+    case nn::layer_kind::activation:
+    case nn::layer_kind::global_pool:
+      return op_class::spatial;
+    case nn::layer_kind::attention:
+    case nn::layer_kind::mlp:
+    case nn::layer_kind::linear:
+    case nn::layer_kind::classifier:
+      return op_class::matmul;
+  }
+  return op_class::spatial;
+}
+
+double compute_unit::occupancy(double width_frac) const noexcept {
+  width_frac = std::clamp(width_frac, 0.0, 1.0);
+  if (width_frac == 0.0) return 0.0;
+  return occupancy_floor + (1.0 - occupancy_floor) * std::pow(width_frac, occupancy_exponent);
+}
+
+double compute_unit::sustained_gflops(nn::layer_kind kind, double width_frac,
+                                      std::size_t level) const {
+  const double eff = efficiency(classify(kind));
+  return peak_gflops * eff * occupancy(width_frac) * theta(level);
+}
+
+double compute_unit::power_w(nn::layer_kind kind, std::size_t level) const {
+  return static_power_w + dynamic_power_w * activity(classify(kind)) * theta(level);
+}
+
+void compute_unit::validate() const {
+  if (name.empty()) throw std::logic_error("compute_unit: empty name");
+  if (peak_gflops <= 0.0) throw std::logic_error("compute_unit: peak_gflops must be positive");
+  if (mem_bandwidth_gbps <= 0.0)
+    throw std::logic_error("compute_unit: mem_bandwidth_gbps must be positive");
+  if (launch_overhead_ms < 0.0) throw std::logic_error("compute_unit: negative launch overhead");
+  for (const double e : {efficiency_spatial, efficiency_matmul})
+    if (e <= 0.0 || e > 1.0) throw std::logic_error("compute_unit: efficiency out of (0,1]");
+  if (occupancy_floor < 0.0 || occupancy_floor > 1.0)
+    throw std::logic_error("compute_unit: occupancy_floor out of [0,1]");
+  if (occupancy_exponent <= 0.0) throw std::logic_error("compute_unit: bad occupancy exponent");
+  if (static_power_w < 0.0 || dynamic_power_w < 0.0 || gated_idle_w < 0.0)
+    throw std::logic_error("compute_unit: negative power");
+  for (const double a : {activity_spatial, activity_matmul})
+    if (a < 0.0 || a > 1.0) throw std::logic_error("compute_unit: activity out of [0,1]");
+  if (dvfs.levels() == 0) throw std::logic_error("compute_unit: empty DVFS table");
+}
+
+}  // namespace mapcq::soc

@@ -1,0 +1,104 @@
+#pragma once
+// Compute-unit (CU) model. The paper's MPSoC (Jetson AGX Xavier) exposes a
+// GPU, two DLAs and a CPU cluster that share one DRAM. Each CU here carries
+// a throughput model (peak rate derated by operator family, occupancy and
+// DVFS) and the linear power model of paper eq. 10:  P = alpha + beta * theta.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+#include "soc/dvfs.h"
+
+namespace mapcq::soc {
+
+/// CU families with different throughput/power trade-offs.
+enum class cu_kind { gpu, dla, cpu };
+
+[[nodiscard]] const char* to_string(cu_kind kind) noexcept;
+
+/// Operator families with distinct efficiency/activity on a CU. Spatial ops
+/// (convolutions, pools, elementwise) behave differently from matmul-style
+/// ops (attention, MLP, linear) -- e.g. the DLA has no native attention
+/// support, which surfaces as a low matmul efficiency after calibration.
+enum class op_class { spatial, matmul };
+
+/// Maps a layer kind onto its operator class.
+[[nodiscard]] op_class classify(nn::layer_kind kind) noexcept;
+
+/// One processing unit of the MPSoC.
+struct compute_unit {
+  std::string name;
+  cu_kind kind = cu_kind::gpu;
+
+  // --- throughput model ---------------------------------------------------
+  double peak_gflops = 0.0;        ///< fp16 peak at max DVFS level
+  double mem_bandwidth_gbps = 0.0; ///< achievable streaming bandwidth
+  double launch_overhead_ms = 0.0; ///< fixed per-layer dispatch cost
+
+  /// Fraction of peak sustained per operator class (calibrated; see
+  /// perf::calibration). Tiny CIFAR layers run far below datasheet peak.
+  double efficiency_spatial = 0.05;
+  double efficiency_matmul = 0.05;
+
+  /// Occupancy model: a sublayer holding `width_frac` of a layer's width
+  /// sustains efficiency * (floor + (1-floor) * width_frac^exponent).
+  /// Wide CUs (GPU) waste capacity on narrow slices -> low floor.
+  double occupancy_floor = 0.5;
+  double occupancy_exponent = 1.0;
+
+  // --- power model (paper eq. 10) ------------------------------------------
+  double static_power_w = 0.0;  ///< alpha
+  double dynamic_power_w = 0.0; ///< beta: dynamic power at theta = 1, activity = 1
+  /// Power drawn while clock/power-gated (no work mapped or waiting);
+  /// contributes the platform floor seen by board-level measurements.
+  double gated_idle_w = 0.1;
+
+  /// Switching-activity factor per operator class (calibrated): fraction of
+  /// beta actually drawn while running that class of operator.
+  double activity_spatial = 0.8;
+  double activity_matmul = 0.5;
+
+  dvfs_table dvfs;  ///< supported frequency levels
+
+  // --- queries -------------------------------------------------------------
+
+  /// DVFS scaling factor theta = f(level)/f(max), in (0, 1].
+  [[nodiscard]] double theta(std::size_t level) const { return dvfs.scale(level); }
+
+  /// Sustained GFLOPS for an operator of `kind` occupying `width_frac` of a
+  /// layer's width at DVFS `level`.
+  [[nodiscard]] double sustained_gflops(nn::layer_kind kind, double width_frac,
+                                        std::size_t level) const;
+
+  /// Occupancy derate for a fractional-width sublayer.
+  [[nodiscard]] double occupancy(double width_frac) const noexcept;
+
+  /// Power draw (W) while running an operator of `kind` at DVFS `level`
+  /// (eq. 10 with the class activity folded into beta).
+  [[nodiscard]] double power_w(nn::layer_kind kind, std::size_t level) const;
+
+  /// Power draw while gated/idle (level-independent; gated engines drop to
+  /// their rail floor).
+  [[nodiscard]] double idle_power_w() const noexcept { return gated_idle_w; }
+
+  /// Efficiency / activity accessors by class (used by the calibrator).
+  [[nodiscard]] double efficiency(op_class c) const noexcept {
+    return c == op_class::spatial ? efficiency_spatial : efficiency_matmul;
+  }
+  void set_efficiency(op_class c, double v) noexcept {
+    (c == op_class::spatial ? efficiency_spatial : efficiency_matmul) = v;
+  }
+  [[nodiscard]] double activity(op_class c) const noexcept {
+    return c == op_class::spatial ? activity_spatial : activity_matmul;
+  }
+  void set_activity(op_class c, double v) noexcept {
+    (c == op_class::spatial ? activity_spatial : activity_matmul) = v;
+  }
+
+  /// Throws std::logic_error on inconsistent parameters.
+  void validate() const;
+};
+
+}  // namespace mapcq::soc

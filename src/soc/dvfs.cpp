@@ -1,0 +1,59 @@
+#include "soc/dvfs.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mapcq::soc {
+
+dvfs_table::dvfs_table(std::vector<double> freqs_mhz) : freqs_mhz_(std::move(freqs_mhz)) {
+  if (freqs_mhz_.empty()) throw std::invalid_argument("dvfs_table: empty frequency list");
+  double prev = 0.0;
+  for (const double f : freqs_mhz_) {
+    if (f <= prev) throw std::invalid_argument("dvfs_table: frequencies must ascend");
+    prev = f;
+  }
+}
+
+double dvfs_table::frequency_mhz(std::size_t level) const {
+  if (level >= freqs_mhz_.size()) throw std::out_of_range("dvfs_table: bad level");
+  return freqs_mhz_[level];
+}
+
+std::size_t dvfs_table::max_level() const {
+  if (freqs_mhz_.empty()) throw std::logic_error("dvfs_table: empty table");
+  return freqs_mhz_.size() - 1;
+}
+
+double dvfs_table::scale(std::size_t level) const {
+  return frequency_mhz(level) / freqs_mhz_.back();
+}
+
+std::size_t dvfs_table::nearest_level(double mhz) const {
+  if (freqs_mhz_.empty()) throw std::logic_error("dvfs_table: empty table");
+  std::size_t best = 0;
+  double best_d = std::abs(freqs_mhz_[0] - mhz);
+  for (std::size_t i = 1; i < freqs_mhz_.size(); ++i) {
+    const double d = std::abs(freqs_mhz_[i] - mhz);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+dvfs_table xavier_gpu_dvfs() {
+  return dvfs_table{{114.75, 216.75, 318.75, 420.75, 522.75, 624.75, 675.0, 828.75, 905.25,
+                     1032.75, 1198.5, 1236.75, 1338.75, 1377.0}};
+}
+
+dvfs_table xavier_dla_dvfs() {
+  return dvfs_table{{115.2, 192.0, 307.2, 460.8, 499.2, 550.4, 614.4, 691.2, 748.8, 806.4, 896.0,
+                     1100.8, 1305.6}};
+}
+
+dvfs_table xavier_cpu_dvfs() {
+  return dvfs_table{{1190.4, 1344.0, 1497.6, 1651.2, 1804.8, 1958.4, 2112.0, 2265.6}};
+}
+
+}  // namespace mapcq::soc

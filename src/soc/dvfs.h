@@ -1,0 +1,43 @@
+#pragma once
+// DVFS frequency tables. The paper co-optimizes a per-CU DVFS setting
+// (the theta parameter of eq. 10) alongside partitioning and mapping.
+
+#include <cstddef>
+#include <vector>
+
+namespace mapcq::soc {
+
+/// An ordered (ascending) table of supported clock frequencies for one CU.
+class dvfs_table {
+ public:
+  dvfs_table() = default;
+
+  /// Frequencies in MHz, strictly ascending and positive.
+  explicit dvfs_table(std::vector<double> freqs_mhz);
+
+  [[nodiscard]] std::size_t levels() const noexcept { return freqs_mhz_.size(); }
+
+  /// Frequency (MHz) of a level; throws std::out_of_range on a bad level.
+  [[nodiscard]] double frequency_mhz(std::size_t level) const;
+
+  /// Index of the highest level.
+  [[nodiscard]] std::size_t max_level() const;
+
+  /// Scaling factor theta = f(level) / f(max) in (0, 1].
+  [[nodiscard]] double scale(std::size_t level) const;
+
+  /// Level whose frequency is closest to `mhz`.
+  [[nodiscard]] std::size_t nearest_level(double mhz) const;
+
+  [[nodiscard]] const std::vector<double>& frequencies() const noexcept { return freqs_mhz_; }
+
+ private:
+  std::vector<double> freqs_mhz_;
+};
+
+/// Real Jetson AGX Xavier frequency tables (MHz).
+[[nodiscard]] dvfs_table xavier_gpu_dvfs();
+[[nodiscard]] dvfs_table xavier_dla_dvfs();
+[[nodiscard]] dvfs_table xavier_cpu_dvfs();
+
+}  // namespace mapcq::soc

@@ -1,0 +1,31 @@
+#pragma once
+// Inter-CU data movement model. All CUs of the MPSoC share one DRAM
+// (paper Fig. 4): a feature map crossing stages is written by the producer
+// CU and read by the consumer CU, so a transfer costs a fixed
+// synchronization latency plus bytes / effective bandwidth. This is the
+// u_{k->i} term of the latency recurrence (paper eq. 8).
+
+namespace mapcq::soc {
+
+/// Shared-memory interconnect between CUs.
+struct interconnect {
+  double bandwidth_gbps = 20.0;    ///< effective producer->consumer bandwidth
+  double base_latency_ms = 0.06;   ///< per-transfer sync/flush overhead
+  double energy_pj_per_byte = 25.0;///< DRAM round-trip energy (optional term)
+
+  /// Transfer latency u (ms) for `bytes` of feature-map data between two
+  /// different CUs. Zero-byte transfers still pay the sync latency.
+  [[nodiscard]] double transfer_ms(double bytes) const noexcept {
+    if (bytes < 0.0) bytes = 0.0;
+    return base_latency_ms + bytes / (bandwidth_gbps * 1e6);  // GB/s = 1e6 B/ms
+  }
+
+  /// DRAM energy (mJ) for moving `bytes` (not counted in the paper's eq. 11;
+  /// exposed for the extended energy accounting option).
+  [[nodiscard]] double transfer_mj(double bytes) const noexcept {
+    if (bytes < 0.0) bytes = 0.0;
+    return bytes * energy_pj_per_byte * 1e-9;  // pJ -> mJ
+  }
+};
+
+}  // namespace mapcq::soc

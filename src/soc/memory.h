@@ -1,0 +1,46 @@
+#pragma once
+// Shared-memory budget (paper Fig. 4 and the size_Pi(F, I) < M constraint of
+// eq. 15): intermediate features forwarded to later stages must be kept
+// resident in shared DRAM for the duration of an inference.
+
+#include <stdexcept>
+
+namespace mapcq::soc {
+
+/// Tracks the bytes of feature maps parked in shared memory for reuse.
+class shared_memory {
+ public:
+  /// `capacity_bytes` is the budget reserved for inter-stage features.
+  explicit shared_memory(double capacity_bytes) : capacity_(capacity_bytes) {
+    if (capacity_bytes <= 0.0) throw std::invalid_argument("shared_memory: capacity must be > 0");
+  }
+
+  [[nodiscard]] double capacity_bytes() const noexcept { return capacity_; }
+  [[nodiscard]] double used_bytes() const noexcept { return used_; }
+  [[nodiscard]] double free_bytes() const noexcept { return capacity_ - used_; }
+
+  /// True if `bytes` more would still fit.
+  [[nodiscard]] bool fits(double bytes) const noexcept { return used_ + bytes <= capacity_; }
+
+  /// Reserves `bytes`; throws std::runtime_error when over budget.
+  void reserve(double bytes) {
+    if (bytes < 0.0) throw std::invalid_argument("shared_memory: negative reservation");
+    if (!fits(bytes)) throw std::runtime_error("shared_memory: over budget");
+    used_ += bytes;
+  }
+
+  /// Releases `bytes` (clamped at zero).
+  void release(double bytes) noexcept {
+    used_ -= bytes;
+    if (used_ < 0.0) used_ = 0.0;
+  }
+
+  /// Drops all reservations (end of an inference).
+  void reset() noexcept { used_ = 0.0; }
+
+ private:
+  double capacity_;
+  double used_ = 0.0;
+};
+
+}  // namespace mapcq::soc

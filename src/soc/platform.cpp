@@ -1,0 +1,115 @@
+#include "soc/platform.h"
+
+#include <stdexcept>
+
+#include "soc/dvfs.h"
+
+namespace mapcq::soc {
+
+std::size_t platform::first_of(cu_kind kind) const {
+  for (std::size_t i = 0; i < units.size(); ++i)
+    if (units[i].kind == kind) return i;
+  throw std::out_of_range("platform::first_of: no unit of requested kind");
+}
+
+double platform::dvfs_configurations() const noexcept {
+  double n = 1.0;
+  for (const auto& u : units) n *= static_cast<double>(u.dvfs.levels());
+  return n;
+}
+
+void platform::validate() const {
+  if (name.empty()) throw std::logic_error("platform: empty name");
+  if (units.empty()) throw std::logic_error("platform: no compute units");
+  if (shared_memory_bytes <= 0.0) throw std::logic_error("platform: no shared memory budget");
+  for (const auto& u : units) u.validate();
+}
+
+namespace {
+
+compute_unit make_xavier_gpu() {
+  compute_unit u;
+  u.name = "GPU";
+  u.kind = cu_kind::gpu;
+  // 512-core Volta, fp16: ~11 TFLOPS datasheet peak. Tiny CIFAR-scale
+  // kernels sustain a small fraction of it (calibrated).
+  u.peak_gflops = 11000.0;
+  u.mem_bandwidth_gbps = 100.0;
+  u.launch_overhead_ms = 0.012;
+  u.efficiency_spatial = 0.012;
+  u.efficiency_matmul = 0.018;
+  u.occupancy_floor = 0.35;   // wide SIMT engine: narrow slices waste lanes
+  u.occupancy_exponent = 0.8;
+  u.static_power_w = 1.6;
+  u.dynamic_power_w = 30.0;
+  u.gated_idle_w = 0.12;
+  u.activity_spatial = 0.78;
+  u.activity_matmul = 0.42;
+  u.dvfs = xavier_gpu_dvfs();
+  return u;
+}
+
+compute_unit make_xavier_dla(const std::string& name) {
+  compute_unit u;
+  u.name = name;
+  u.kind = cu_kind::dla;
+  // NVDLA v1: ~2.8 TFLOPS fp16 per engine; excellent perf/W, weak at
+  // non-convolutional ops (attention falls back / tiles poorly).
+  u.peak_gflops = 2800.0;
+  u.mem_bandwidth_gbps = 25.0;
+  u.launch_overhead_ms = 0.05;
+  u.efficiency_spatial = 0.010;
+  u.efficiency_matmul = 0.004;
+  u.occupancy_floor = 0.70;   // narrow fixed-function engine saturates early
+  u.occupancy_exponent = 1.0;
+  u.static_power_w = 0.22;
+  u.dynamic_power_w = 1.60;
+  u.gated_idle_w = 0.03;
+  u.activity_spatial = 0.75;
+  u.activity_matmul = 0.55;
+  u.dvfs = xavier_dla_dvfs();
+  return u;
+}
+
+compute_unit make_xavier_cpu() {
+  compute_unit u;
+  u.name = "CPU";
+  u.kind = cu_kind::cpu;
+  // 8-core Carmel; NEON fp16 ~ 100 GFLOPS practical ceiling.
+  u.peak_gflops = 100.0;
+  u.mem_bandwidth_gbps = 40.0;
+  u.launch_overhead_ms = 0.002;
+  u.efficiency_spatial = 0.30;
+  u.efficiency_matmul = 0.35;
+  u.occupancy_floor = 0.60;
+  u.occupancy_exponent = 1.0;
+  u.static_power_w = 1.0;
+  u.dynamic_power_w = 14.0;
+  u.gated_idle_w = 0.30;
+  u.activity_spatial = 0.70;
+  u.activity_matmul = 0.60;
+  u.dvfs = xavier_cpu_dvfs();
+  return u;
+}
+
+}  // namespace
+
+platform agx_xavier() {
+  platform p;
+  p.name = "Jetson AGX Xavier";
+  p.units = {make_xavier_gpu(), make_xavier_dla("DLA0"), make_xavier_dla("DLA1")};
+  p.xfer = interconnect{};  // shared LPDDR4x defaults
+  p.shared_memory_bytes = 32.0 * 1024 * 1024;
+  p.validate();
+  return p;
+}
+
+platform agx_xavier_with_cpu() {
+  platform p = agx_xavier();
+  p.name = "Jetson AGX Xavier (incl. CPU)";
+  p.units.push_back(make_xavier_cpu());
+  p.validate();
+  return p;
+}
+
+}  // namespace mapcq::soc

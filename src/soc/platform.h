@@ -1,0 +1,54 @@
+#pragma once
+// MPSoC platform description: the set of CUs available for stage mapping,
+// the shared-memory interconnect and the feature-reuse memory budget.
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "soc/compute_unit.h"
+#include "soc/interconnect.h"
+
+namespace mapcq::soc {
+
+/// A heterogeneous MPSoC.
+struct platform {
+  std::string name;
+  std::vector<compute_unit> units;
+  interconnect xfer;
+  double shared_memory_bytes = 32.0 * 1024 * 1024;  ///< budget for parked fmaps
+
+  /// Number of CUs (the paper's M = |CU|).
+  [[nodiscard]] std::size_t size() const noexcept { return units.size(); }
+
+  [[nodiscard]] const compute_unit& unit(std::size_t idx) const {
+    if (idx >= units.size()) throw std::out_of_range("platform::unit");
+    return units[idx];
+  }
+  [[nodiscard]] compute_unit& unit(std::size_t idx) {
+    if (idx >= units.size()) throw std::out_of_range("platform::unit");
+    return units[idx];
+  }
+
+  /// Index of the first unit of the given kind; throws if absent.
+  [[nodiscard]] std::size_t first_of(cu_kind kind) const;
+
+  /// Total DVFS configuration count (product of per-unit level counts);
+  /// the |theta| factor of the search-space size (paper §V-A).
+  [[nodiscard]] double dvfs_configurations() const noexcept;
+
+  /// Validates every unit and platform-level invariants.
+  void validate() const;
+};
+
+/// NVIDIA Jetson AGX Xavier: one Volta GPU + two DLAs sharing LPDDR4x.
+/// Parameter values are datasheet-plausible starting points; the
+/// perf::calibration pass anchors them to the paper's measured baselines.
+[[nodiscard]] platform agx_xavier();
+
+/// Xavier including the Carmel CPU cluster as a fourth mappable CU
+/// (extension experiments).
+[[nodiscard]] platform agx_xavier_with_cpu();
+
+}  // namespace mapcq::soc

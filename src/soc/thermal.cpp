@@ -1,0 +1,29 @@
+#include "soc/thermal.h"
+
+#include <cmath>
+#include <limits>
+
+namespace mapcq::soc {
+
+double thermal_model::temperature_after(double t0_c, double power_w, double dt_s) const {
+  if (power_w < 0.0) throw std::invalid_argument("thermal_model: negative power");
+  if (dt_s < 0.0) throw std::invalid_argument("thermal_model: negative time");
+  const double target = steady_state_c(power_w);
+  return target + (t0_c - target) * std::exp(-dt_s / tau_s);
+}
+
+double thermal_model::seconds_to_throttle(double power_w) const {
+  if (!throttles(power_w)) return std::numeric_limits<double>::infinity();
+  const double target = steady_state_c(power_w);
+  // Solve throttle = target + (ambient - target) e^{-t/tau}.
+  const double ratio = (throttle_c - target) / (ambient_c - target);
+  return -tau_s * std::log(ratio);
+}
+
+void thermal_model::validate() const {
+  if (r_thermal_c_per_w <= 0.0) throw std::logic_error("thermal_model: non-positive resistance");
+  if (tau_s <= 0.0) throw std::logic_error("thermal_model: non-positive time constant");
+  if (throttle_c <= ambient_c) throw std::logic_error("thermal_model: throttle below ambient");
+}
+
+}  // namespace mapcq::soc

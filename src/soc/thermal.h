@@ -1,0 +1,48 @@
+#pragma once
+// First-order thermal model of the MPSoC package (extension beyond the
+// paper): a junction-to-ambient thermal resistance and an RC time constant
+// give the steady-state and transient die temperature under a sustained
+// power draw. Mappings whose steady state crosses the throttle trip point
+// cannot sustain their predicted performance, so the evaluator can reject
+// them (an implicit constraint on real Jetsons, which throttle at ~87 C).
+
+#include <stdexcept>
+
+namespace mapcq::soc {
+
+/// Lumped RC thermal model of the package.
+struct thermal_model {
+  double ambient_c = 35.0;          ///< enclosure temperature
+  double r_thermal_c_per_w = 1.8;   ///< junction-to-ambient resistance
+  double tau_s = 18.0;              ///< RC time constant
+  double throttle_c = 87.0;         ///< DVFS throttle trip point
+
+  /// Steady-state junction temperature under a constant power draw.
+  [[nodiscard]] double steady_state_c(double power_w) const {
+    if (power_w < 0.0) throw std::invalid_argument("thermal_model: negative power");
+    return ambient_c + r_thermal_c_per_w * power_w;
+  }
+
+  /// Temperature after `dt_s` seconds of constant power, starting at `t0_c`
+  /// (first-order step response).
+  [[nodiscard]] double temperature_after(double t0_c, double power_w, double dt_s) const;
+
+  /// True if sustained operation at `power_w` would trip the throttle.
+  [[nodiscard]] bool throttles(double power_w) const {
+    return steady_state_c(power_w) > throttle_c;
+  }
+
+  /// Largest power the package can sustain without throttling.
+  [[nodiscard]] double max_sustained_power_w() const {
+    return (throttle_c - ambient_c) / r_thermal_c_per_w;
+  }
+
+  /// Seconds of operation at `power_w` (starting from ambient) before the
+  /// throttle trips; +inf if it never does.
+  [[nodiscard]] double seconds_to_throttle(double power_w) const;
+
+  /// Throws std::logic_error on non-physical parameters.
+  void validate() const;
+};
+
+}  // namespace mapcq::soc

@@ -1,0 +1,81 @@
+#include "surrogate/dataset.h"
+
+#include <stdexcept>
+
+#include "perf/energy_model.h"
+#include "util/rng.h"
+
+namespace mapcq::surrogate {
+
+dataset_split split(const dataset& ds, double train_fraction, std::uint64_t seed) {
+  if (train_fraction <= 0.0 || train_fraction >= 1.0)
+    throw std::invalid_argument("split: fraction must be in (0,1)");
+  std::vector<std::size_t> idx(ds.size());
+  for (std::size_t i = 0; i < ds.size(); ++i) idx[i] = i;
+  util::rng gen{seed};
+  gen.shuffle(idx);
+
+  const auto cut = static_cast<std::size_t>(train_fraction * static_cast<double>(ds.size()));
+  dataset_split out;
+  for (std::size_t r = 0; r < idx.size(); ++r) {
+    dataset& dst = r < cut ? out.train : out.test;
+    dst.x.push_back(ds.x[idx[r]]);
+    dst.latency_ms.push_back(ds.latency_ms[idx[r]]);
+    dst.energy_mj.push_back(ds.energy_mj[idx[r]]);
+  }
+  return out;
+}
+
+dataset generate_benchmark(const std::vector<const nn::network*>& nets,
+                           const soc::platform& plat, const benchmark_options& opt) {
+  if (nets.empty()) throw std::invalid_argument("generate_benchmark: no networks");
+  for (const auto* n : nets)
+    if (n == nullptr || n->layers.empty())
+      throw std::invalid_argument("generate_benchmark: empty network");
+
+  util::rng gen{opt.seed};
+  dataset out;
+  out.x.reserve(opt.samples);
+  out.latency_ms.reserve(opt.samples);
+  out.energy_mj.reserve(opt.samples);
+
+  // Width fractions the partitioner can produce (eighths, paper §V-A).
+  static constexpr double fracs[] = {0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0};
+
+  for (std::size_t s = 0; s < opt.samples; ++s) {
+    const nn::network& net =
+        *nets[static_cast<std::size_t>(gen.uniform_int(0, static_cast<std::int64_t>(nets.size()) - 1))];
+    const nn::layer& l = net.layers[static_cast<std::size_t>(
+        gen.uniform_int(0, static_cast<std::int64_t>(net.layers.size()) - 1))];
+    const std::size_t cu_idx =
+        static_cast<std::size_t>(gen.uniform_int(0, static_cast<std::int64_t>(plat.size()) - 1));
+    const soc::compute_unit& cu = plat.unit(cu_idx);
+    const std::size_t level = static_cast<std::size_t>(
+        gen.uniform_int(0, static_cast<std::int64_t>(cu.dvfs.levels()) - 1));
+    const std::size_t concurrency = static_cast<std::size_t>(gen.uniform_int(1, 3));
+
+    const double out_frac = fracs[gen.uniform_int(0, 7)];
+    const double in_frac = fracs[gen.uniform_int(0, 7)];
+
+    perf::sublayer_cost cost;
+    cost.kind = l.kind;
+    cost.flops = l.flops(in_frac, out_frac);
+    cost.weight_bytes = l.weight_bytes(in_frac, out_frac);
+    cost.in_bytes = l.input_bytes(in_frac);
+    cost.out_bytes = l.output_bytes(out_frac);
+    cost.width_frac = out_frac;
+
+    const double tau = perf::sublayer_latency_ms(cost, cu, level, concurrency, opt.model);
+    const double e = perf::sublayer_energy_mj(cost, cu, level, concurrency, opt.model);
+    const double noise_t = 1.0 + gen.normal(0.0, opt.noise_stddev);
+    const double noise_e = 1.0 + gen.normal(0.0, opt.noise_stddev);
+
+    const auto feats = featurize(cost, cu, level, concurrency);
+    out.x.emplace_back(feats.begin(), feats.end());
+    out.latency_ms.push_back(tau * std::max(0.1, noise_t));
+    out.energy_mj.push_back(e * std::max(0.1, noise_e));
+  }
+  return out;
+}
+
+}  // namespace mapcq::surrogate

@@ -1,0 +1,123 @@
+#include "surrogate/decision_tree.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace mapcq::surrogate {
+
+namespace {
+
+struct best_split {
+  double gain = 0.0;
+  std::size_t feature = 0;
+  double threshold = 0.0;
+};
+
+double leaf_weight(double grad_sum, std::size_t n, double lambda) {
+  return grad_sum / (static_cast<double>(n) + lambda);
+}
+
+double node_score(double grad_sum, std::size_t n, double lambda) {
+  return grad_sum * grad_sum / (static_cast<double>(n) + lambda);
+}
+
+}  // namespace
+
+regression_tree::regression_tree(std::span<const std::vector<double>> x,
+                                 std::span<const double> y,
+                                 std::span<const std::size_t> row_index,
+                                 const tree_params& params) {
+  if (x.size() != y.size()) throw std::invalid_argument("regression_tree: size mismatch");
+  if (x.empty()) throw std::invalid_argument("regression_tree: empty data");
+  if (row_index.empty()) throw std::invalid_argument("regression_tree: empty subsample");
+  std::vector<std::size_t> rows(row_index.begin(), row_index.end());
+  nodes_.reserve(64);
+  grow(x, y, rows, 0, params);
+}
+
+std::size_t regression_tree::grow(std::span<const std::vector<double>> x,
+                                  std::span<const double> y, std::vector<std::size_t>& rows,
+                                  int depth, const tree_params& params) {
+  depth_ = std::max(depth_, depth);
+
+  double grad_sum = 0.0;
+  for (const std::size_t r : rows) grad_sum += y[r];
+
+  const std::size_t me = nodes_.size();
+  nodes_.push_back({});
+  nodes_[me].value = leaf_weight(grad_sum, rows.size(), params.lambda);
+
+  if (depth >= params.max_depth || rows.size() < 2 * params.min_samples_leaf) return me;
+
+  const std::size_t n_features = x.front().size();
+  const double parent_score = node_score(grad_sum, rows.size(), params.lambda);
+
+  best_split best;
+  // Exact greedy: for each feature, sort the node's rows by value and scan.
+  std::vector<std::size_t> sorted = rows;
+  for (std::size_t f = 0; f < n_features; ++f) {
+    std::sort(sorted.begin(), sorted.end(),
+              [&](std::size_t a, std::size_t b) { return x[a][f] < x[b][f]; });
+    double left_sum = 0.0;
+    for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+      left_sum += y[sorted[i]];
+      const double v = x[sorted[i]][f];
+      const double v_next = x[sorted[i + 1]][f];
+      if (v == v_next) continue;  // can't split between equal values
+      const std::size_t n_left = i + 1;
+      const std::size_t n_right = sorted.size() - n_left;
+      if (n_left < params.min_samples_leaf || n_right < params.min_samples_leaf) continue;
+      const double gain = node_score(left_sum, n_left, params.lambda) +
+                          node_score(grad_sum - left_sum, n_right, params.lambda) - parent_score;
+      if (gain > best.gain) {
+        best.gain = gain;
+        best.feature = f;
+        best.threshold = 0.5 * (v + v_next);
+      }
+    }
+  }
+
+  if (best.gain <= params.min_gain) return me;
+
+  std::vector<std::size_t> left_rows;
+  std::vector<std::size_t> right_rows;
+  left_rows.reserve(rows.size());
+  right_rows.reserve(rows.size());
+  for (const std::size_t r : rows)
+    (x[r][best.feature] <= best.threshold ? left_rows : right_rows).push_back(r);
+  if (left_rows.empty() || right_rows.empty()) return me;  // numeric edge case
+
+  rows.clear();
+  rows.shrink_to_fit();  // free before recursing
+
+  nodes_[me].leaf = false;
+  nodes_[me].feature = best.feature;
+  nodes_[me].threshold = best.threshold;
+  nodes_[me].gain = best.gain;
+  const std::size_t left_id = grow(x, y, left_rows, depth + 1, params);
+  nodes_[me].left = left_id;
+  const std::size_t right_id = grow(x, y, right_rows, depth + 1, params);
+  nodes_[me].right = right_id;
+  return me;
+}
+
+double regression_tree::predict(std::span<const double> row) const {
+  std::size_t cur = 0;
+  while (!nodes_[cur].leaf) {
+    if (nodes_[cur].feature >= row.size())
+      throw std::invalid_argument("regression_tree::predict: row too narrow");
+    cur = row[nodes_[cur].feature] <= nodes_[cur].threshold ? nodes_[cur].left
+                                                            : nodes_[cur].right;
+  }
+  return nodes_[cur].value;
+}
+
+void regression_tree::add_feature_gain(std::vector<double>& importance) const {
+  for (const auto& n : nodes_) {
+    if (n.leaf) continue;
+    if (n.feature < importance.size()) importance[n.feature] += n.gain;
+  }
+}
+
+}  // namespace mapcq::surrogate

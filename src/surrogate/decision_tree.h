@@ -1,0 +1,61 @@
+#pragma once
+// Regression tree for gradient boosting: exact greedy splitting with the
+// XGBoost gain criterion under squared loss (unit hessians):
+//
+//   gain = G_L^2/(n_L + lambda) + G_R^2/(n_R + lambda) - G^2/(n + lambda)
+//
+// where G is the sum of residuals in a node. Leaf weight = G/(n + lambda).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mapcq::surrogate {
+
+/// Tree growth hyper-parameters.
+struct tree_params {
+  int max_depth = 6;
+  std::size_t min_samples_leaf = 4;
+  double lambda = 1.0;     ///< L2 regularization on leaf weights
+  double min_gain = 1e-9;  ///< minimum split gain
+};
+
+/// A fitted regression tree over fixed-width feature rows.
+class regression_tree {
+ public:
+  /// Fits to (x, residuals); every row must have the same width.
+  /// `row_index` selects the subsample of rows to fit on.
+  regression_tree(std::span<const std::vector<double>> x, std::span<const double> y,
+                  std::span<const std::size_t> row_index, const tree_params& params);
+
+  /// Predicted value for one feature row.
+  [[nodiscard]] double predict(std::span<const double> row) const;
+
+  /// Number of internal + leaf nodes.
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+
+  /// Depth actually reached.
+  [[nodiscard]] int depth() const noexcept { return depth_; }
+
+  /// Accumulates per-feature total gain into `importance` (size = features).
+  void add_feature_gain(std::vector<double>& importance) const;
+
+ private:
+  struct node {
+    bool leaf = true;
+    std::size_t feature = 0;
+    double threshold = 0.0;
+    double value = 0.0;  ///< leaf weight
+    double gain = 0.0;   ///< split gain (internal nodes)
+    std::size_t left = 0;
+    std::size_t right = 0;
+  };
+
+  std::size_t grow(std::span<const std::vector<double>> x, std::span<const double> y,
+                   std::vector<std::size_t>& rows, int depth, const tree_params& params);
+
+  std::vector<node> nodes_;
+  int depth_ = 0;
+};
+
+}  // namespace mapcq::surrogate

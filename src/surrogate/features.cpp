@@ -1,0 +1,42 @@
+#include "surrogate/features.h"
+
+#include <cmath>
+
+namespace mapcq::surrogate {
+
+std::array<double, feature_count> featurize(const perf::sublayer_cost& cost,
+                                            const soc::compute_unit& cu, std::size_t level,
+                                            std::size_t concurrency) {
+  std::array<double, feature_count> f{};
+  const double moved = cost.moved_bytes();
+  f[0] = std::log1p(cost.flops);
+  f[1] = std::log1p(cost.weight_bytes);
+  f[2] = std::log1p(cost.in_bytes);
+  f[3] = std::log1p(cost.out_bytes);
+  f[4] = cost.width_frac;
+  f[5] = moved > 0.0 ? cost.flops / moved : 0.0;
+  f[6] = soc::classify(cost.kind) == soc::op_class::matmul ? 1.0 : 0.0;
+  f[7] = cu.kind == soc::cu_kind::gpu ? 1.0 : 0.0;
+  f[8] = cu.kind == soc::cu_kind::dla ? 1.0 : 0.0;
+  f[9] = cu.kind == soc::cu_kind::cpu ? 1.0 : 0.0;
+  f[10] = std::log1p(cu.peak_gflops);
+  f[11] = cu.mem_bandwidth_gbps;
+  f[12] = cu.launch_overhead_ms;
+  f[13] = cu.theta(level);
+  f[14] = cu.dvfs.frequency_mhz(level) / 1000.0;
+  f[15] = static_cast<double>(concurrency);
+  f[16] = cu.static_power_w;
+  f[17] = cu.dynamic_power_w;
+  return f;
+}
+
+const std::vector<std::string>& feature_names() {
+  static const std::vector<std::string> names = {
+      "log_flops",   "log_wbytes",  "log_inbytes", "log_outbytes", "width_frac",
+      "arith_int",   "op_matmul",   "cu_gpu",      "cu_dla",       "cu_cpu",
+      "log_peak",    "mem_bw",      "launch_ms",   "theta",        "freq_ghz",
+      "concurrency", "static_w",    "dynamic_w"};
+  return names;
+}
+
+}  // namespace mapcq::surrogate

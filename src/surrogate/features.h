@@ -1,0 +1,44 @@
+#pragma once
+// Featurization of (sublayer, CU, DVFS, concurrency) tuples for the
+// hardware-cost surrogate (paper §V-E: "a predictor is first trained on a
+// benchmarked dataset of diverse layer specifications, deployment hardware
+// and DVFS settings").
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "perf/work.h"
+#include "soc/compute_unit.h"
+
+namespace mapcq::surrogate {
+
+/// Number of features produced per example.
+inline constexpr std::size_t feature_count = 18;
+
+/// Feature vector layout (kept stable for model reuse):
+///   0  log1p(flops)
+///   1  log1p(weight_bytes)
+///   2  log1p(in_bytes)
+///   3  log1p(out_bytes)
+///   4  width_frac
+///   5  arithmetic intensity (flops / bytes)
+///   6  op class (0 spatial, 1 matmul)
+///   7..9   one-hot CU kind (gpu, dla, cpu)
+///   10 peak_gflops (log)
+///   11 mem_bandwidth_gbps
+///   12 launch_overhead_ms
+///   13 dvfs theta
+///   14 frequency MHz / 1000
+///   15 concurrency (active stages)
+///   16 static power (W)
+///   17 dynamic power (W)
+[[nodiscard]] std::array<double, feature_count> featurize(const perf::sublayer_cost& cost,
+                                                          const soc::compute_unit& cu,
+                                                          std::size_t level,
+                                                          std::size_t concurrency);
+
+/// Human-readable feature names (index-aligned with featurize()).
+[[nodiscard]] const std::vector<std::string>& feature_names();
+
+}  // namespace mapcq::surrogate

@@ -1,0 +1,92 @@
+#include "surrogate/gbt.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace mapcq::surrogate {
+
+gbt_regressor::gbt_regressor(std::span<const std::vector<double>> x, std::span<const double> y,
+                             const gbt_params& params)
+    : learning_rate_(params.learning_rate), log_target_(params.log_target) {
+  if (x.size() != y.size() || x.empty())
+    throw std::invalid_argument("gbt_regressor: bad training data");
+  if (params.n_trees == 0) throw std::invalid_argument("gbt_regressor: n_trees must be > 0");
+  if (params.subsample <= 0.0 || params.subsample > 1.0)
+    throw std::invalid_argument("gbt_regressor: subsample out of (0,1]");
+
+  const std::size_t n = x.size();
+  std::vector<double> target(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (log_target_) {
+      if (y[i] <= 0.0)
+        throw std::invalid_argument("gbt_regressor: non-positive target with log_target");
+      target[i] = std::log(y[i]);
+    } else {
+      target[i] = y[i];
+    }
+  }
+
+  base_ = util::mean(target);
+  std::vector<double> pred(n, base_);
+  std::vector<double> residual(n);
+
+  util::rng gen{params.seed};
+  std::vector<std::size_t> all_rows(n);
+  for (std::size_t i = 0; i < n; ++i) all_rows[i] = i;
+
+  trees_.reserve(params.n_trees);
+  for (std::size_t t = 0; t < params.n_trees; ++t) {
+    for (std::size_t i = 0; i < n; ++i) residual[i] = target[i] - pred[i];
+
+    std::vector<std::size_t> rows;
+    if (params.subsample < 1.0) {
+      rows.reserve(static_cast<std::size_t>(params.subsample * static_cast<double>(n)) + 1);
+      for (std::size_t i = 0; i < n; ++i)
+        if (gen.bernoulli(params.subsample)) rows.push_back(i);
+      if (rows.size() < 2 * params.tree.min_samples_leaf) rows = all_rows;
+    } else {
+      rows = all_rows;
+    }
+
+    trees_.emplace_back(x, residual, rows, params.tree);
+    for (std::size_t i = 0; i < n; ++i)
+      pred[i] += learning_rate_ * trees_.back().predict(x[i]);
+  }
+
+  // Final training error in the original target space.
+  std::vector<double> final_pred(n);
+  std::vector<double> final_truth(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    final_pred[i] = log_target_ ? std::exp(pred[i]) : pred[i];
+    final_truth[i] = y[i];
+  }
+  train_rmse_ = util::rmse(final_pred, final_truth);
+}
+
+double gbt_regressor::predict(std::span<const double> row) const {
+  double acc = base_;
+  for (const auto& t : trees_) acc += learning_rate_ * t.predict(row);
+  return log_target_ ? std::exp(acc) : acc;
+}
+
+std::vector<double> gbt_regressor::predict(std::span<const std::vector<double>> rows) const {
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const auto& r : rows) out.push_back(predict(r));
+  return out;
+}
+
+std::vector<double> gbt_regressor::feature_importance(std::size_t n_features) const {
+  std::vector<double> imp(n_features, 0.0);
+  for (const auto& t : trees_) t.add_feature_gain(imp);
+  double total = 0.0;
+  for (const double g : imp) total += g;
+  if (total > 0.0)
+    for (double& g : imp) g /= total;
+  return imp;
+}
+
+}  // namespace mapcq::surrogate

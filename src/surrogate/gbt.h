@@ -1,0 +1,54 @@
+#pragma once
+// Gradient-boosted tree ensemble for squared loss -- the XGBoost [20] stand-
+// in used to predict per-sublayer latency and energy inside the GA loop
+// (paper §V-E).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "surrogate/decision_tree.h"
+
+namespace mapcq::surrogate {
+
+/// Boosting hyper-parameters.
+struct gbt_params {
+  std::size_t n_trees = 120;
+  double learning_rate = 0.10;
+  double subsample = 0.85;   ///< row subsample per tree, (0,1]
+  tree_params tree;
+  std::uint64_t seed = 7;
+  /// Targets are strictly positive and span decades; fit in log space.
+  bool log_target = true;
+};
+
+/// A fitted ensemble.
+class gbt_regressor {
+ public:
+  /// Fits to rows `x` (equal widths) and targets `y`; throws on empty or
+  /// mismatched input, or non-positive targets with log_target.
+  gbt_regressor(std::span<const std::vector<double>> x, std::span<const double> y,
+                const gbt_params& params = {});
+
+  [[nodiscard]] double predict(std::span<const double> row) const;
+
+  /// Batch prediction.
+  [[nodiscard]] std::vector<double> predict(std::span<const std::vector<double>> rows) const;
+
+  /// Total split gain per feature, normalized to sum 1.
+  [[nodiscard]] std::vector<double> feature_importance(std::size_t n_features) const;
+
+  [[nodiscard]] std::size_t tree_count() const noexcept { return trees_.size(); }
+
+  /// Training RMSE of the final model (in target space).
+  [[nodiscard]] double train_rmse() const noexcept { return train_rmse_; }
+
+ private:
+  std::vector<regression_tree> trees_;
+  double base_ = 0.0;
+  double learning_rate_ = 0.1;
+  bool log_target_ = true;
+  double train_rmse_ = 0.0;
+};
+
+}  // namespace mapcq::surrogate

@@ -1,0 +1,45 @@
+#include "surrogate/predictor.h"
+
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace mapcq::surrogate {
+
+hw_predictor::hw_predictor(const dataset& train_set, const gbt_params& params) {
+  if (train_set.size() == 0) throw std::invalid_argument("hw_predictor: empty training set");
+  latency_ = std::make_unique<gbt_regressor>(
+      std::span<const std::vector<double>>(train_set.x), std::span<const double>(train_set.latency_ms), params);
+  energy_ = std::make_unique<gbt_regressor>(
+      std::span<const std::vector<double>>(train_set.x), std::span<const double>(train_set.energy_mj), params);
+}
+
+double hw_predictor::latency_ms(const perf::sublayer_cost& cost, const soc::compute_unit& cu,
+                                std::size_t level, std::size_t concurrency) const {
+  if (cost.empty()) return 0.0;
+  const auto f = featurize(cost, cu, level, concurrency);
+  return latency_->predict(f);
+}
+
+double hw_predictor::energy_mj(const perf::sublayer_cost& cost, const soc::compute_unit& cu,
+                               std::size_t level, std::size_t concurrency) const {
+  if (cost.empty()) return 0.0;
+  const auto f = featurize(cost, cu, level, concurrency);
+  return energy_->predict(f);
+}
+
+hw_predictor::fidelity hw_predictor::evaluate(const dataset& test_set) const {
+  if (test_set.size() == 0) throw std::invalid_argument("hw_predictor::evaluate: empty test set");
+  const auto lat_pred = latency_->predict(std::span<const std::vector<double>>(test_set.x));
+  const auto en_pred = energy_->predict(std::span<const std::vector<double>>(test_set.x));
+  fidelity f;
+  f.latency_rmse = util::rmse(lat_pred, test_set.latency_ms);
+  f.latency_mape = util::mape(lat_pred, test_set.latency_ms);
+  f.latency_r2 = util::r_squared(lat_pred, test_set.latency_ms);
+  f.energy_rmse = util::rmse(en_pred, test_set.energy_mj);
+  f.energy_mape = util::mape(en_pred, test_set.energy_mj);
+  f.energy_r2 = util::r_squared(en_pred, test_set.energy_mj);
+  return f;
+}
+
+}  // namespace mapcq::surrogate

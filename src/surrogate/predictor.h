@@ -1,0 +1,49 @@
+#pragma once
+// The deployed hardware-cost predictor: two boosted ensembles (latency,
+// energy) behind the same call signature as the analytic models, so the GA
+// evaluator can swap between measured-model and surrogate (paper Fig. 5,
+// "HW Performance Characterization").
+
+#include <memory>
+
+#include "perf/work.h"
+#include "soc/compute_unit.h"
+#include "surrogate/dataset.h"
+#include "surrogate/gbt.h"
+
+namespace mapcq::surrogate {
+
+/// Fitted latency + energy predictor.
+class hw_predictor {
+ public:
+  /// Trains both ensembles on the benchmark dataset.
+  hw_predictor(const dataset& train_set, const gbt_params& params = {});
+
+  /// Predicted latency (ms) of one sublayer on a CU at a DVFS level.
+  [[nodiscard]] double latency_ms(const perf::sublayer_cost& cost, const soc::compute_unit& cu,
+                                  std::size_t level, std::size_t concurrency) const;
+
+  /// Predicted energy (mJ).
+  [[nodiscard]] double energy_mj(const perf::sublayer_cost& cost, const soc::compute_unit& cu,
+                                 std::size_t level, std::size_t concurrency) const;
+
+  /// Held-out quality metrics.
+  struct fidelity {
+    double latency_rmse = 0.0;
+    double latency_mape = 0.0;
+    double latency_r2 = 0.0;
+    double energy_rmse = 0.0;
+    double energy_mape = 0.0;
+    double energy_r2 = 0.0;
+  };
+  [[nodiscard]] fidelity evaluate(const dataset& test_set) const;
+
+  [[nodiscard]] const gbt_regressor& latency_model() const noexcept { return *latency_; }
+  [[nodiscard]] const gbt_regressor& energy_model() const noexcept { return *energy_; }
+
+ private:
+  std::unique_ptr<gbt_regressor> latency_;
+  std::unique_ptr<gbt_regressor> energy_;
+};
+
+}  // namespace mapcq::surrogate

@@ -1,0 +1,49 @@
+#include "util/csv.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace mapcq::util {
+
+csv_writer::csv_writer(const std::string& path, const std::vector<std::string>& header)
+    : out_(path), width_(header.size()) {
+  if (!out_) throw std::runtime_error("csv_writer: cannot open " + path);
+  if (header.empty()) throw std::invalid_argument("csv_writer: empty header");
+  write_row(header);
+  rows_ = 0;  // header does not count as a data row
+}
+
+std::string csv_writer::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+void csv_writer::write_row(const std::vector<std::string>& cells) {
+  if (cells.size() != width_) throw std::invalid_argument("csv_writer: row width mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+void csv_writer::write_row(const std::vector<double>& cells) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (const double v : cells) {
+    std::ostringstream os;
+    os.precision(10);
+    os << v;
+    text.push_back(os.str());
+  }
+  write_row(text);
+}
+
+}  // namespace mapcq::util

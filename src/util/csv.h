@@ -1,0 +1,34 @@
+#pragma once
+// Minimal CSV writer for dumping bench series (figure data) to files that
+// plotting scripts can consume.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace mapcq::util {
+
+/// Streams rows of string/number cells into a CSV file. RAII: the file is
+/// flushed and closed on destruction.
+class csv_writer {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws on failure.
+  csv_writer(const std::string& path, const std::vector<std::string>& header);
+
+  /// Writes one row; must match the header width.
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Convenience: converts doubles with full precision.
+  void write_row(const std::vector<double>& cells);
+
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  static std::string escape(const std::string& cell);
+
+  std::ofstream out_;
+  std::size_t width_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace mapcq::util

@@ -1,0 +1,98 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace mapcq::util {
+
+namespace {
+
+// splitmix64: expands one 64-bit seed into the xoshiro state.
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) noexcept { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+rng::rng(std::uint64_t seed) noexcept {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double rng::uniform() noexcept {
+  // 53 mantissa bits of a double.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double rng::uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+std::int64_t rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full 64-bit range
+  // Rejection sampling for an unbiased draw.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % span);
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return lo + static_cast<std::int64_t>(v % span);
+}
+
+double rng::normal() noexcept {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  have_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double rng::normal(double mean, double stddev) noexcept { return mean + stddev * normal(); }
+
+double rng::lognormal(double mu, double sigma) noexcept { return std::exp(normal(mu, sigma)); }
+
+bool rng::bernoulli(double p) noexcept { return uniform() < p; }
+
+std::size_t rng::weighted_index(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (const double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("rng::weighted_index: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("rng::weighted_index: no positive weight");
+  double r = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  return weights.size() - 1;  // floating-point edge: land on the last entry
+}
+
+rng rng::split(std::uint64_t salt) noexcept {
+  return rng{next_u64() ^ (salt * 0x9e3779b97f4a7c15ULL + 0xd1b54a32d192ed03ULL)};
+}
+
+}  // namespace mapcq::util

@@ -1,0 +1,67 @@
+#pragma once
+// Deterministic, seedable random number generation for every stochastic
+// component of the framework (GA, synthetic datasets, measurement noise).
+//
+// A thin value-semantic wrapper over xoshiro256** so that (a) results are
+// reproducible across standard libraries (std::mt19937 distributions are not
+// portable), and (b) independent streams can be split off a parent stream.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace mapcq::util {
+
+/// Deterministic 64-bit PRNG (xoshiro256**) with portable distributions.
+class rng {
+ public:
+  /// Seeds the generator; the same seed always yields the same stream.
+  explicit rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Next raw 64-bit value.
+  [[nodiscard]] std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept;
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Standard normal via Box-Muller (portable across platforms).
+  [[nodiscard]] double normal() noexcept;
+
+  /// Normal with the given mean and standard deviation.
+  [[nodiscard]] double normal(double mean, double stddev) noexcept;
+
+  /// Log-normal: exp(normal(mu, sigma)).
+  [[nodiscard]] double lognormal(double mu, double sigma) noexcept;
+
+  /// Bernoulli trial with probability p of returning true.
+  [[nodiscard]] bool bernoulli(double p) noexcept;
+
+  /// Index in [0, weights.size()) drawn proportionally to the weights.
+  /// Requires at least one strictly positive weight.
+  [[nodiscard]] std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child stream; deterministic in (parent state, salt).
+  [[nodiscard]] rng split(std::uint64_t salt) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace mapcq::util

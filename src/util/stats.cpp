@@ -1,0 +1,113 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mapcq::util {
+
+double mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (const double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (const double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size()));
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) throw std::invalid_argument("percentile: empty input");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile: p out of [0,100]");
+  std::sort(xs.begin(), xs.end());
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+double min_of(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("min_of: empty input");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("max_of: empty input");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+namespace {
+void require_paired(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size() || a.empty())
+    throw std::invalid_argument("paired metric: sizes must match and be nonzero");
+}
+}  // namespace
+
+double rmse(std::span<const double> pred, std::span<const double> truth) {
+  require_paired(pred, truth);
+  double s = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double d = pred[i] - truth[i];
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<double>(pred.size()));
+}
+
+double mape(std::span<const double> pred, std::span<const double> truth) {
+  require_paired(pred, truth);
+  double s = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    if (truth[i] == 0.0) throw std::invalid_argument("mape: zero truth entry");
+    s += std::abs((pred[i] - truth[i]) / truth[i]);
+  }
+  return 100.0 * s / static_cast<double>(pred.size());
+}
+
+double r_squared(std::span<const double> pred, std::span<const double> truth) {
+  require_paired(pred, truth);
+  const double m = mean(truth);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    ss_res += (truth[i] - pred[i]) * (truth[i] - pred[i]);
+    ss_tot += (truth[i] - m) * (truth[i] - m);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  require_paired(xs, ys);
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+void running_stats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  sum_ += x;
+  ++n_;
+}
+
+}  // namespace mapcq::util

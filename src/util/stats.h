@@ -1,0 +1,53 @@
+#pragma once
+// Small statistics helpers shared by the surrogate metrics, the exit
+// simulator and the benches.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mapcq::util {
+
+/// Arithmetic mean; 0 for an empty span.
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+
+/// Population standard deviation; 0 for fewer than two samples.
+[[nodiscard]] double stddev(std::span<const double> xs) noexcept;
+
+/// Linear-interpolated percentile, p in [0, 100]. Throws on empty input.
+[[nodiscard]] double percentile(std::vector<double> xs, double p);
+
+/// Minimum / maximum; throw on empty input.
+[[nodiscard]] double min_of(std::span<const double> xs);
+[[nodiscard]] double max_of(std::span<const double> xs);
+
+/// Root-mean-squared error between prediction and truth (equal, nonzero sizes).
+[[nodiscard]] double rmse(std::span<const double> pred, std::span<const double> truth);
+
+/// Mean absolute percentage error in percent; truth entries must be nonzero.
+[[nodiscard]] double mape(std::span<const double> pred, std::span<const double> truth);
+
+/// Coefficient of determination R^2.
+[[nodiscard]] double r_squared(std::span<const double> pred, std::span<const double> truth);
+
+/// Pearson correlation coefficient; 0 when either side has zero variance.
+[[nodiscard]] double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Online accumulator for mean/min/max without storing samples.
+class running_stats {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ == 0 ? 0.0 : sum_ / static_cast<double>(n_); }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace mapcq::util

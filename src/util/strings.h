@@ -1,0 +1,30 @@
+#pragma once
+// String formatting helpers shared across examples and benches.
+
+#include <string>
+#include <vector>
+
+namespace mapcq::util {
+
+/// printf-style formatting into a std::string.
+[[nodiscard]] std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Joins the elements with the separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Splits on a single-character delimiter (keeps empty fields).
+[[nodiscard]] std::vector<std::string> split(const std::string& s, char delim);
+
+/// Trims ASCII whitespace from both ends.
+[[nodiscard]] std::string trim(const std::string& s);
+
+/// True if `s` starts with `prefix`.
+[[nodiscard]] bool starts_with(const std::string& s, const std::string& prefix);
+
+/// Human-readable byte count, e.g. "1.50 MiB".
+[[nodiscard]] std::string human_bytes(double bytes);
+
+/// Human-readable operation count, e.g. "3.20 GFLOPs".
+[[nodiscard]] std::string human_flops(double flops);
+
+}  // namespace mapcq::util

@@ -1,0 +1,100 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace mapcq::util {
+
+table::table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("table: needs at least one column");
+  aligns_.assign(headers_.size(), align::right);
+  aligns_[0] = align::left;
+}
+
+void table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size())
+    throw std::invalid_argument("table::add_row: cell count mismatch");
+  rows_.push_back(row{.is_section = false, .section_title = {}, .cells = std::move(cells)});
+}
+
+void table::add_section(std::string title) {
+  rows_.push_back(row{.is_section = true, .section_title = std::move(title), .cells = {}});
+}
+
+std::string table::num(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+void table::set_align(std::size_t column, align a) {
+  if (column >= aligns_.size()) throw std::out_of_range("table::set_align: bad column");
+  aligns_[column] = a;
+}
+
+std::string table::str() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& r : rows_) {
+    if (r.is_section) continue;
+    for (std::size_t c = 0; c < r.cells.size(); ++c)
+      widths[c] = std::max(widths[c], r.cells[c].size());
+  }
+
+  std::size_t total = headers_.size() * 3 + 1;
+  for (const auto w : widths) total += w;
+
+  // Widen the last column if a section title would not fit.
+  for (const auto& r : rows_) {
+    if (!r.is_section) continue;
+    const std::size_t needed = r.section_title.size() + 4;  // "| title |" padding
+    if (needed > total) {
+      widths.back() += needed - total;
+      total = needed;
+    }
+  }
+
+  const auto pad = [&](const std::string& s, std::size_t w, align a) {
+    std::string out;
+    if (a == align::left) {
+      out = s + std::string(w - s.size(), ' ');
+    } else {
+      out = std::string(w - s.size(), ' ') + s;
+    }
+    return out;
+  };
+
+  const auto rule = [&] {
+    std::string s = "+";
+    for (const auto w : widths) s += std::string(w + 2, '-') + "+";
+    return s + "\n";
+  };
+
+  std::ostringstream os;
+  os << rule();
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << ' ' << pad(headers_[c], widths[c], align::left) << " |";
+  os << "\n" << rule();
+
+  for (const auto& r : rows_) {
+    if (r.is_section) {
+      std::string title = " " + r.section_title + " ";
+      if (title.size() > total - 2) title.resize(total - 2);
+      const std::size_t fill = total - 2 - title.size();
+      os << "|" << std::string(fill / 2, '-') << title
+         << std::string(fill - fill / 2, '-') << "|\n";
+      continue;
+    }
+    os << "|";
+    for (std::size_t c = 0; c < r.cells.size(); ++c)
+      os << ' ' << pad(r.cells[c], widths[c], aligns_[c]) << " |";
+    os << "\n";
+  }
+  os << rule();
+  return os.str();
+}
+
+}  // namespace mapcq::util

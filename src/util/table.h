@@ -1,0 +1,46 @@
+#pragma once
+// ASCII table printer used by the benches to emit paper-style tables
+// (Table I, Table II) and figure data series.
+
+#include <string>
+#include <vector>
+
+namespace mapcq::util {
+
+/// Column alignment inside a printed table.
+enum class align { left, right };
+
+/// Builds fixed-width ASCII tables with a header row, separators and
+/// optional section rows spanning the full width.
+class table {
+ public:
+  explicit table(std::vector<std::string> headers);
+
+  /// Appends a data row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a section row rendered across the full table width.
+  void add_section(std::string title);
+
+  /// Formats a double with the given number of decimals.
+  [[nodiscard]] static std::string num(double v, int decimals = 2);
+
+  /// Renders the complete table.
+  [[nodiscard]] std::string str() const;
+
+  /// Sets alignment for one column (default: left for col 0, right otherwise).
+  void set_align(std::size_t column, align a);
+
+ private:
+  struct row {
+    bool is_section = false;
+    std::string section_title;
+    std::vector<std::string> cells;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<row> rows_;
+  std::vector<align> aligns_;
+};
+
+}  // namespace mapcq::util

@@ -1,0 +1,51 @@
+#pragma once
+// Fixed-size worker pool used to evaluate GA populations in parallel.
+// Plays the role of the paper's 12-GPU evaluation cluster (§VI-A).
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mapcq::util {
+
+/// Simple task-queue thread pool. Tasks are `void()` callables; exceptions
+/// escaping a task terminate (tasks are expected to capture their own error
+/// channel). `wait_idle` blocks until the queue is drained and all workers
+/// are idle, which is how a GA generation barrier is implemented.
+class thread_pool {
+ public:
+  /// Spawns `threads` workers (at least one).
+  explicit thread_pool(std::size_t threads);
+  ~thread_pool();
+
+  thread_pool(const thread_pool&) = delete;
+  thread_pool& operator=(const thread_pool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace mapcq::util

@@ -1,0 +1,157 @@
+#include "nn/channel_ranking.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/models.h"
+
+namespace {
+
+using namespace mapcq::nn;
+
+TEST(importance_profile, coverage_bounds) {
+  const importance_profile p{64, 1.0, 7};
+  EXPECT_DOUBLE_EQ(p.coverage_ranked(0.0), 0.0);
+  EXPECT_NEAR(p.coverage_ranked(1.0), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(p.coverage_unranked(0.0), 0.0);
+  EXPECT_NEAR(p.coverage_unranked(1.0), 1.0, 1e-12);
+}
+
+TEST(importance_profile, ranked_coverage_concave_and_above_linear) {
+  const importance_profile p{128, 1.2, 11};
+  double prev = 0.0;
+  double prev_gain = 1e9;
+  for (double f = 0.1; f <= 1.0; f += 0.1) {
+    const double c = p.coverage_ranked(f);
+    EXPECT_GT(c, prev);                  // monotone
+    EXPECT_GE(c + 1e-12, f * 0.999);     // above the diagonal
+    const double gain = c - prev;
+    EXPECT_LE(gain, prev_gain + 1e-9);   // diminishing returns
+    prev = c;
+    prev_gain = gain;
+  }
+}
+
+TEST(importance_profile, unranked_coverage_roughly_linear) {
+  const importance_profile p{4096, 1.0, 13};
+  for (double f = 0.2; f < 1.0; f += 0.2)
+    EXPECT_NEAR(p.coverage_unranked(f), f, 0.08);
+}
+
+TEST(importance_profile, higher_skew_more_concentrated) {
+  const importance_profile lo{256, 0.3, 17};
+  const importance_profile hi{256, 2.0, 17};
+  EXPECT_GT(hi.coverage_ranked(0.25), lo.coverage_ranked(0.25));
+}
+
+TEST(importance_profile, deterministic_in_seed) {
+  const importance_profile a{64, 1.0, 23};
+  const importance_profile b{64, 1.0, 23};
+  EXPECT_EQ(a.ranked_scores(), b.ranked_scores());
+}
+
+TEST(importance_profile, scores_descend_and_sum_to_one) {
+  const importance_profile p{100, 1.5, 29};
+  double sum = 0.0;
+  double prev = 1e9;
+  for (const double s : p.ranked_scores()) {
+    EXPECT_LE(s, prev);
+    prev = s;
+    sum += s;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(importance_profile, rejects_bad_args) {
+  EXPECT_THROW((importance_profile{0, 1.0, 1}), std::invalid_argument);
+  EXPECT_THROW((importance_profile{8, -1.0, 1}), std::invalid_argument);
+}
+
+TEST(visible_importance, full_visibility_is_one) {
+  const importance_profile p{64, 1.0, 31};
+  const std::vector<double> fracs = {0.4, 0.3, 0.3};
+  const std::vector<bool> fwd = {true, true, false};
+  EXPECT_NEAR(visible_importance(p, fracs, fwd, 2), 1.0, 1e-9);
+}
+
+TEST(visible_importance, own_slice_only_for_stage_one) {
+  const importance_profile p{64, 1.0, 37};
+  const std::vector<double> fracs = {0.5, 0.5, 0.0};
+  const std::vector<bool> fwd = {false, false, false};
+  EXPECT_NEAR(visible_importance(p, fracs, fwd, 0), p.coverage_ranked(0.5), 1e-12);
+}
+
+TEST(visible_importance, earlier_slices_worth_more) {
+  // Stage 1 owns the top-ranked slice; with equal fractions its share
+  // exceeds stage 2's own share.
+  const importance_profile p{64, 1.5, 41};
+  const std::vector<double> fracs = {0.5, 0.5};
+  const std::vector<bool> fwd = {false, false};
+  const double s1 = visible_importance(p, fracs, fwd, 0);
+  const double s2 = visible_importance(p, fracs, fwd, 1);
+  EXPECT_GT(s1, s2);
+  EXPECT_NEAR(s1 + s2, 1.0, 1e-9);
+}
+
+TEST(visible_importance, forwarding_increases_share) {
+  const importance_profile p{64, 1.0, 43};
+  const std::vector<double> fracs = {0.4, 0.3, 0.3};
+  const std::vector<bool> none = {false, false, false};
+  const std::vector<bool> some = {true, false, false};
+  EXPECT_GT(visible_importance(p, fracs, some, 2), visible_importance(p, fracs, none, 2));
+}
+
+TEST(visible_importance, unranked_mode_lower_for_stage_one) {
+  const importance_profile p{256, 1.5, 47};
+  const std::vector<double> fracs = {0.3, 0.7};
+  const std::vector<bool> fwd = {false};
+  EXPECT_GT(visible_importance(p, fracs, fwd, 0, true),
+            visible_importance(p, fracs, fwd, 0, false));
+}
+
+TEST(visible_importance, rejects_bad_stage) {
+  const importance_profile p{8, 1.0, 53};
+  const std::vector<double> fracs = {1.0};
+  const std::vector<bool> fwd = {};
+  EXPECT_THROW((void)visible_importance(p, fracs, fwd, 1), std::invalid_argument);
+}
+
+TEST(ranked_network, profiles_match_group_widths) {
+  const network net = build_simple_cnn();
+  const std::vector<std::int64_t> widths = {32, 32, 64, 64, 128, 128};
+  const ranked_network rn{net, widths};
+  ASSERT_EQ(rn.groups(), widths.size());
+  for (std::size_t g = 0; g < widths.size(); ++g)
+    EXPECT_EQ(rn.profile(g).width(), widths[g]);
+  EXPECT_THROW((void)rn.profile(99), std::out_of_range);
+}
+
+TEST(ranked_network, deterministic_across_builds) {
+  const network net = build_simple_cnn();
+  const std::vector<std::int64_t> widths = {32, 64};
+  const ranked_network a{net, widths, 5};
+  const ranked_network b{net, widths, 5};
+  EXPECT_EQ(a.profile(0).ranked_scores(), b.profile(0).ranked_scores());
+}
+
+// Property sweep: coverage stays within [0,1] and monotone for many
+// (width, skew) combinations.
+class coverage_property : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(coverage_property, monotone_within_unit_interval) {
+  const auto [width, skew] = GetParam();
+  const importance_profile p{width, skew, 61};
+  double prev = -1e-12;
+  for (double f = 0.0; f <= 1.0; f += 0.05) {
+    const double c = p.coverage_ranked(f);
+    EXPECT_GE(c, prev);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0 + 1e-12);
+    prev = c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(widths_and_skews, coverage_property,
+                         ::testing::Combine(::testing::Values(2, 6, 64, 512),
+                                            ::testing::Values(0.0, 0.5, 1.0, 2.5)));
+
+}  // namespace

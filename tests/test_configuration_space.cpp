@@ -1,0 +1,177 @@
+// Configuration (Pi) validation, fmap-reuse metric, search space bounds,
+// genome decode, and the paper's §V-A complexity estimate.
+
+#include <gtest/gtest.h>
+
+#include "core/configuration.h"
+#include "core/search_space.h"
+#include "nn/models.h"
+#include "soc/platform.h"
+
+namespace {
+
+using namespace mapcq;
+using core::configuration;
+using core::genome;
+using core::search_space;
+
+configuration valid_config(const soc::platform& plat, std::size_t groups) {
+  const std::size_t m = plat.size();
+  configuration c;
+  c.partition.assign(groups, std::vector<double>(m, 1.0 / static_cast<double>(m)));
+  c.forward.assign(groups, std::vector<bool>(m, true));
+  c.mapping.resize(m);
+  for (std::size_t i = 0; i < m; ++i) c.mapping[i] = i;
+  c.dvfs.assign(m, 0);
+  return c;
+}
+
+TEST(configuration, valid_passes) {
+  const auto plat = soc::agx_xavier();
+  EXPECT_NO_THROW(valid_config(plat, 4).validate(plat));
+}
+
+TEST(configuration, rejects_partition_not_summing_to_one) {
+  const auto plat = soc::agx_xavier();
+  auto c = valid_config(plat, 4);
+  c.partition[2][0] = 0.9;
+  EXPECT_THROW(c.validate(plat), std::logic_error);
+}
+
+TEST(configuration, rejects_zero_stage_one) {
+  const auto plat = soc::agx_xavier();
+  auto c = valid_config(plat, 2);
+  c.partition[0] = {0.0, 0.5, 0.5};
+  EXPECT_THROW(c.validate(plat), std::logic_error);
+}
+
+TEST(configuration, rejects_duplicate_mapping) {
+  const auto plat = soc::agx_xavier();
+  auto c = valid_config(plat, 2);
+  c.mapping = {0, 0, 1};
+  EXPECT_THROW(c.validate(plat), std::logic_error);
+}
+
+TEST(configuration, rejects_dvfs_out_of_range) {
+  const auto plat = soc::agx_xavier();
+  auto c = valid_config(plat, 2);
+  c.dvfs[0] = 999;
+  EXPECT_THROW(c.validate(plat), std::logic_error);
+}
+
+TEST(configuration, rejects_ragged_rows) {
+  const auto plat = soc::agx_xavier();
+  auto c = valid_config(plat, 2);
+  c.forward[1].pop_back();
+  EXPECT_THROW(c.validate(plat), std::logic_error);
+}
+
+TEST(configuration, fmap_reuse_counts_settable_bits) {
+  const auto plat = soc::agx_xavier();
+  auto c = valid_config(plat, 2);  // all bits set, 2 groups x 2 settable stages
+  EXPECT_DOUBLE_EQ(c.fmap_reuse_ratio(), 1.0);
+  c.forward[0][0] = false;
+  EXPECT_DOUBLE_EQ(c.fmap_reuse_ratio(), 0.75);
+}
+
+TEST(configuration, fmap_reuse_skips_empty_slices) {
+  const auto plat = soc::agx_xavier();
+  auto c = valid_config(plat, 1);
+  c.partition[0] = {0.5, 0.0, 0.5};  // stage 2 owns nothing
+  c.forward[0] = {true, true, false};
+  // Only stage 1's bit counts (stage 2 has nothing to forward).
+  EXPECT_DOUBLE_EQ(c.fmap_reuse_ratio(), 1.0);
+}
+
+TEST(configuration, describe_mentions_units) {
+  const auto plat = soc::agx_xavier();
+  const auto c = valid_config(plat, 2);
+  const std::string d = c.describe(plat);
+  EXPECT_NE(d.find("GPU"), std::string::npos);
+  EXPECT_NE(d.find("reuse"), std::string::npos);
+}
+
+TEST(search_space, dimensions_match_network) {
+  const auto net = nn::build_visformer();
+  const auto plat = soc::agx_xavier();
+  const search_space space{net, plat};
+  EXPECT_EQ(space.stages(), 3u);
+  EXPECT_EQ(space.ratio_levels(), 8);
+  EXPECT_GT(space.groups(), 10u);
+}
+
+TEST(search_space, paper_per_layer_estimate) {
+  // §V-A: 8^3 * 3! * 50 ~ 1.5e5 for one Visformer layer.
+  const auto net = nn::build_visformer();
+  const auto plat = soc::agx_xavier();
+  const search_space space{net, plat};
+  EXPECT_NEAR(space.paper_per_layer_estimate(50.0), 8.0 * 8.0 * 8.0 * 6.0 * 50.0, 1e-6);
+  EXPECT_NEAR(space.paper_per_layer_estimate(50.0), 1.536e5, 1e2);
+}
+
+TEST(search_space, total_complexity_is_astronomical) {
+  const auto net = nn::build_visformer();
+  const auto plat = soc::agx_xavier();
+  const search_space space{net, plat};
+  EXPECT_GT(space.log10_total(), 20.0);  // far beyond exhaustive search
+  EXPECT_GT(space.log10_per_group(), 2.0);
+}
+
+TEST(search_space, random_genomes_always_in_bounds) {
+  const auto net = nn::build_simple_cnn();
+  const auto plat = soc::agx_xavier();
+  const search_space space{net, plat};
+  util::rng gen{77};
+  for (int i = 0; i < 200; ++i) {
+    const genome g = space.random(gen);
+    EXPECT_TRUE(space.in_bounds(g));
+  }
+}
+
+TEST(search_space, decode_produces_valid_configuration) {
+  const auto net = nn::build_simple_cnn();
+  const auto plat = soc::agx_xavier();
+  const search_space space{net, plat};
+  util::rng gen{78};
+  for (int i = 0; i < 100; ++i) {
+    const configuration c = space.decode(space.random(gen));
+    EXPECT_NO_THROW(c.validate(plat));
+  }
+}
+
+TEST(search_space, static_seed_decodes_to_equal_split_full_reuse) {
+  const auto net = nn::build_simple_cnn();
+  const auto plat = soc::agx_xavier();
+  const search_space space{net, plat};
+  const configuration c = space.decode(space.static_seed());
+  for (const auto& row : c.partition)
+    for (const double p : row) EXPECT_NEAR(p, 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(c.fmap_reuse_ratio(), 1.0);
+  for (std::size_t u = 0; u < plat.size(); ++u)
+    EXPECT_EQ(c.dvfs[u], plat.unit(u).dvfs.max_level());
+}
+
+TEST(search_space, decode_rejects_out_of_bounds) {
+  const auto net = nn::build_simple_cnn();
+  const auto plat = soc::agx_xavier();
+  const search_space space{net, plat};
+  util::rng gen{79};
+  genome g = space.random(gen);
+  g.ratio_levels[0][0] = 99;
+  EXPECT_THROW((void)space.decode(g), std::invalid_argument);
+  g = space.random(gen);
+  g.mapping = {0, 0, 1};
+  EXPECT_THROW((void)space.decode(g), std::invalid_argument);
+}
+
+TEST(search_space, rejects_degenerate_setups) {
+  const auto net = nn::build_simple_cnn();
+  const auto plat = soc::agx_xavier();
+  EXPECT_THROW((search_space{net, plat, 1}), std::invalid_argument);
+  soc::platform single;
+  single.name = "one";
+  single.units = {plat.unit(0)};
+  EXPECT_THROW((search_space{net, single}), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,207 @@
+// Accuracy model and exit simulator tests.
+
+#include <gtest/gtest.h>
+
+#include "data/accuracy_model.h"
+#include "data/exit_simulator.h"
+#include "nn/models.h"
+
+namespace {
+
+using namespace mapcq::data;
+
+accuracy_params vis_params() {
+  return accuracy_params::from(mapcq::nn::build_visformer());
+}
+
+TEST(accuracy_model, full_coverage_reaches_ceiling) {
+  const auto p = vis_params();
+  EXPECT_NEAR(stage_accuracy_pct(p, 1.0), p.base_pct + p.bonus_pct, 1e-9);
+}
+
+TEST(accuracy_model, zero_coverage_zero_accuracy) {
+  EXPECT_DOUBLE_EQ(stage_accuracy_pct(vis_params(), 0.0), 0.0);
+}
+
+TEST(accuracy_model, monotone_in_coverage) {
+  const auto p = vis_params();
+  double prev = -1.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double a = stage_accuracy_pct(p, q);
+    EXPECT_GE(a, prev);
+    prev = a;
+  }
+}
+
+TEST(accuracy_model, clamps_out_of_range_coverage) {
+  const auto p = vis_params();
+  EXPECT_DOUBLE_EQ(stage_accuracy_pct(p, 1.5), stage_accuracy_pct(p, 1.0));
+  EXPECT_DOUBLE_EQ(stage_accuracy_pct(p, -0.3), 0.0);
+}
+
+TEST(accuracy_model, rejects_bad_base) {
+  accuracy_params p;
+  p.base_pct = 120.0;
+  EXPECT_THROW((void)stage_accuracy_pct(p, 0.5), std::invalid_argument);
+}
+
+TEST(accuracy_model, vgg_bonus_lifts_above_base) {
+  const auto p = accuracy_params::from(mapcq::nn::build_vgg19());
+  // The paper's VGG19 rows exceed the static baseline thanks to deep
+  // supervision (Table II: 84.8 vs 80.55).
+  EXPECT_GT(stage_accuracy_pct(p, 1.0), p.base_pct + 3.0);
+}
+
+TEST(accuracy_model, early_exit_discount_orders_stages) {
+  auto p = vis_params();
+  p.early_exit_discount = 0.3;
+  const std::vector<double> q = {0.8, 0.8, 0.8};
+  const auto acc = stage_accuracies_pct(p, q);
+  ASSERT_EQ(acc.size(), 3u);
+  EXPECT_LT(acc[0], acc[1]);
+  EXPECT_LT(acc[1], acc[2]);
+  // Final stage pays no discount.
+  EXPECT_NEAR(acc[2], stage_accuracy_pct(p, 0.8), 1e-9);
+  // First stage pays the full discount.
+  EXPECT_NEAR(acc[0], stage_accuracy_pct(p, 0.8) * 0.7, 1e-9);
+}
+
+TEST(accuracy_model, single_stage_undiscounted) {
+  auto p = vis_params();
+  p.early_exit_discount = 0.5;
+  const auto acc = stage_accuracies_pct(p, std::vector<double>{0.9});
+  EXPECT_NEAR(acc[0], stage_accuracy_pct(p, 0.9), 1e-9);
+}
+
+TEST(accuracy_model, rejects_bad_discount) {
+  auto p = vis_params();
+  p.early_exit_discount = 1.0;
+  EXPECT_THROW((void)stage_accuracies_pct(p, std::vector<double>{0.5, 0.6}),
+               std::invalid_argument);
+}
+
+TEST(exit_ideal, fractions_sum_to_one) {
+  const std::vector<double> acc = {60.0, 75.0, 88.0};
+  const auto out = simulate_ideal(acc, 10000);
+  double s = 0.0;
+  for (const double f : out.exit_fractions) s += f;
+  EXPECT_NEAR(s, 1.0, 1e-9);
+}
+
+TEST(exit_ideal, counts_match_accuracy_increments) {
+  const std::vector<double> acc = {60.0, 75.0, 88.0};
+  const auto out = simulate_ideal(acc, 10000);
+  EXPECT_EQ(out.correct_counts[0], 6000u);  // N_1
+  EXPECT_EQ(out.correct_counts[1], 1500u);  // N_2: newly correct
+  EXPECT_EQ(out.correct_counts[2], 1300u);  // N_3
+  EXPECT_NEAR(out.dynamic_accuracy_pct, 88.0, 1e-9);
+}
+
+TEST(exit_ideal, last_stage_absorbs_never_correct) {
+  const std::vector<double> acc = {50.0, 70.0};
+  const auto out = simulate_ideal(acc, 1000);
+  // 50% exit at stage 1 (first correct); everyone else runs both stages.
+  EXPECT_NEAR(out.exit_fractions[0], 0.5, 1e-9);
+  EXPECT_NEAR(out.exit_fractions[1], 0.5, 1e-9);
+}
+
+TEST(exit_ideal, non_monotone_accuracy_uses_running_max) {
+  // A weaker later stage adds no newly-correct samples (nested model).
+  const std::vector<double> acc = {80.0, 60.0};
+  const auto out = simulate_ideal(acc, 1000);
+  EXPECT_EQ(out.correct_counts[0], 800u);
+  EXPECT_EQ(out.correct_counts[1], 0u);
+  EXPECT_NEAR(out.dynamic_accuracy_pct, 80.0, 1e-9);
+}
+
+TEST(exit_ideal, single_stage_everything_exits_there) {
+  const auto out = simulate_ideal(std::vector<double>{77.0}, 500);
+  EXPECT_NEAR(out.exit_fractions[0], 1.0, 1e-9);
+  EXPECT_EQ(out.correct_counts[0], 385u);
+}
+
+TEST(exit_ideal, rejects_bad_inputs) {
+  EXPECT_THROW((void)simulate_ideal(std::vector<double>{}, 100), std::invalid_argument);
+  EXPECT_THROW((void)simulate_ideal(std::vector<double>{100.0}, 100), std::invalid_argument);
+  EXPECT_THROW((void)simulate_ideal(std::vector<double>{-2.0}, 100), std::invalid_argument);
+  EXPECT_THROW((void)simulate_ideal(std::vector<double>{50.0}, 0), std::invalid_argument);
+}
+
+TEST(exit_threshold, zero_noise_zero_threshold_behaves_like_greedy) {
+  const std::vector<double> acc = {60.0, 88.0};
+  controller_params cp;
+  cp.confidence_noise = 0.0;
+  cp.threshold = 0.0;
+  const auto out = simulate_threshold(acc, 10000, cp);
+  // With an exact margin the controller exits exactly the correct samples.
+  EXPECT_NEAR(out.exit_fractions[0], 0.6, 0.01);
+  EXPECT_NEAR(out.dynamic_accuracy_pct, 88.0, 0.5);
+}
+
+TEST(exit_threshold, noise_causes_wrong_exits) {
+  const std::vector<double> acc = {60.0, 88.0};
+  controller_params noisy;
+  noisy.confidence_noise = 0.2;
+  const auto out = simulate_threshold(acc, 10000, noisy);
+  // Some samples exit early while wrong: dynamic accuracy degrades below
+  // the ideal 88%.
+  EXPECT_LT(out.dynamic_accuracy_pct, 87.0);
+}
+
+TEST(exit_threshold, higher_threshold_pushes_samples_deeper) {
+  const std::vector<double> acc = {60.0, 88.0};
+  controller_params lo;
+  lo.threshold = 0.0;
+  controller_params hi;
+  hi.threshold = 0.3;
+  const auto out_lo = simulate_threshold(acc, 5000, lo);
+  const auto out_hi = simulate_threshold(acc, 5000, hi);
+  EXPECT_GT(out_hi.exit_fractions[1], out_lo.exit_fractions[1]);
+}
+
+TEST(exit_threshold, fractions_sum_to_one) {
+  const std::vector<double> acc = {55.0, 70.0, 85.0};
+  const auto out = simulate_threshold(acc, 3000, controller_params{});
+  double s = 0.0;
+  for (const double f : out.exit_fractions) s += f;
+  EXPECT_NEAR(s, 1.0, 1e-9);
+}
+
+TEST(exit_threshold, rejects_negative_noise) {
+  controller_params cp;
+  cp.confidence_noise = -0.1;
+  EXPECT_THROW((void)simulate_threshold(std::vector<double>{50.0}, 100, cp),
+               std::invalid_argument);
+}
+
+// Property sweep: for any accuracy ladder the ideal simulation is
+// consistent (fractions sum to 1, counts <= population, accuracy equals the
+// running max).
+class ideal_property : public ::testing::TestWithParam<std::vector<double>> {};
+
+TEST_P(ideal_property, invariants_hold) {
+  const auto& acc = GetParam();
+  const auto out = simulate_ideal(acc, 4000);
+  double fsum = 0.0;
+  std::size_t csum = 0;
+  for (const double f : out.exit_fractions) {
+    EXPECT_GE(f, -1e-12);
+    fsum += f;
+  }
+  for (const std::size_t c : out.correct_counts) csum += c;
+  EXPECT_NEAR(fsum, 1.0, 1e-9);
+  EXPECT_LE(csum, 4000u);
+  double best = 0.0;
+  for (const double a : acc) best = std::max(best, a);
+  EXPECT_NEAR(out.dynamic_accuracy_pct, best, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(ladders, ideal_property,
+                         ::testing::Values(std::vector<double>{10.0},
+                                           std::vector<double>{0.0, 0.0, 0.0},
+                                           std::vector<double>{30.0, 60.0, 90.0},
+                                           std::vector<double>{90.0, 60.0, 30.0},
+                                           std::vector<double>{50.0, 50.0, 50.0, 50.0},
+                                           std::vector<double>{5.0, 99.0}));
+
+}  // namespace

@@ -1,0 +1,140 @@
+// Static -> dynamic transformation tests (paper eqs. 1-7, Fig. 2).
+
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "core/dynamic_transform.h"
+#include "nn/models.h"
+#include "soc/platform.h"
+
+namespace {
+
+using namespace mapcq;
+using core::configuration;
+
+struct transform_fixture : ::testing::Test {
+  nn::network net = nn::build_simple_cnn();
+  soc::platform plat = soc::agx_xavier();
+  std::vector<nn::partition_group> groups = nn::make_partition_groups(net);
+  nn::ranked_network ranking{net, widths(), 1};
+
+  std::vector<std::int64_t> widths() const {
+    std::vector<std::int64_t> w;
+    for (const auto& g : groups) w.push_back(g.width);
+    return w;
+  }
+
+  configuration static_cfg() const { return core::make_static_configuration(net, plat); }
+};
+
+TEST_F(transform_fixture, plan_has_exit_step_per_stage) {
+  const auto dyn = core::transform(net, groups, ranking, static_cfg(), plat);
+  EXPECT_EQ(dyn.plan.stages(), plat.size());
+  EXPECT_EQ(dyn.plan.groups(), groups.size() + 1);  // + exit head
+  // Every stage's exit step carries classifier work.
+  for (std::size_t i = 0; i < dyn.plan.stages(); ++i) {
+    const auto& exit_step = dyn.plan.steps[i].back();
+    EXPECT_EQ(exit_step.cost.kind, nn::layer_kind::classifier);
+    EXPECT_GT(exit_step.cost.flops, 0.0);
+  }
+}
+
+TEST_F(transform_fixture, static_config_gives_full_final_quality) {
+  const auto dyn = core::transform(net, groups, ranking, static_cfg(), plat);
+  ASSERT_EQ(dyn.stage_quality.size(), 3u);
+  EXPECT_NEAR(dyn.stage_quality.back(), 1.0, 1e-9);   // last stage sees all
+  EXPECT_LT(dyn.stage_quality[0], dyn.stage_quality[2]);
+  EXPECT_NEAR(dyn.exit_visible_frac.back(), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(dyn.fmap_reuse_ratio, 1.0);
+}
+
+TEST_F(transform_fixture, transfers_only_from_earlier_stages) {
+  const auto dyn = core::transform(net, groups, ranking, static_cfg(), plat);
+  for (std::size_t i = 0; i < dyn.plan.stages(); ++i)
+    for (const auto& step : dyn.plan.steps[i])
+      for (const auto& t : step.incoming) EXPECT_LT(t.from_stage, i);
+  // Stage 1 receives nothing.
+  for (const auto& step : dyn.plan.steps[0]) EXPECT_TRUE(step.incoming.empty());
+}
+
+TEST_F(transform_fixture, no_forwarding_means_no_transfers_and_less_quality) {
+  configuration c = static_cfg();
+  for (auto& row : c.forward) row.assign(row.size(), false);
+  const auto dyn = core::transform(net, groups, ranking, c, plat);
+  EXPECT_DOUBLE_EQ(dyn.plan.fmap_traffic_bytes(), 0.0);
+  EXPECT_DOUBLE_EQ(dyn.stored_fmap_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(dyn.fmap_reuse_ratio, 0.0);
+  const auto full = core::transform(net, groups, ranking, static_cfg(), plat);
+  EXPECT_LT(dyn.stage_quality.back(), full.stage_quality.back());
+}
+
+TEST_F(transform_fixture, zero_width_stage_has_empty_body_steps) {
+  configuration c = static_cfg();
+  for (auto& row : c.partition) row = {0.5, 0.0, 0.5};
+  const auto dyn = core::transform(net, groups, ranking, c, plat);
+  for (std::size_t g = 0; g < groups.size(); ++g)
+    EXPECT_TRUE(dyn.plan.steps[1][g].cost.empty());
+}
+
+TEST_F(transform_fixture, stored_bytes_accumulate_forwarded_slices) {
+  const auto dyn = core::transform(net, groups, ranking, static_cfg(), plat);
+  double expect = 0.0;
+  for (const auto& g : groups) expect += 2.0 * g.output_bytes(net, 1.0 / 3.0);
+  EXPECT_NEAR(dyn.stored_fmap_bytes, expect, 1e-6);
+}
+
+TEST_F(transform_fixture, flops_split_across_stages_bounded_by_full) {
+  const auto dyn = core::transform(net, groups, ranking, static_cfg(), plat);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    double split_flops = 0.0;
+    for (std::size_t i = 0; i < dyn.plan.stages(); ++i)
+      split_flops += dyn.plan.steps[i][g].cost.flops;
+    double full = 0.0;
+    for (const std::size_t m : groups[g].members) full += net.layers[m].flops();
+    // Partitioned total never exceeds the unpartitioned layer cost.
+    EXPECT_LE(split_flops, full * (1.0 + 1e-9));
+    EXPECT_GT(split_flops, 0.0);
+  }
+}
+
+TEST_F(transform_fixture, reuse_increases_later_stage_input_cost) {
+  configuration all = static_cfg();
+  configuration none = static_cfg();
+  for (auto& row : none.forward) row.assign(row.size(), false);
+  const auto dyn_all = core::transform(net, groups, ranking, all, plat);
+  const auto dyn_none = core::transform(net, groups, ranking, none, plat);
+  // With reuse, stage 3 consumes more input features -> more flops.
+  double flops_all = 0.0;
+  double flops_none = 0.0;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    flops_all += dyn_all.plan.steps[2][g].cost.flops;
+    flops_none += dyn_none.plan.steps[2][g].cost.flops;
+  }
+  EXPECT_GT(flops_all, flops_none);
+}
+
+TEST_F(transform_fixture, reorder_flag_changes_quality) {
+  configuration c = static_cfg();
+  // Make stage shares unequal so ranking matters.
+  for (auto& row : c.partition) row = {0.5, 0.25, 0.25};
+  for (auto& row : c.forward) row.assign(row.size(), false);
+  const auto ranked = core::transform(net, groups, ranking, c, plat, true);
+  const auto unranked = core::transform(net, groups, ranking, c, plat, false);
+  // Stage 1 holds the top-ranked half: reordering must help it.
+  EXPECT_GT(ranked.stage_quality[0], unranked.stage_quality[0]);
+}
+
+TEST_F(transform_fixture, rejects_mismatched_inputs) {
+  const auto c = static_cfg();
+  const std::vector<nn::partition_group> wrong(groups.begin(), groups.end() - 1);
+  EXPECT_THROW((void)core::transform(net, wrong, ranking, c, plat), std::invalid_argument);
+}
+
+TEST_F(transform_fixture, exit_head_receives_final_group_transfers) {
+  const auto dyn = core::transform(net, groups, ranking, static_cfg(), plat);
+  // Stage 3's exit head pulls the final-group slices of stages 1 and 2.
+  const auto& exit_step = dyn.plan.steps[2].back();
+  EXPECT_EQ(exit_step.incoming.size(), 2u);
+}
+
+}  // namespace

@@ -1,0 +1,156 @@
+#include "nn/graph.h"
+#include "nn/models.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/flops.h"
+#include "nn/partition_groups.h"
+
+namespace {
+
+using namespace mapcq::nn;
+
+TEST(graph, validate_rejects_shape_break) {
+  network net;
+  net.name = "bad";
+  net.input = {3, 32, 32};
+  net.classes = 10;
+  net.layers.push_back(make_conv2d("c1", {3, 32, 32}, 8, 3, 1, 1));
+  net.layers.push_back(make_conv2d("c2", {16, 32, 32}, 8, 3, 1, 1));  // wrong in-ch
+  net.layers.push_back(make_classifier("fc", 8, 10));
+  EXPECT_THROW(net.validate(), std::logic_error);
+}
+
+TEST(graph, validate_requires_classifier_tail) {
+  network net;
+  net.name = "no-head";
+  net.input = {3, 32, 32};
+  net.classes = 10;
+  net.layers.push_back(make_conv2d("c1", {3, 32, 32}, 8, 3, 1, 1));
+  EXPECT_THROW(net.validate(), std::logic_error);
+}
+
+TEST(graph, validate_rejects_empty) {
+  network net;
+  net.name = "empty";
+  net.classes = 10;
+  net.input = {3, 32, 32};
+  EXPECT_THROW(net.validate(), std::logic_error);
+}
+
+TEST(visformer, builds_and_validates) {
+  const network net = build_visformer();
+  EXPECT_EQ(net.classes, 100);
+  EXPECT_GT(net.depth(), 30u);
+  EXPECT_EQ(net.layers.back().kind, layer_kind::classifier);
+}
+
+TEST(visformer, flops_in_expected_band) {
+  const network net = build_visformer();
+  EXPECT_GT(net.total_flops(), 0.3e9);
+  EXPECT_LT(net.total_flops(), 1.5e9);
+}
+
+TEST(visformer, feature_dim_matches_last_stage) {
+  EXPECT_EQ(build_visformer().feature_dim(), 384);
+}
+
+TEST(visformer, has_attention_layers) {
+  const network net = build_visformer();
+  int attn = 0;
+  for (const auto& l : net.layers)
+    if (l.kind == layer_kind::attention) ++attn;
+  EXPECT_EQ(attn, 8);  // 4 blocks x 2 transformer stages
+}
+
+TEST(vgg19, builds_and_validates) {
+  const network net = build_vgg19();
+  EXPECT_EQ(net.classes, 100);
+  int convs = 0;
+  for (const auto& l : net.layers)
+    if (l.kind == layer_kind::conv2d) ++convs;
+  EXPECT_EQ(convs, 16);  // configuration E
+}
+
+TEST(vgg19, flops_exceed_visformer) {
+  EXPECT_GT(build_vgg19().total_flops(), build_visformer().total_flops());
+}
+
+TEST(vgg19, params_dominated_by_convs) {
+  const network net = build_vgg19();
+  EXPECT_GT(net.total_params(), 10e6);
+  EXPECT_DOUBLE_EQ(net.total_weight_bytes(), net.total_params() * fp16_bytes);
+}
+
+TEST(simple_cnn, small_and_valid) {
+  const network net = build_simple_cnn();
+  EXPECT_EQ(net.classes, 10);
+  EXPECT_LT(net.total_flops(), 0.2e9);
+}
+
+TEST(graph, peak_activation_positive) {
+  EXPECT_GT(build_visformer().peak_activation_bytes(), 0.0);
+}
+
+TEST(graph, partitionable_layers_excludes_tail) {
+  const network net = build_simple_cnn();
+  const auto idx = net.partitionable_layers();
+  EXPECT_FALSE(idx.empty());
+  // global pool and classifier are not partitionable
+  EXPECT_LT(idx.back(), net.depth() - 2);
+}
+
+TEST(partition_groups, lead_layers_are_width_defining) {
+  const network net = build_visformer();
+  const auto groups = make_partition_groups(net);
+  EXPECT_GT(groups.size(), 10u);
+  for (const auto& g : groups) {
+    const layer_kind k = net.layers[g.lead].kind;
+    EXPECT_TRUE(k == layer_kind::conv2d || k == layer_kind::patch_embed ||
+                k == layer_kind::linear || k == layer_kind::attention || k == layer_kind::mlp);
+    EXPECT_GT(g.width, 0);
+    EXPECT_FALSE(g.members.empty());
+    EXPECT_EQ(g.members.front(), g.lead);
+  }
+}
+
+TEST(partition_groups, members_cover_all_partitionable_layers_once) {
+  const network net = build_vgg19();
+  const auto groups = make_partition_groups(net);
+  std::vector<bool> seen(net.depth(), false);
+  for (const auto& g : groups)
+    for (const std::size_t m : g.members) {
+      EXPECT_FALSE(seen[m]) << "layer in two groups";
+      seen[m] = true;
+    }
+  for (std::size_t j = 0; j < net.depth(); ++j)
+    EXPECT_EQ(seen[j], net.layers[j].partitionable) << "layer " << j;
+}
+
+TEST(partition_groups, group_output_bytes_scale_with_fraction) {
+  const network net = build_simple_cnn();
+  const auto groups = make_partition_groups(net);
+  const auto& g = groups.front();
+  EXPECT_NEAR(g.output_bytes(net, 0.5), 0.5 * g.output_bytes(net, 1.0), 1e-9);
+}
+
+TEST(partition_groups, vgg_group_count_matches_width_layers) {
+  const network net = build_vgg19();
+  // 16 convs + 2 hidden FCs = 18 width-defining layers.
+  EXPECT_EQ(make_partition_groups(net).size(), 18u);
+}
+
+TEST(flops_analysis, shares_sum_to_one) {
+  const network net = build_visformer();
+  double total_share = 0.0;
+  for (const auto& c : analyze(net)) total_share += c.share;
+  EXPECT_NEAR(total_share, 1.0, 1e-9);
+}
+
+TEST(flops_analysis, cost_table_renders) {
+  const network net = build_simple_cnn();
+  const std::string t = cost_table(net, 5);
+  EXPECT_NE(t.find("conv"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,154 @@
+#include "nn/layer.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/tensor.h"
+
+namespace {
+
+using namespace mapcq::nn;
+
+TEST(tensor_shape, elements_and_bytes) {
+  const tensor_shape s{3, 32, 32};
+  EXPECT_EQ(s.elements(), 3 * 32 * 32);
+  EXPECT_DOUBLE_EQ(s.bytes(), 3 * 32 * 32 * fp16_bytes);
+  EXPECT_DOUBLE_EQ(s.bytes(0.5), 3 * 32 * 32 * fp16_bytes * 0.5);
+}
+
+TEST(tensor_shape, str_format) { EXPECT_EQ((tensor_shape{3, 32, 16}.str()), "3x32x16"); }
+
+TEST(layer, conv_output_geometry) {
+  const layer l = make_conv2d("c", {3, 32, 32}, 64, 3, 1, 1);
+  EXPECT_EQ(l.output(), (tensor_shape{64, 32, 32}));
+  EXPECT_EQ(l.width(), 64);
+}
+
+TEST(layer, conv_strided_output) {
+  const layer l = make_conv2d("c", {8, 32, 32}, 16, 3, 2, 1);
+  EXPECT_EQ(l.output(), (tensor_shape{16, 16, 16}));
+}
+
+TEST(layer, conv_flops_exact) {
+  // 2 * Cin * Cout * K^2 * Hout * Wout
+  const layer l = make_conv2d("c", {3, 32, 32}, 64, 3, 1, 1);
+  EXPECT_DOUBLE_EQ(l.flops(), 2.0 * 3 * 64 * 9 * 32 * 32);
+}
+
+TEST(layer, conv_flops_scale_bilinearly_with_fractions) {
+  const layer l = make_conv2d("c", {64, 16, 16}, 64, 3, 1, 1);
+  EXPECT_NEAR(l.flops(0.5, 0.5), 0.25 * l.flops(), 1e-6);
+  EXPECT_NEAR(l.flops(1.0, 0.25), 0.25 * l.flops(), 1e-6);
+}
+
+TEST(layer, conv_params_include_bias) {
+  const layer l = make_conv2d("c", {8, 8, 8}, 16, 3, 1, 1);
+  EXPECT_DOUBLE_EQ(l.params(), 8.0 * 16 * 9 + 16);
+}
+
+TEST(layer, conv_rejects_bad_geometry) {
+  EXPECT_THROW((void)make_conv2d("c", {0, 32, 32}, 8, 3, 1, 1), std::invalid_argument);
+  EXPECT_THROW((void)make_conv2d("c", {3, 32, 32}, 0, 3, 1, 1), std::invalid_argument);
+  EXPECT_THROW((void)make_conv2d("c", {3, 2, 2}, 8, 5, 1, 0), std::invalid_argument);
+  EXPECT_THROW((void)make_conv2d("c", {3, 32, 32}, 8, 3, 1, -1), std::invalid_argument);
+}
+
+TEST(layer, linear_flops_and_shape) {
+  const layer l = make_linear("fc", 512, 100);
+  EXPECT_EQ(l.output(), (tensor_shape{100, 1, 1}));
+  EXPECT_DOUBLE_EQ(l.flops(), 2.0 * 512 * 100);
+}
+
+TEST(layer, attention_width_is_heads) {
+  const layer l = make_attention("attn", {192, 8, 8}, 6);
+  EXPECT_EQ(l.width(), 6);
+  EXPECT_EQ(l.head_dim, 32);
+  EXPECT_EQ(l.output(), (tensor_shape{192, 8, 8}));
+}
+
+TEST(layer, attention_flops_formula) {
+  const layer l = make_attention("attn", {192, 8, 8}, 6);
+  const double d = 192;
+  const double t = 64;
+  const double dh = 32;
+  const double h = 6;
+  const double expected =
+      3 * 2 * d * h * dh * t + 2 * t * t * dh * h + 2 * t * t * dh * h + 2 * h * dh * d * t;
+  EXPECT_DOUBLE_EQ(l.flops(), expected);
+}
+
+TEST(layer, attention_head_fraction_scales) {
+  const layer l = make_attention("attn", {384, 4, 4}, 12);
+  // half the heads with full input -> strictly more than half the cost of
+  // qkv is saved but the out-projection also halves; overall < full.
+  EXPECT_LT(l.flops(1.0, 0.5), l.flops());
+  EXPECT_GT(l.flops(1.0, 0.5), 0.25 * l.flops());
+}
+
+TEST(layer, attention_requires_divisible_heads) {
+  EXPECT_THROW((void)make_attention("attn", {100, 8, 8}, 6), std::invalid_argument);
+}
+
+TEST(layer, mlp_flops) {
+  const layer l = make_mlp("mlp", {192, 8, 8}, 768);
+  EXPECT_DOUBLE_EQ(l.flops(), 2.0 * 192 * 768 * 64 + 2.0 * 768 * 192 * 64);
+}
+
+TEST(layer, norm_preserves_shape_and_is_cheap) {
+  const layer l = make_norm("n", {64, 16, 16});
+  EXPECT_EQ(l.output(), (tensor_shape{64, 16, 16}));
+  EXPECT_LT(l.flops(), 1e6);
+  EXPECT_EQ(l.width(), 64);
+}
+
+TEST(layer, pool_halves_spatial) {
+  const layer l = make_pool("p", {64, 16, 16}, 2, 2);
+  EXPECT_EQ(l.output(), (tensor_shape{64, 8, 8}));
+  EXPECT_DOUBLE_EQ(l.params(), 0.0);
+}
+
+TEST(layer, pool_rejects_oversized_kernel) {
+  EXPECT_THROW((void)make_pool("p", {8, 2, 2}, 4, 4), std::invalid_argument);
+}
+
+TEST(layer, patch_embed_divides_resolution) {
+  const layer l = make_patch_embed("e", {32, 16, 16}, 96, 2);
+  EXPECT_EQ(l.output(), (tensor_shape{96, 8, 8}));
+  EXPECT_THROW((void)make_patch_embed("e", {32, 15, 15}, 96, 2), std::invalid_argument);
+}
+
+TEST(layer, global_pool_not_partitionable) {
+  const layer l = make_global_pool("g", {384, 4, 4});
+  EXPECT_FALSE(l.partitionable);
+  EXPECT_EQ(l.output(), (tensor_shape{384, 1, 1}));
+}
+
+TEST(layer, classifier_shape_and_flops) {
+  const layer l = make_classifier("fc", 384, 100);
+  EXPECT_FALSE(l.partitionable);
+  EXPECT_EQ(l.output(), (tensor_shape{100, 1, 1}));
+  EXPECT_DOUBLE_EQ(l.flops(), 2.0 * 384 * 100);
+}
+
+TEST(layer, weight_bytes_fp16) {
+  const layer l = make_linear("fc", 100, 10);
+  EXPECT_DOUBLE_EQ(l.weight_bytes(), l.params() * fp16_bytes);
+}
+
+TEST(layer, arithmetic_intensity_positive_for_compute_layers) {
+  const layer l = make_conv2d("c", {64, 16, 16}, 64, 3, 1, 1);
+  EXPECT_GT(l.arithmetic_intensity(), 1.0);
+}
+
+TEST(layer, fraction_clamping) {
+  const layer l = make_conv2d("c", {8, 8, 8}, 8, 3, 1, 1);
+  EXPECT_DOUBLE_EQ(l.flops(2.0, 2.0), l.flops(1.0, 1.0));
+  EXPECT_DOUBLE_EQ(l.flops(-1.0, 1.0), 0.0);
+}
+
+TEST(layer, kind_names) {
+  EXPECT_STREQ(to_string(layer_kind::conv2d), "conv2d");
+  EXPECT_STREQ(to_string(layer_kind::attention), "attention");
+  EXPECT_STREQ(to_string(layer_kind::classifier), "classifier");
+}
+
+}  // namespace

@@ -1,0 +1,167 @@
+// Objective (eq. 16) and Pareto-front tests.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/objective.h"
+#include "core/pareto.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace mapcq;
+using core::dominates;
+using core::pareto_front;
+
+data::exit_outcome make_exits(std::vector<std::size_t> counts, std::size_t pop) {
+  data::exit_outcome e;
+  e.correct_counts = std::move(counts);
+  e.exit_fractions.assign(e.correct_counts.size(), 0.0);
+  e.population = pop;
+  return e;
+}
+
+TEST(objective, hand_computed_value) {
+  // Acc_base = 90, Acc_SM = 85, T = (2, 4), E_cum = (10, 30),
+  // N = (600, 200) of 1000.
+  const std::vector<double> t = {2.0, 4.0};
+  const std::vector<double> e = {10.0, 30.0};
+  const std::vector<double> a = {70.0, 85.0};
+  const auto exits = make_exits({600, 200}, 1000);
+  core::objective_inputs in;
+  in.base_accuracy_pct = 90.0;
+  in.stage_latency_ms = t;
+  in.cumulative_energy_mj = e;
+  in.stage_accuracy_pct = a;
+  in.exits = &exits;
+  const double t_term = 2.0 * 0.6 + 4.0 * 0.2;
+  const double e_term = 10.0 * 0.6 + 30.0 * 0.2;
+  EXPECT_NEAR(core::objective_value(in), (90.0 / 85.0) * t_term * e_term, 1e-12);
+}
+
+TEST(objective, lower_latency_lower_objective) {
+  const std::vector<double> e = {10.0, 30.0};
+  const std::vector<double> a = {70.0, 85.0};
+  const auto exits = make_exits({600, 200}, 1000);
+  core::objective_inputs in;
+  in.base_accuracy_pct = 90.0;
+  in.cumulative_energy_mj = e;
+  in.stage_accuracy_pct = a;
+  in.exits = &exits;
+  const std::vector<double> fast = {1.0, 2.0};
+  const std::vector<double> slow = {2.0, 4.0};
+  in.stage_latency_ms = fast;
+  const double obj_fast = core::objective_value(in);
+  in.stage_latency_ms = slow;
+  const double obj_slow = core::objective_value(in);
+  EXPECT_LT(obj_fast, obj_slow);
+}
+
+TEST(objective, zero_last_accuracy_is_infeasible) {
+  const std::vector<double> t = {1.0};
+  const std::vector<double> e = {1.0};
+  const std::vector<double> a = {0.0};
+  const auto exits = make_exits({0}, 100);
+  core::objective_inputs in;
+  in.base_accuracy_pct = 90.0;
+  in.stage_latency_ms = t;
+  in.cumulative_energy_mj = e;
+  in.stage_accuracy_pct = a;
+  in.exits = &exits;
+  EXPECT_TRUE(std::isinf(core::objective_value(in)));
+}
+
+TEST(objective, nothing_correct_is_infeasible) {
+  const std::vector<double> t = {1.0, 1.0};
+  const std::vector<double> e = {1.0, 2.0};
+  const std::vector<double> a = {10.0, 20.0};
+  const auto exits = make_exits({0, 0}, 100);
+  core::objective_inputs in;
+  in.base_accuracy_pct = 90.0;
+  in.stage_latency_ms = t;
+  in.cumulative_energy_mj = e;
+  in.stage_accuracy_pct = a;
+  in.exits = &exits;
+  EXPECT_TRUE(std::isinf(core::objective_value(in)));
+}
+
+TEST(objective, rejects_mismatched_spans) {
+  const std::vector<double> t = {1.0};
+  const std::vector<double> e = {1.0, 2.0};
+  const std::vector<double> a = {50.0};
+  const auto exits = make_exits({10}, 100);
+  core::objective_inputs in;
+  in.base_accuracy_pct = 90.0;
+  in.stage_latency_ms = t;
+  in.cumulative_energy_mj = e;
+  in.stage_accuracy_pct = a;
+  in.exits = &exits;
+  EXPECT_THROW((void)core::objective_value(in), std::invalid_argument);
+  in.exits = nullptr;
+  EXPECT_THROW((void)core::objective_value(in), std::invalid_argument);
+}
+
+TEST(pareto, dominates_cases) {
+  EXPECT_TRUE(dominates(std::vector<double>{1.0, 2.0}, std::vector<double>{2.0, 2.0}));
+  EXPECT_TRUE(dominates(std::vector<double>{1.0, 1.0}, std::vector<double>{2.0, 2.0}));
+  EXPECT_FALSE(dominates(std::vector<double>{1.0, 3.0}, std::vector<double>{2.0, 2.0}));
+  EXPECT_FALSE(dominates(std::vector<double>{2.0, 2.0}, std::vector<double>{2.0, 2.0}));
+  EXPECT_THROW((void)dominates(std::vector<double>{1.0}, std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(pareto, simple_front) {
+  const std::vector<std::vector<double>> pts = {
+      {1.0, 5.0}, {2.0, 3.0}, {4.0, 1.0}, {3.0, 4.0}, {5.0, 5.0}};
+  const auto front = pareto_front(pts);
+  EXPECT_EQ(front, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(pareto, identical_points_all_on_front) {
+  const std::vector<std::vector<double>> pts = {{1.0, 1.0}, {1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_EQ(pareto_front(pts).size(), 3u);
+}
+
+TEST(pareto, single_point) {
+  EXPECT_EQ(pareto_front({{3.0, 4.0}}).size(), 1u);
+}
+
+TEST(pareto, empty_input_empty_front) {
+  EXPECT_TRUE(pareto_front({}).empty());
+}
+
+// Property: every front member is pairwise non-dominated; every non-member
+// is dominated by someone.
+class pareto_property : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(pareto_property, front_definition_holds) {
+  util::rng gen{GetParam()};
+  std::vector<std::vector<double>> pts(60);
+  for (auto& p : pts) p = {gen.uniform(0, 10), gen.uniform(0, 10), gen.uniform(0, 10)};
+  const auto front = pareto_front(pts);
+  ASSERT_FALSE(front.empty());
+
+  std::vector<bool> on_front(pts.size(), false);
+  for (const std::size_t i : front) on_front[i] = true;
+
+  for (const std::size_t i : front) {
+    for (const std::size_t j : front) {
+      if (i != j) {
+        EXPECT_FALSE(dominates(pts[j], pts[i]));
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (on_front[i]) continue;
+    bool dominated = false;
+    for (std::size_t j = 0; j < pts.size() && !dominated; ++j)
+      if (j != i && dominates(pts[j], pts[i])) dominated = true;
+    EXPECT_TRUE(dominated) << "non-front point " << i << " undominated";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, pareto_property, ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+}  // namespace

@@ -1,0 +1,181 @@
+// Latency/energy roofline model and stage-plan structure tests.
+
+#include <gtest/gtest.h>
+
+#include "perf/energy_model.h"
+#include "perf/latency_model.h"
+#include "perf/work.h"
+#include "soc/platform.h"
+
+namespace {
+
+using namespace mapcq;
+using perf::model_options;
+using perf::sublayer_cost;
+
+sublayer_cost compute_bound_cost() {
+  sublayer_cost c;
+  c.kind = nn::layer_kind::conv2d;
+  c.flops = 1e9;
+  c.weight_bytes = 1e3;
+  c.in_bytes = 1e3;
+  c.out_bytes = 1e3;
+  c.width_frac = 1.0;
+  return c;
+}
+
+sublayer_cost memory_bound_cost() {
+  sublayer_cost c;
+  c.kind = nn::layer_kind::norm;
+  c.flops = 1e3;
+  c.weight_bytes = 0.0;
+  c.in_bytes = 5e7;
+  c.out_bytes = 5e7;
+  c.width_frac = 1.0;
+  return c;
+}
+
+TEST(latency_model, empty_cost_is_free) {
+  const auto plat = soc::agx_xavier();
+  EXPECT_DOUBLE_EQ(perf::sublayer_latency_ms({}, plat.unit(0), 0), 0.0);
+}
+
+TEST(latency_model, compute_bound_matches_roofline) {
+  const auto plat = soc::agx_xavier();
+  const auto& gpu = plat.unit(0);
+  const auto c = compute_bound_cost();
+  const std::size_t max = gpu.dvfs.max_level();
+  const double expected =
+      gpu.launch_overhead_ms + c.flops / (gpu.sustained_gflops(c.kind, 1.0, max) * 1e6);
+  EXPECT_NEAR(perf::sublayer_latency_ms(c, gpu, max), expected, 1e-9);
+}
+
+TEST(latency_model, memory_bound_matches_bandwidth) {
+  const auto plat = soc::agx_xavier();
+  const auto& gpu = plat.unit(0);
+  const auto c = memory_bound_cost();
+  const std::size_t max = gpu.dvfs.max_level();
+  const double expected = gpu.launch_overhead_ms + c.moved_bytes() / (gpu.mem_bandwidth_gbps * 1e6);
+  EXPECT_NEAR(perf::sublayer_latency_ms(c, gpu, max), expected, 1e-9);
+}
+
+TEST(latency_model, lower_dvfs_slower_compute) {
+  const auto plat = soc::agx_xavier();
+  const auto& gpu = plat.unit(0);
+  const auto c = compute_bound_cost();
+  EXPECT_GT(perf::sublayer_latency_ms(c, gpu, 0),
+            perf::sublayer_latency_ms(c, gpu, gpu.dvfs.max_level()));
+}
+
+TEST(latency_model, contention_slows_memory_bound) {
+  const auto plat = soc::agx_xavier();
+  const auto& gpu = plat.unit(0);
+  const auto c = memory_bound_cost();
+  const std::size_t max = gpu.dvfs.max_level();
+  const double alone = perf::sublayer_latency_ms(c, gpu, max, 1);
+  const double shared = perf::sublayer_latency_ms(c, gpu, max, 3);
+  EXPECT_GT(shared, alone);
+  model_options off;
+  off.enable_contention = false;
+  EXPECT_DOUBLE_EQ(perf::sublayer_latency_ms(c, gpu, max, 3, off), alone);
+}
+
+TEST(latency_model, narrow_slice_pays_occupancy) {
+  const auto plat = soc::agx_xavier();
+  const auto& gpu = plat.unit(0);
+  auto full = compute_bound_cost();
+  auto half = full;
+  half.flops *= 0.5;
+  half.width_frac = 0.5;
+  const std::size_t max = gpu.dvfs.max_level();
+  // Half the work at lower occupancy: more than half the full latency.
+  EXPECT_GT(perf::sublayer_latency_ms(half, gpu, max),
+            0.5 * perf::sublayer_latency_ms(full, gpu, max));
+}
+
+TEST(energy_model, energy_is_latency_times_power) {
+  const auto plat = soc::agx_xavier();
+  const auto& dla = plat.unit(1);
+  const auto c = compute_bound_cost();
+  const std::size_t max = dla.dvfs.max_level();
+  const double tau = perf::sublayer_latency_ms(c, dla, max);
+  EXPECT_NEAR(perf::sublayer_energy_mj(c, dla, max), tau * dla.power_w(c.kind, max), 1e-9);
+}
+
+TEST(energy_model, empty_cost_free) {
+  const auto plat = soc::agx_xavier();
+  EXPECT_DOUBLE_EQ(perf::sublayer_energy_mj({}, plat.unit(0), 0), 0.0);
+}
+
+TEST(energy_model, energy_for_latency_helper) {
+  const auto plat = soc::agx_xavier();
+  const auto& gpu = plat.unit(0);
+  const std::size_t max = gpu.dvfs.max_level();
+  EXPECT_NEAR(perf::energy_for_latency_mj(2.0, nn::layer_kind::conv2d, gpu, max),
+              2.0 * gpu.power_w(nn::layer_kind::conv2d, max), 1e-12);
+  EXPECT_DOUBLE_EQ(perf::energy_for_latency_mj(0.0, nn::layer_kind::conv2d, gpu, max), 0.0);
+}
+
+TEST(energy_model, dla_more_efficient_than_gpu_per_joule) {
+  const auto plat = soc::agx_xavier();
+  const auto c = compute_bound_cost();
+  const double e_gpu =
+      perf::sublayer_energy_mj(c, plat.unit(0), plat.unit(0).dvfs.max_level());
+  const double e_dla =
+      perf::sublayer_energy_mj(c, plat.unit(1), plat.unit(1).dvfs.max_level());
+  EXPECT_LT(e_dla, e_gpu);  // the whole premise of the paper
+}
+
+TEST(stage_plan, validate_accepts_wellformed) {
+  perf::stage_plan plan;
+  plan.steps.assign(2, std::vector<perf::stage_step>(3));
+  plan.steps[1][1].incoming.push_back({0, 100.0});
+  plan.cu_of_stage = {0, 1};
+  plan.dvfs_level = {0, 0, 0};
+  EXPECT_NO_THROW(plan.validate(3));
+}
+
+TEST(stage_plan, validate_rejects_duplicate_cu) {
+  perf::stage_plan plan;
+  plan.steps.assign(2, std::vector<perf::stage_step>(1));
+  plan.cu_of_stage = {1, 1};
+  plan.dvfs_level = {0, 0, 0};
+  EXPECT_THROW(plan.validate(3), std::logic_error);
+}
+
+TEST(stage_plan, validate_rejects_forward_reference) {
+  perf::stage_plan plan;
+  plan.steps.assign(2, std::vector<perf::stage_step>(1));
+  plan.steps[0][0].incoming.push_back({1, 10.0});  // from a LATER stage
+  plan.cu_of_stage = {0, 1};
+  plan.dvfs_level = {0, 0, 0};
+  EXPECT_THROW(plan.validate(3), std::logic_error);
+}
+
+TEST(stage_plan, validate_rejects_ragged_grid) {
+  perf::stage_plan plan;
+  plan.steps.resize(2);
+  plan.steps[0].resize(3);
+  plan.steps[1].resize(2);
+  plan.cu_of_stage = {0, 1};
+  plan.dvfs_level = {0, 0};
+  EXPECT_THROW(plan.validate(2), std::logic_error);
+}
+
+TEST(stage_plan, traffic_sums_incoming) {
+  perf::stage_plan plan;
+  plan.steps.assign(3, std::vector<perf::stage_step>(2));
+  plan.steps[1][0].incoming.push_back({0, 100.0});
+  plan.steps[2][1].incoming.push_back({0, 50.0});
+  plan.steps[2][1].incoming.push_back({1, 25.0});
+  EXPECT_DOUBLE_EQ(plan.fmap_traffic_bytes(), 175.0);
+}
+
+TEST(sublayer_cost, empty_detection) {
+  perf::sublayer_cost c;
+  EXPECT_TRUE(c.empty());
+  c.flops = 1.0;
+  EXPECT_FALSE(c.empty());
+}
+
+}  // namespace

@@ -1,0 +1,124 @@
+// Cross-cutting property sweeps over randomly sampled configurations:
+// invariants that must hold for ANY point of the search space, not just the
+// hand-picked cases of the unit tests.
+
+#include <gtest/gtest.h>
+
+#include "core/dynamic_transform.h"
+#include "core/evaluator.h"
+#include "core/search_space.h"
+#include "nn/models.h"
+#include "perf/characterizer.h"
+#include "soc/platform.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace mapcq;
+
+struct property_env {
+  nn::network net = nn::build_simple_cnn();
+  soc::platform plat = soc::agx_xavier();
+  core::search_space space{net, plat};
+  core::evaluator eval{net, plat, {}};
+  std::vector<nn::partition_group> groups = nn::make_partition_groups(net);
+  nn::ranked_network ranking{net, widths(), 1};
+
+  std::vector<std::int64_t> widths() const {
+    std::vector<std::int64_t> w;
+    for (const auto& g : groups) w.push_back(g.width);
+    return w;
+  }
+};
+
+property_env& env() {
+  static property_env e;
+  return e;
+}
+
+class random_config : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  core::configuration sample() {
+    util::rng gen{GetParam()};
+    return env().space.decode(env().space.random(gen));
+  }
+};
+
+TEST_P(random_config, evaluation_metrics_are_sane) {
+  const auto e = env().eval.evaluate(sample());
+  EXPECT_GE(e.avg_latency_ms, 0.0);
+  EXPECT_GE(e.avg_energy_mj, 0.0);
+  EXPECT_LE(e.avg_latency_ms, e.worst_latency_ms + 1e-9);
+  EXPECT_LE(e.avg_energy_mj, e.worst_energy_mj + 1e-9);
+  EXPECT_GE(e.accuracy_pct, 0.0);
+  EXPECT_LT(e.accuracy_pct, 100.0);
+  EXPECT_GE(e.fmap_reuse_pct, 0.0);
+  EXPECT_LE(e.fmap_reuse_pct, 100.0);
+  double fsum = 0.0;
+  for (const double f : e.exit_fractions) fsum += f;
+  EXPECT_NEAR(fsum, 1.0, 1e-6);
+}
+
+TEST_P(random_config, transform_plan_is_valid_and_costs_bounded) {
+  const auto cfg = sample();
+  const auto dyn =
+      core::transform(env().net, env().groups, env().ranking, cfg, env().plat);
+  EXPECT_NO_THROW(dyn.plan.validate(env().plat.size()));
+  // Per group, the partitioned flops never exceed the full layer's cost.
+  for (std::size_t g = 0; g < env().groups.size(); ++g) {
+    double split = 0.0;
+    for (std::size_t i = 0; i < dyn.plan.stages(); ++i)
+      split += dyn.plan.steps[i][g].cost.flops;
+    double full = 0.0;
+    for (const std::size_t m : env().groups[g].members) full += env().net.layers[m].flops();
+    EXPECT_LE(split, full * 1.0001);
+  }
+  // Qualities and visibility fractions are proper fractions.
+  for (const double q : dyn.stage_quality) {
+    EXPECT_GE(q, 0.0);
+    EXPECT_LE(q, 1.0 + 1e-9);
+  }
+  for (const double v : dyn.exit_visible_frac) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0 + 1e-9);
+  }
+  EXPECT_GE(dyn.stored_fmap_bytes, 0.0);
+}
+
+TEST_P(random_config, characterizer_cumulative_monotone) {
+  const auto cfg = sample();
+  const auto dyn =
+      core::transform(env().net, env().groups, env().ranking, cfg, env().plat);
+  const auto exec = perf::simulate(env().plat, dyn.plan);
+  const auto prof = perf::characterize(exec);
+  for (std::size_t m = 1; m < prof.stages(); ++m) {
+    EXPECT_GE(prof.latency_upto[m], prof.latency_upto[m - 1] - 1e-12);
+    EXPECT_GE(prof.energy_upto[m], prof.energy_upto[m - 1] - 1e-12);
+  }
+}
+
+TEST_P(random_config, stage_one_never_stalls) {
+  // Stage 1 depends on no other stage: its wait time must be zero.
+  const auto cfg = sample();
+  const auto dyn =
+      core::transform(env().net, env().groups, env().ranking, cfg, env().plat);
+  const auto exec = perf::simulate(env().plat, dyn.plan);
+  EXPECT_NEAR(exec.stages[0].wait_ms, 0.0, 1e-12);
+}
+
+TEST_P(random_config, more_forwarding_never_hurts_final_quality) {
+  // Setting every indicator bit weakly improves the last stage's coverage.
+  auto cfg = sample();
+  const auto base =
+      core::transform(env().net, env().groups, env().ranking, cfg, env().plat);
+  for (auto& row : cfg.forward)
+    for (std::size_t i = 0; i + 1 < row.size(); ++i) row[i] = true;
+  const auto full =
+      core::transform(env().net, env().groups, env().ranking, cfg, env().plat);
+  EXPECT_GE(full.stage_quality.back() + 1e-9, base.stage_quality.back());
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, random_config,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u, 606u, 707u, 808u));
+
+}  // namespace

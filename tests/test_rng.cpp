@@ -1,0 +1,172 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace {
+
+using mapcq::util::rng;
+
+TEST(rng, same_seed_same_stream) {
+  rng a{42};
+  rng b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(rng, different_seeds_differ) {
+  rng a{1};
+  rng b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(rng, uniform_in_unit_interval) {
+  rng g{7};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = g.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(rng, uniform_range_respected) {
+  rng g{7};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = g.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(rng, uniform_mean_close_to_half) {
+  rng g{11};
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += g.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(rng, uniform_int_inclusive_bounds) {
+  rng g{3};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = g.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all four values hit
+}
+
+TEST(rng, uniform_int_single_value) {
+  rng g{3};
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(g.uniform_int(9, 9), 9);
+}
+
+TEST(rng, normal_moments) {
+  rng g{13};
+  const int n = 200000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = g.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.02);
+}
+
+TEST(rng, normal_scaled) {
+  rng g{17};
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += g.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(rng, lognormal_positive) {
+  rng g{19};
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(g.lognormal(0.0, 1.5), 0.0);
+}
+
+TEST(rng, bernoulli_probability) {
+  rng g{23};
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (g.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(rng, bernoulli_degenerate) {
+  rng g{29};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(g.bernoulli(0.0));
+    EXPECT_TRUE(g.bernoulli(1.0));
+  }
+}
+
+TEST(rng, weighted_index_respects_weights) {
+  rng g{31};
+  std::vector<double> w = {0.0, 1.0, 3.0};
+  int c1 = 0;
+  int c2 = 0;
+  for (int i = 0; i < 40000; ++i) {
+    const auto idx = g.weighted_index(w);
+    ASSERT_NE(idx, 0u);  // zero weight never drawn
+    if (idx == 1) ++c1;
+    if (idx == 2) ++c2;
+  }
+  EXPECT_NEAR(static_cast<double>(c2) / (c1 + c2), 0.75, 0.02);
+}
+
+TEST(rng, weighted_index_rejects_bad_weights) {
+  rng g{37};
+  EXPECT_THROW((void)g.weighted_index({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW((void)g.weighted_index({1.0, -0.5}), std::invalid_argument);
+}
+
+TEST(rng, shuffle_is_permutation) {
+  rng g{41};
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto s = v;
+  g.shuffle(s);
+  auto sorted = s;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, v);
+}
+
+TEST(rng, shuffle_changes_order) {
+  rng g{43};
+  std::vector<int> v(64);
+  for (int i = 0; i < 64; ++i) v[i] = i;
+  auto s = v;
+  g.shuffle(s);
+  EXPECT_NE(s, v);
+}
+
+TEST(rng, split_streams_independent) {
+  rng parent{47};
+  rng a = parent.split(1);
+  rng b = parent.split(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(rng, split_deterministic) {
+  rng p1{51};
+  rng p2{51};
+  rng a = p1.split(9);
+  rng b = p2.split(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+using namespace mapcq::util;
+
+TEST(stats, mean_basic) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(stats, mean_empty_is_zero) {
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(stats, stddev_known_value) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(stddev(xs), 2.0, 1e-12);
+}
+
+TEST(stats, stddev_single_sample_zero) {
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{5.0}), 0.0);
+}
+
+TEST(stats, percentile_median) {
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 4.0, 5.0}, 50.0), 3.0);
+}
+
+TEST(stats, percentile_interpolates) {
+  EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 25.0), 2.5);
+}
+
+TEST(stats, percentile_bounds) {
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 100.0), 3.0);
+}
+
+TEST(stats, percentile_rejects_bad_input) {
+  EXPECT_THROW((void)percentile({}, 50.0), std::invalid_argument);
+  EXPECT_THROW((void)percentile({1.0}, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)percentile({1.0}, 101.0), std::invalid_argument);
+}
+
+TEST(stats, min_max) {
+  const std::vector<double> xs = {3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(min_of(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 7.0);
+  EXPECT_THROW((void)min_of(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(stats, rmse_zero_for_perfect) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(rmse(a, a), 0.0);
+}
+
+TEST(stats, rmse_known) {
+  EXPECT_DOUBLE_EQ(rmse(std::vector<double>{0.0, 0.0}, std::vector<double>{3.0, 4.0}),
+                   std::sqrt(12.5));
+}
+
+TEST(stats, rmse_rejects_mismatch) {
+  EXPECT_THROW((void)rmse(std::vector<double>{1.0}, std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)rmse(std::vector<double>{}, std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(stats, mape_known) {
+  // |10-8|/8 = 25%, |20-25|/25 = 20% -> mean 22.5%
+  EXPECT_NEAR(mape(std::vector<double>{10.0, 20.0}, std::vector<double>{8.0, 25.0}), 22.5, 1e-9);
+}
+
+TEST(stats, mape_rejects_zero_truth) {
+  EXPECT_THROW((void)mape(std::vector<double>{1.0}, std::vector<double>{0.0}),
+               std::invalid_argument);
+}
+
+TEST(stats, r_squared_perfect_fit) {
+  const std::vector<double> t = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(r_squared(t, t), 1.0);
+}
+
+TEST(stats, r_squared_mean_predictor_is_zero) {
+  const std::vector<double> truth = {1.0, 2.0, 3.0};
+  const std::vector<double> pred = {2.0, 2.0, 2.0};
+  EXPECT_NEAR(r_squared(pred, truth), 0.0, 1e-12);
+}
+
+TEST(stats, pearson_perfect_correlation) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const std::vector<double> y = {2.0, 4.0, 6.0};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+}
+
+TEST(stats, pearson_anticorrelation) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const std::vector<double> y = {3.0, 2.0, 1.0};
+  EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
+}
+
+TEST(stats, pearson_zero_variance_is_zero) {
+  const std::vector<double> x = {1.0, 1.0, 1.0};
+  const std::vector<double> y = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);
+}
+
+TEST(stats, running_stats_tracks_extremes) {
+  running_stats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  rs.add(3.0);
+  rs.add(-1.0);
+  rs.add(10.0);
+  EXPECT_EQ(rs.count(), 3u);
+  EXPECT_DOUBLE_EQ(rs.min(), -1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 10.0);
+  EXPECT_DOUBLE_EQ(rs.sum(), 12.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 4.0);
+}
+
+}  // namespace

@@ -1,0 +1,82 @@
+#include "soc/thermal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using mapcq::soc::thermal_model;
+
+TEST(thermal, steady_state_linear_in_power) {
+  const thermal_model t;
+  EXPECT_DOUBLE_EQ(t.steady_state_c(0.0), t.ambient_c);
+  EXPECT_DOUBLE_EQ(t.steady_state_c(10.0), t.ambient_c + 10.0 * t.r_thermal_c_per_w);
+}
+
+TEST(thermal, max_sustained_power_consistent) {
+  const thermal_model t;
+  const double p_max = t.max_sustained_power_w();
+  EXPECT_NEAR(t.steady_state_c(p_max), t.throttle_c, 1e-9);
+  EXPECT_FALSE(t.throttles(p_max - 0.01));
+  EXPECT_TRUE(t.throttles(p_max + 0.01));
+}
+
+TEST(thermal, transient_approaches_steady_state) {
+  const thermal_model t;
+  const double p = 15.0;
+  const double target = t.steady_state_c(p);
+  double temp = t.ambient_c;
+  double prev = temp;
+  for (int i = 0; i < 10; ++i) {
+    temp = t.temperature_after(temp, p, 5.0);
+    EXPECT_GE(temp, prev - 1e-12);  // monotone rise toward target
+    EXPECT_LE(temp, target + 1e-9);
+    prev = temp;
+  }
+  EXPECT_NEAR(t.temperature_after(t.ambient_c, p, 1000.0), target, 1e-6);
+}
+
+TEST(thermal, zero_dt_keeps_temperature) {
+  const thermal_model t;
+  EXPECT_DOUBLE_EQ(t.temperature_after(55.0, 10.0, 0.0), 55.0);
+}
+
+TEST(thermal, cooling_when_power_drops) {
+  const thermal_model t;
+  const double cooled = t.temperature_after(80.0, 0.0, 30.0);
+  EXPECT_LT(cooled, 80.0);
+  EXPECT_GT(cooled, t.ambient_c);
+}
+
+TEST(thermal, seconds_to_throttle) {
+  const thermal_model t;
+  EXPECT_TRUE(std::isinf(t.seconds_to_throttle(1.0)));
+  const double p_hot = t.max_sustained_power_w() * 2.0;
+  const double secs = t.seconds_to_throttle(p_hot);
+  EXPECT_GT(secs, 0.0);
+  EXPECT_FALSE(std::isinf(secs));
+  // Verify by stepping: temperature at that time equals the trip point.
+  EXPECT_NEAR(t.temperature_after(t.ambient_c, p_hot, secs), t.throttle_c, 1e-6);
+}
+
+TEST(thermal, hotter_power_throttles_sooner) {
+  const thermal_model t;
+  const double base = t.max_sustained_power_w();
+  EXPECT_GT(t.seconds_to_throttle(base * 1.5), t.seconds_to_throttle(base * 3.0));
+}
+
+TEST(thermal, rejects_bad_inputs) {
+  const thermal_model t;
+  EXPECT_THROW((void)t.steady_state_c(-1.0), std::invalid_argument);
+  EXPECT_THROW((void)t.temperature_after(40.0, -1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)t.temperature_after(40.0, 1.0, -1.0), std::invalid_argument);
+  thermal_model bad;
+  bad.throttle_c = bad.ambient_c - 1.0;
+  EXPECT_THROW(bad.validate(), std::logic_error);
+  bad = thermal_model{};
+  bad.tau_s = 0.0;
+  EXPECT_THROW(bad.validate(), std::logic_error);
+}
+
+}  // namespace
