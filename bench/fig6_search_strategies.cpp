@@ -44,6 +44,11 @@ int main() {
     std::cout << util::format("--- %s: %zu evaluations, %zu on the Pareto front ---\n",
                               regimes[r].name, res.search.total_evaluations,
                               res.validated.size());
+    std::cout << util::format(
+        "    evaluation engine: %zu evaluator runs, %.1f%% cache-served "
+        "(%zu hits, %zu dups)\n",
+        res.search.cache.misses, 100.0 * res.search.cache.hit_rate(), res.search.cache.hits,
+        res.search.cache.dedup);
 
     // CSV dump of the validated front (the paper's scatter data).
     const std::string csv_path =

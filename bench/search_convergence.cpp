@@ -25,16 +25,20 @@ int main() {
   ga.generations = s.generations;
   ga.population = s.population;
   ga.threads = s.threads;
-  const auto res = core::evolve(space, eval, ga);
+  core::engine_options eng_opt;
+  eng_opt.threads = s.threads;
+  core::evaluation_engine engine{eval, eng_opt};
+  const auto res = core::evolve(space, engine, ga);
 
   std::cout << "=== §VI-B: search process analysis (Visformer, analytic evaluator) ===\n\n";
-  util::table t({"generation", "best objective", "mean objective", "feasible"});
+  util::table t({"generation", "best objective", "mean objective", "feasible", "cache hit"});
   const std::size_t step = std::max<std::size_t>(1, res.history.size() / 12);
   for (std::size_t g = 0; g < res.history.size(); g += step) {
     const auto& h = res.history[g];
     t.add_row({std::to_string(h.generation), util::format("%.3g", h.best_objective),
                util::format("%.3g", h.mean_objective),
-               util::format("%zu/%zu", h.feasible, s.population)});
+               util::format("%zu/%zu", h.feasible, s.population),
+               util::format("%zu+%zu", h.cache_hits, h.cache_dedup)});
   }
   std::cout << t.str() << "\n";
 
@@ -50,6 +54,11 @@ int main() {
   std::cout << util::format(
       "objective improved %.1fx over %zu generations (%zu evaluations total)\n",
       first.best_objective / last.best_objective, res.history.size(), res.total_evaluations);
+  std::cout << util::format(
+      "evaluation engine: %zu evaluator runs for %zu candidates "
+      "(%.1f%% served by cache: %zu hits + %zu in-batch dups)\n",
+      res.cache.misses, res.cache.lookups(), 100.0 * res.cache.hit_rate(), res.cache.hits,
+      res.cache.dedup);
 
   // Trade-off coverage: how much of the front sits between the baselines.
   const auto gpu = core::single_cu_baseline(tb.visformer, tb.xavier, 0);

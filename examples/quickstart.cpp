@@ -59,6 +59,11 @@ int main(int argc, char** argv) {
       "searched %zu configurations; %zu on the Pareto front; surrogate MAPE %.1f%% (latency)\n",
       result.search.total_evaluations, result.search.pareto.size(),
       result.surrogate_fidelity ? result.surrogate_fidelity->latency_mape : 0.0);
+  std::cout << util::format(
+      "evaluation cache: %.1f%% of %zu lookups served without an evaluator run "
+      "(%zu hits, %zu in-batch dups, %zu distinct evaluations)\n",
+      100.0 * result.search.cache.hit_rate(), result.search.cache.lookups(),
+      result.search.cache.hits, result.search.cache.dedup, result.search.cache.misses);
   std::cout << util::format("energy gain vs GPU-only: %.2fx | speedup vs DLA-only: %.2fx\n",
                             gpu.energy_mj / ours_e.avg_energy_mj,
                             dla.latency_ms / ours_l.avg_latency_ms);

@@ -48,6 +48,11 @@ evaluation static_mapping_baseline(const nn::network& net, const soc::platform& 
   return eval.evaluate(make_static_configuration(net, plat));
 }
 
+evaluation static_mapping_baseline(evaluation_engine& engine) {
+  const evaluator& eval = engine.base();
+  return engine.evaluate(make_static_configuration(eval.net(), eval.plat()));
+}
+
 pipeline_result pipeline_baseline(const nn::network& net, const soc::platform& plat,
                                   const perf::model_options& opt) {
   net.validate();

@@ -6,6 +6,7 @@
 
 #include <string>
 
+#include "core/evaluation_engine.h"
 #include "core/evaluator.h"
 #include "nn/graph.h"
 #include "perf/single_cu.h"
@@ -38,6 +39,12 @@ struct baseline_result {
 [[nodiscard]] evaluation static_mapping_baseline(const nn::network& net,
                                                  const soc::platform& plat,
                                                  const perf::model_options& opt = {});
+
+/// Same baseline served through a caller-owned memoizing engine: repeated
+/// quotes of the static row cost one evaluator run total. The engine's
+/// wrapped evaluator defines the network/platform/options (build it with
+/// `dynamic_exits = false` to match the 3-argument overload).
+[[nodiscard]] evaluation static_mapping_baseline(evaluation_engine& engine);
 
 /// Depth-wise pipeline baseline (AxoNN [4] / Jedi [14] style): the network
 /// is cut into |CU| contiguous *depth* segments balanced by FLOPs, each

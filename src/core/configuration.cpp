@@ -5,9 +5,21 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/hashing.h"
 #include "util/strings.h"
 
 namespace mapcq::core {
+
+std::size_t configuration::hash() const noexcept {
+  std::size_t seed = 0xA11C0DEull;
+  for (const auto& row : partition) util::hash_combine_range(seed, row);
+  util::hash_combine(seed, partition.size());
+  for (const auto& row : forward) util::hash_combine_range(seed, row);
+  util::hash_combine(seed, forward.size());
+  util::hash_combine_range(seed, mapping);
+  util::hash_combine_range(seed, dvfs);
+  return seed;
+}
 
 double configuration::fmap_reuse_ratio() const {
   std::size_t possible = 0;

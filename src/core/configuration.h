@@ -11,6 +11,7 @@
 //  * theta (DVFS):   dvfs[u]         -- DVFS level of platform unit u.
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,13 @@ struct configuration {
   [[nodiscard]] std::size_t groups() const noexcept { return partition.size(); }
   [[nodiscard]] std::size_t stages() const noexcept { return mapping.size(); }
 
+  /// Canonical content hash over (P, I, M, theta); equal configurations hash
+  /// equal. This is the memo key of `core::evaluation_engine`.
+  [[nodiscard]] std::size_t hash() const noexcept;
+
+  /// Exact structural equality over all four parameter blocks.
+  [[nodiscard]] bool operator==(const configuration&) const = default;
+
   /// Fraction of settable indicator bits that are set: the paper's
   /// "Fmap reuse (%)" metric (Table II). Only stages 1..M-1 count (the last
   /// stage's features feed no one) and only stages holding a nonzero slice.
@@ -42,3 +50,8 @@ struct configuration {
 };
 
 }  // namespace mapcq::core
+
+template <>
+struct std::hash<mapcq::core::configuration> {
+  std::size_t operator()(const mapcq::core::configuration& c) const noexcept { return c.hash(); }
+};

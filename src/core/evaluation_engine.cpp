@@ -1,0 +1,175 @@
+#include "core/evaluation_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace mapcq::core {
+
+namespace {
+
+// A capacity bound is a maximum: never spread it over more shards than
+// entries, or the per-shard floor of 1 would let the table exceed it.
+std::size_t shard_count(const engine_options& opt) {
+  std::size_t n = std::max<std::size_t>(1, opt.shards);
+  if (opt.capacity > 0) n = std::min(n, opt.capacity);
+  return n;
+}
+
+}  // namespace
+
+evaluation_engine::evaluation_engine(const evaluator& eval, engine_options opt)
+    : eval_(&eval), opt_(opt), shard_capacity_(0), shards_(shard_count(opt)) {
+  if (opt_.capacity > 0) shard_capacity_ = opt_.capacity / shards_.size();
+  if (opt_.threads > 1) pool_ = std::make_unique<util::thread_pool>(opt_.threads);
+}
+
+bool evaluation_engine::lookup(std::size_t key, const configuration& config, evaluation& out) {
+  shard& s = shard_for(key);
+  const std::lock_guard<std::mutex> lock{s.mu};
+  const auto it = s.map.find(key);
+  if (it == s.map.end()) return false;
+  for (const evaluation& e : it->second) {
+    if (e.config == config) {
+      out = e;
+      return true;
+    }
+  }
+  return false;
+}
+
+void evaluation_engine::insert(std::size_t key, const evaluation& result) {
+  shard& s = shard_for(key);
+  const std::lock_guard<std::mutex> lock{s.mu};
+  auto& bucket = s.map[key];
+  // A concurrent batch may have raced us to the same configuration; keep
+  // the first copy so `entries` stays in step with the eviction queue.
+  for (const evaluation& e : bucket)
+    if (e.config == result.config) return;
+  bucket.push_back(result);
+  s.order.push_back(key);
+  ++s.entries;
+
+  while (shard_capacity_ > 0 && s.entries > shard_capacity_ && !s.order.empty()) {
+    const std::size_t victim_key = s.order.front();
+    s.order.pop_front();
+    const auto vit = s.map.find(victim_key);
+    if (vit == s.map.end() || vit->second.empty()) continue;
+    vit->second.erase(vit->second.begin());  // oldest entry of the bucket
+    if (vit->second.empty()) s.map.erase(vit);
+    --s.entries;
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+evaluation evaluation_engine::evaluate(const configuration& config) {
+  if (!opt_.memoize) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return eval_->evaluate(config);
+  }
+  const std::size_t key = config.hash();
+  evaluation cached;
+  if (lookup(key, config, cached)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return cached;
+  }
+  evaluation fresh = eval_->evaluate(config);
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  insert(key, fresh);
+  return fresh;
+}
+
+std::vector<evaluation> evaluation_engine::evaluate_batch(
+    std::span<const configuration> configs) {
+  const std::size_t n = configs.size();
+  std::vector<evaluation> out(n);
+
+  if (!opt_.memoize) {
+    misses_.fetch_add(n, std::memory_order_relaxed);
+    if (pool_ && n > 1) {
+      pool_->parallel_for(n, [&](std::size_t i) { out[i] = eval_->evaluate(configs[i]); });
+    } else {
+      for (std::size_t i = 0; i < n; ++i) out[i] = eval_->evaluate(configs[i]);
+    }
+    return out;
+  }
+
+  // Probe the cache and group the misses: one representative index per
+  // distinct configuration, duplicates recorded against it.
+  struct pending {
+    std::size_t rep;
+    std::vector<std::size_t> dups;
+  };
+  std::vector<std::size_t> keys(n);
+  std::unordered_map<std::size_t, std::vector<pending>> missing;
+  std::vector<std::size_t> reps;
+  std::size_t hits = 0;
+  std::size_t dups = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    keys[i] = configs[i].hash();
+    if (lookup(keys[i], configs[i], out[i])) {
+      ++hits;
+      continue;
+    }
+    auto& groups = missing[keys[i]];
+    bool merged = false;
+    for (pending& p : groups) {
+      if (configs[p.rep] == configs[i]) {
+        p.dups.push_back(i);
+        merged = true;
+        ++dups;
+        break;
+      }
+    }
+    if (!merged) {
+      groups.push_back({i, {}});
+      reps.push_back(i);
+    }
+  }
+  hits_.fetch_add(hits, std::memory_order_relaxed);
+  dedup_.fetch_add(dups, std::memory_order_relaxed);
+  misses_.fetch_add(reps.size(), std::memory_order_relaxed);
+
+  if (pool_ && reps.size() > 1) {
+    pool_->parallel_for(reps.size(),
+                        [&](std::size_t j) { out[reps[j]] = eval_->evaluate(configs[reps[j]]); });
+  } else {
+    for (const std::size_t i : reps) out[i] = eval_->evaluate(configs[i]);
+  }
+
+  for (const auto& [key, groups] : missing) {
+    for (const pending& p : groups) {
+      insert(key, out[p.rep]);
+      for (const std::size_t d : p.dups) out[d] = out[p.rep];
+    }
+  }
+  return out;
+}
+
+engine_stats evaluation_engine::stats() const noexcept {
+  engine_stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.dedup = dedup_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::size_t evaluation_engine::size() const {
+  std::size_t total = 0;
+  for (const shard& s : shards_) {
+    const std::lock_guard<std::mutex> lock{s.mu};
+    total += s.entries;
+  }
+  return total;
+}
+
+void evaluation_engine::clear() {
+  for (shard& s : shards_) {
+    const std::lock_guard<std::mutex> lock{s.mu};
+    s.map.clear();
+    s.order.clear();
+    s.entries = 0;
+  }
+}
+
+}  // namespace mapcq::core

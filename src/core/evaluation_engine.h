@@ -1,0 +1,122 @@
+#pragma once
+// Memoizing, batched evaluation service — the first step toward the
+// ROADMAP's caching/batching/async serving architecture.
+//
+// The GA re-visits many candidates: elites survive generations unchanged,
+// crossover and mutation regenerate earlier children, and Pareto validation
+// re-evaluates archived configurations. `evaluation_engine` wraps a
+// `core::evaluator` with a sharded, mutex-striped memo table keyed by the
+// canonical `configuration::hash()`, collapses identical configurations
+// inside a batch onto one evaluator run, and fans the distinct misses out
+// over a `util::thread_pool`. Cached results are bit-identical to direct
+// evaluation: `evaluator::evaluate` is deterministic and const, so serving
+// a stored `evaluation` is indistinguishable from recomputing it.
+
+#include <atomic>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/configuration.h"
+#include "core/evaluator.h"
+#include "util/thread_pool.h"
+
+namespace mapcq::core {
+
+/// Engine tuning knobs.
+struct engine_options {
+  std::size_t shards = 16;   ///< mutex stripes of the memo table
+  std::size_t capacity = 0;  ///< max cached evaluations; 0 = unbounded
+  std::size_t threads = 1;   ///< batch-evaluation workers (1 = inline)
+  /// false turns the engine into a pass-through (every call runs the
+  /// evaluator); kept for A/B benches and bit-identity tests.
+  bool memoize = true;
+};
+
+/// Monotonic counters. One batch element is exactly one of: a `hit` (served
+/// from the table), a `dedup` (identical to an earlier element of the same
+/// batch, collapsed onto its run) or a `miss` (an actual evaluator run).
+struct engine_stats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t dedup = 0;
+  std::size_t evictions = 0;
+
+  [[nodiscard]] std::size_t lookups() const noexcept { return hits + misses + dedup; }
+  /// Fraction of lookups that avoided an evaluator run.
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::size_t n = lookups();
+    return n == 0 ? 0.0 : static_cast<double>(hits + dedup) / static_cast<double>(n);
+  }
+};
+
+[[nodiscard]] inline engine_stats operator-(engine_stats a, const engine_stats& b) noexcept {
+  a.hits -= b.hits;
+  a.misses -= b.misses;
+  a.dedup -= b.dedup;
+  a.evictions -= b.evictions;
+  return a;
+}
+
+/// Thread-safe memoizing front-end of one `evaluator`. The wrapped
+/// evaluator must outlive the engine.
+class evaluation_engine {
+ public:
+  explicit evaluation_engine(const evaluator& eval, engine_options opt = {});
+
+  evaluation_engine(const evaluation_engine&) = delete;
+  evaluation_engine& operator=(const evaluation_engine&) = delete;
+
+  /// One candidate, served from the cache when possible.
+  [[nodiscard]] evaluation evaluate(const configuration& config);
+
+  /// A whole population: probes the cache, collapses in-batch duplicates,
+  /// then evaluates the distinct misses across the worker pool. The result
+  /// vector is index-aligned with `configs` regardless of thread count.
+  [[nodiscard]] std::vector<evaluation> evaluate_batch(std::span<const configuration> configs);
+
+  /// Snapshot of the counters (cheap; callers diff snapshots for deltas).
+  [[nodiscard]] engine_stats stats() const noexcept;
+
+  /// Number of evaluations currently cached.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Drops every cached entry (counters are kept).
+  void clear();
+
+  [[nodiscard]] const evaluator& base() const noexcept { return *eval_; }
+  [[nodiscard]] const engine_options& options() const noexcept { return opt_; }
+
+ private:
+  // Hash collisions are resolved by exact configuration equality against
+  // the `evaluation::config` stored in each bucket entry.
+  struct shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::size_t, std::vector<evaluation>> map;
+    std::deque<std::size_t> order;  ///< key insertion order, for FIFO eviction
+    std::size_t entries = 0;
+  };
+
+  [[nodiscard]] shard& shard_for(std::size_t key) noexcept {
+    return shards_[key % shards_.size()];
+  }
+  bool lookup(std::size_t key, const configuration& config, evaluation& out);
+  void insert(std::size_t key, const evaluation& result);
+
+  const evaluator* eval_;
+  engine_options opt_;
+  std::size_t shard_capacity_;  ///< per-shard entry cap (0 = unbounded)
+  std::vector<shard> shards_;
+  std::unique_ptr<util::thread_pool> pool_;  ///< null when threads <= 1
+
+  std::atomic<std::size_t> hits_{0};
+  std::atomic<std::size_t> misses_{0};
+  std::atomic<std::size_t> dedup_{0};
+  std::atomic<std::size_t> evictions_{0};
+};
+
+}  // namespace mapcq::core

@@ -6,7 +6,6 @@
 #include <stdexcept>
 
 #include "core/pareto.h"
-#include "util/thread_pool.h"
 
 namespace mapcq::core {
 
@@ -145,12 +144,23 @@ std::vector<double> crowding_distances(const std::vector<evaluation>& evals,
 }  // namespace
 
 ga_result evolve(const search_space& space, const evaluator& eval, const ga_options& opt) {
+  engine_options eopt;
+  eopt.threads = opt.threads;
+  // GA hits come from the previous generation's survivors, so a few
+  // populations' worth of entries captures nearly all reuse; bounding the
+  // cache keeps long large-population runs at constant memory.
+  eopt.capacity = std::max<std::size_t>(4096, 8 * opt.population);
+  evaluation_engine engine{eval, eopt};
+  return evolve(space, engine, opt);
+}
+
+ga_result evolve(const search_space& space, evaluation_engine& engine, const ga_options& opt) {
   if (opt.population < 4) throw std::invalid_argument("evolve: population too small");
   if (opt.elite_fraction <= 0.0 || opt.elite_fraction >= 1.0)
     throw std::invalid_argument("evolve: elite_fraction out of (0,1)");
 
   util::rng gen{opt.seed};
-  util::thread_pool pool{opt.threads};
+  const engine_stats run_start = engine.stats();
 
   std::vector<genome> population;
   population.reserve(opt.population);
@@ -168,11 +178,17 @@ ga_result evolve(const search_space& space, const evaluator& eval, const ga_opti
   ga_result result;
 
   for (std::size_t g = 0; g < opt.generations; ++g) {
-    // --- evaluate in parallel (the paper's evaluation cluster) -------------
-    std::vector<evaluation> evals(population.size());
-    pool.parallel_for(population.size(), [&](std::size_t i) {
-      evals[i] = eval.evaluate(space.decode(population[i]));
-    });
+    // --- evaluate through the memoizing engine (the paper's evaluation
+    // cluster): elites and duplicate offspring are served from the cache,
+    // distinct misses run across the engine's worker pool. Decoding stays
+    // serial: it is O(groups x stages) arithmetic per genome, orders of
+    // magnitude below one evaluator run.
+    std::vector<configuration> configs;
+    configs.reserve(population.size());
+    for (const genome& p : population) configs.push_back(space.decode(p));
+    const engine_stats gen_start = engine.stats();
+    std::vector<evaluation> evals = engine.evaluate_batch(configs);
+    const engine_stats gen_delta = engine.stats() - gen_start;
     result.total_evaluations += population.size();
 
     // --- rank ----------------------------------------------------------------
@@ -198,6 +214,9 @@ ga_result evolve(const search_space& space, const evaluator& eval, const ga_opti
 
     generation_stats stats;
     stats.generation = g;
+    stats.cache_hits = gen_delta.hits;
+    stats.cache_misses = gen_delta.misses;
+    stats.cache_dedup = gen_delta.dedup;
     double sum = 0.0;
     for (std::size_t i = 0; i < population.size(); ++i) {
       const evaluation& e = evals[i];
@@ -255,6 +274,7 @@ ga_result evolve(const search_space& space, const evaluator& eval, const ga_opti
     population = std::move(next);
   }
 
+  result.cache = engine.stats() - run_start;
   if (result.archive.empty())
     throw std::runtime_error("evolve: no feasible configuration found");
 

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/evaluation_engine.h"
 #include "core/evaluator.h"
 #include "core/search_space.h"
 
@@ -54,6 +55,9 @@ struct generation_stats {
   double best_objective = 0.0;
   double mean_objective = 0.0;
   std::size_t feasible = 0;
+  std::size_t cache_hits = 0;    ///< population members served from the memo cache
+  std::size_t cache_misses = 0;  ///< distinct evaluator runs this generation
+  std::size_t cache_dedup = 0;   ///< in-generation duplicate candidates collapsed
 };
 
 /// Search output.
@@ -62,13 +66,24 @@ struct ga_result {
   std::vector<std::size_t> pareto;       ///< archive indices on the Pareto front
   std::size_t best_index = 0;            ///< archive index of the min-objective entry
   std::vector<generation_stats> history;
+  /// Candidates *considered* (population x generations); the evaluator only
+  /// actually ran `cache.misses` times.
   std::size_t total_evaluations = 0;
+  /// Evaluation-engine counters accumulated over this run (deltas, so a
+  /// shared engine can serve several searches).
+  engine_stats cache;
 
   [[nodiscard]] const evaluation& best() const { return archive.at(best_index); }
 };
 
-/// Runs the GA. Throws std::runtime_error if no feasible configuration is
-/// ever found.
+/// Runs the GA with every population evaluation routed through `engine`
+/// (elites and duplicate offspring become cache hits). Throws
+/// std::runtime_error if no feasible configuration is ever found.
+[[nodiscard]] ga_result evolve(const search_space& space, evaluation_engine& engine,
+                               const ga_options& opt = {});
+
+/// Convenience overload: wraps `eval` in a fresh memoizing engine sized by
+/// `opt.threads` and runs the GA on it.
 [[nodiscard]] ga_result evolve(const search_space& space, const evaluator& eval,
                                const ga_options& opt = {});
 

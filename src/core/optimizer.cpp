@@ -23,16 +23,26 @@ optimize_result optimizer::run() {
   }
 
   // --- evolutionary search ---------------------------------------------------
+  engine_options engine_opt;
+  engine_opt.threads = opt_.ga.threads;
+  engine_opt.capacity = std::max<std::size_t>(4096, 8 * opt_.ga.population);
   const evaluator search_eval{*net_, *plat_, search_eval_opt, opt_.ranking_seed};
-  out.search = evolve(space_, search_eval, opt_.ga);
+  evaluation_engine search_engine{search_eval, engine_opt};
+  out.search = evolve(space_, search_engine, opt_.ga);
 
   // --- validate Pareto picks on the analytic model ---------------------------
+  // The archive holds the same configuration many times (elites survive
+  // generations), so validation also runs through a memoizing engine: each
+  // distinct Pareto configuration costs one analytic evaluation.
   evaluator_options validate_opt = opt_.eval;
   validate_opt.predictor = nullptr;
   const evaluator validate_eval{*net_, *plat_, validate_opt, opt_.ranking_seed};
-  out.validated.reserve(out.search.pareto.size());
+  evaluation_engine validate_engine{validate_eval, engine_opt};
+  std::vector<configuration> pareto_configs;
+  pareto_configs.reserve(out.search.pareto.size());
   for (const std::size_t idx : out.search.pareto)
-    out.validated.push_back(validate_eval.evaluate(out.search.archive[idx].config));
+    pareto_configs.push_back(out.search.archive[idx].config);
+  out.validated = validate_engine.evaluate_batch(pareto_configs);
   if (out.validated.empty()) throw std::runtime_error("optimizer: empty Pareto set");
 
   // --- Ours-L / Ours-E selection (Table II) ----------------------------------

@@ -1,0 +1,56 @@
+#pragma once
+// Generic hash-combine helpers shared by every subsystem that needs a
+// canonical content hash (memo keys, dedup sets). Deliberately header-only
+// and dependency-free.
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+
+namespace mapcq::util {
+
+/// Folds `value` into `seed` (64-bit variant of the boost::hash_combine
+/// recipe with an extra splitmix-style pre-mix so low-entropy inputs --
+/// small indices, level numbers -- still diffuse across the word).
+inline void hash_combine(std::size_t& seed, std::size_t value) noexcept {
+  value *= 0x9e3779b97f4a7c15ULL;
+  value ^= value >> 32;
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+/// Bit-pattern hash of a double. Collapses -0.0 onto +0.0 so values that
+/// compare equal always hash equal (NaNs never compare equal, so their
+/// payload bits may hash however they like).
+inline std::size_t hash_double(double v) noexcept {
+  if (v == 0.0) v = 0.0;
+  return std::bit_cast<std::uint64_t>(v);
+}
+
+/// Folds one value of any hashable type into `seed`.
+template <typename T>
+void hash_combine_value(std::size_t& seed, const T& value) {
+  if constexpr (std::is_same_v<T, double>) {
+    hash_combine(seed, hash_double(value));
+  } else if constexpr (std::is_same_v<T, bool>) {
+    hash_combine(seed, value ? 0x5u : 0xAu);
+  } else {
+    hash_combine(seed, std::hash<T>{}(value));
+  }
+}
+
+/// Folds a whole range into `seed`, length-prefixed so that e.g. the row
+/// split [a,b|c] hashes differently from [a|b,c]. Works with
+/// std::vector<bool> (the proxy reference is cast back to value_type).
+template <typename Range>
+void hash_combine_range(std::size_t& seed, const Range& range) {
+  std::size_t n = 0;
+  for (const auto& v : range) {
+    hash_combine_value(seed, static_cast<typename Range::value_type>(v));
+    ++n;
+  }
+  hash_combine(seed, n);
+}
+
+}  // namespace mapcq::util

@@ -1,0 +1,256 @@
+// Memoizing evaluation-engine tests: hash/equality identity, bit-identical
+// cached results, in-batch dedup, concurrent batch determinism, capacity
+// eviction and GA cache-stat accounting.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/evaluation_engine.h"
+#include "core/evolutionary.h"
+#include "nn/models.h"
+#include "soc/platform.h"
+#include "util/hashing.h"
+
+namespace {
+
+using namespace mapcq;
+using core::configuration;
+using core::engine_options;
+using core::evaluation;
+using core::evaluation_engine;
+using core::evaluator;
+using core::search_space;
+
+struct engine_fixture : ::testing::Test {
+  nn::network net = nn::build_simple_cnn();
+  soc::platform plat = soc::agx_xavier();
+  search_space space{net, plat};
+  evaluator eval{net, plat, {}};
+
+  std::vector<configuration> random_configs(std::size_t n, std::uint64_t seed = 3) const {
+    util::rng gen{seed};
+    std::vector<configuration> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(space.decode(space.random(gen)));
+    return out;
+  }
+};
+
+// Exact, field-by-field equality of two evaluations.
+void expect_identical(const evaluation& a, const evaluation& b) {
+  EXPECT_TRUE(a.config == b.config);
+  EXPECT_EQ(a.feasible, b.feasible);
+  EXPECT_EQ(a.reject_reason, b.reject_reason);
+  EXPECT_EQ(a.objective, b.objective);
+  EXPECT_EQ(a.avg_latency_ms, b.avg_latency_ms);
+  EXPECT_EQ(a.avg_energy_mj, b.avg_energy_mj);
+  EXPECT_EQ(a.worst_latency_ms, b.worst_latency_ms);
+  EXPECT_EQ(a.worst_energy_mj, b.worst_energy_mj);
+  EXPECT_EQ(a.accuracy_pct, b.accuracy_pct);
+  EXPECT_EQ(a.last_stage_accuracy_pct, b.last_stage_accuracy_pct);
+  EXPECT_EQ(a.fmap_reuse_pct, b.fmap_reuse_pct);
+  EXPECT_EQ(a.stored_fmap_bytes, b.stored_fmap_bytes);
+  EXPECT_EQ(a.fmap_traffic_bytes, b.fmap_traffic_bytes);
+  EXPECT_EQ(a.stage_latency_ms, b.stage_latency_ms);
+  EXPECT_EQ(a.stage_energy_mj, b.stage_energy_mj);
+  EXPECT_EQ(a.stage_accuracy_pct, b.stage_accuracy_pct);
+  EXPECT_EQ(a.exit_fractions, b.exit_fractions);
+}
+
+TEST_F(engine_fixture, configuration_hash_tracks_equality) {
+  const auto configs = random_configs(8);
+  for (const auto& a : configs) {
+    configuration copy = a;
+    EXPECT_TRUE(copy == a);
+    EXPECT_EQ(copy.hash(), a.hash());
+  }
+  // Any single-field change must break equality (hash almost surely too).
+  configuration c = configs.front();
+  configuration d = c;
+  d.partition[0][0] += 1e-9;
+  d.partition[0][1] -= 1e-9;
+  EXPECT_FALSE(d == c);
+  configuration f = c;
+  if (f.stages() > 1) {
+    f.forward[0][0] = !f.forward[0][0];
+    EXPECT_FALSE(f == c);
+    EXPECT_NE(f.hash(), c.hash());
+  }
+  configuration m = c;
+  std::swap(m.mapping[0], m.mapping[m.mapping.size() - 1]);
+  EXPECT_FALSE(m == c);
+  EXPECT_NE(m.hash(), c.hash());
+}
+
+TEST_F(engine_fixture, cached_result_is_bit_identical) {
+  evaluation_engine engine{eval};
+  const configuration c = random_configs(1).front();
+  const evaluation direct = eval.evaluate(c);
+  const evaluation first = engine.evaluate(c);   // miss
+  const evaluation second = engine.evaluate(c);  // hit
+  expect_identical(first, direct);
+  expect_identical(second, direct);
+  const auto s = engine.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(engine.size(), 1u);
+}
+
+TEST_F(engine_fixture, batch_collapses_duplicates_onto_one_run) {
+  evaluation_engine engine{eval};
+  const configuration c = random_configs(1).front();
+  const std::vector<configuration> batch(10, c);
+  const auto results = engine.evaluate_batch(batch);
+  ASSERT_EQ(results.size(), 10u);
+  for (const auto& r : results) expect_identical(r, results.front());
+  const auto s = engine.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.dedup, 9u);
+  EXPECT_EQ(s.hits, 0u);
+  // A second pass over the same batch is all hits.
+  (void)engine.evaluate_batch(batch);
+  EXPECT_EQ(engine.stats().hits, 10u);
+}
+
+TEST_F(engine_fixture, concurrent_batch_matches_serial_and_is_deterministic) {
+  const auto configs = random_configs(64);
+  engine_options serial_opt;
+  serial_opt.threads = 1;
+  engine_options parallel_opt;
+  parallel_opt.threads = 8;
+
+  evaluation_engine serial{eval, serial_opt};
+  evaluation_engine parallel{eval, parallel_opt};
+  const auto a = serial.evaluate_batch(configs);
+  const auto b = parallel.evaluate_batch(configs);
+  const auto c = parallel.evaluate_batch(configs);  // warm pass
+  ASSERT_EQ(a.size(), configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    expect_identical(b[i], a[i]);
+    expect_identical(c[i], a[i]);
+  }
+  EXPECT_EQ(parallel.stats().hits, configs.size());
+}
+
+TEST_F(engine_fixture, capacity_bound_evicts_oldest_entries) {
+  engine_options opt;
+  opt.shards = 1;
+  opt.capacity = 4;
+  evaluation_engine engine{eval, opt};
+  const auto configs = random_configs(10);
+  for (const auto& c : configs) (void)engine.evaluate(c);
+  EXPECT_LE(engine.size(), 4u);
+  EXPECT_EQ(engine.stats().evictions, 6u);
+  EXPECT_EQ(engine.stats().misses, 10u);
+
+  // The most recent entry survived; the first was evicted and re-misses,
+  // but still returns the exact same result.
+  const evaluation direct = eval.evaluate(configs.front());
+  (void)engine.evaluate(configs.back());
+  EXPECT_EQ(engine.stats().hits, 1u);
+  const evaluation refetched = engine.evaluate(configs.front());
+  expect_identical(refetched, direct);
+  EXPECT_EQ(engine.stats().misses, 11u);
+}
+
+TEST_F(engine_fixture, capacity_bound_holds_with_many_shards) {
+  // capacity < shards must not inflate the bound via the per-shard floor.
+  engine_options opt;
+  opt.shards = 16;
+  opt.capacity = 4;
+  evaluation_engine engine{eval, opt};
+  for (const auto& c : random_configs(12)) (void)engine.evaluate(c);
+  EXPECT_LE(engine.size(), 4u);
+  EXPECT_GE(engine.stats().evictions, 8u);
+}
+
+TEST_F(engine_fixture, clear_drops_entries_but_keeps_counters) {
+  evaluation_engine engine{eval};
+  const auto configs = random_configs(5);
+  (void)engine.evaluate_batch(configs);
+  EXPECT_EQ(engine.size(), 5u);
+  engine.clear();
+  EXPECT_EQ(engine.size(), 0u);
+  EXPECT_EQ(engine.stats().misses, 5u);
+  (void)engine.evaluate(configs.front());
+  EXPECT_EQ(engine.stats().misses, 6u);
+}
+
+TEST_F(engine_fixture, pass_through_mode_never_caches) {
+  engine_options opt;
+  opt.memoize = false;
+  evaluation_engine engine{eval, opt};
+  const configuration c = random_configs(1).front();
+  const evaluation a = engine.evaluate(c);
+  const evaluation b = engine.evaluate(c);
+  expect_identical(a, b);
+  EXPECT_EQ(engine.stats().misses, 2u);
+  EXPECT_EQ(engine.stats().hits, 0u);
+  EXPECT_EQ(engine.size(), 0u);
+}
+
+TEST_F(engine_fixture, ga_reports_cache_stats_and_matches_bypass_run) {
+  core::ga_options ga;
+  ga.generations = 6;
+  ga.population = 12;
+  ga.threads = 4;
+  ga.seed = 5;
+
+  engine_options memo_opt;
+  memo_opt.threads = ga.threads;
+  engine_options bypass_opt = memo_opt;
+  bypass_opt.memoize = false;
+
+  evaluation_engine memo{eval, memo_opt};
+  evaluation_engine bypass{eval, bypass_opt};
+  const auto with_cache = core::evolve(space, memo, ga);
+  const auto without_cache = core::evolve(space, bypass, ga);
+
+  // Elites survive generations unchanged, so the cache must fire...
+  EXPECT_GT(with_cache.cache.hits, 0u);
+  EXPECT_GT(with_cache.cache.hit_rate(), 0.0);
+  // ...and every candidate is accounted exactly once.
+  EXPECT_EQ(with_cache.cache.lookups(), with_cache.total_evaluations);
+  EXPECT_LT(with_cache.cache.misses, with_cache.total_evaluations);
+  std::size_t history_hits = 0;
+  std::size_t history_misses = 0;
+  std::size_t history_dedup = 0;
+  for (const auto& h : with_cache.history) {
+    history_hits += h.cache_hits;
+    history_misses += h.cache_misses;
+    history_dedup += h.cache_dedup;
+  }
+  EXPECT_EQ(history_hits, with_cache.cache.hits);
+  EXPECT_EQ(history_misses, with_cache.cache.misses);
+  EXPECT_EQ(history_dedup, with_cache.cache.dedup);
+
+  // Memoization must not change the search trajectory at all.
+  EXPECT_EQ(with_cache.archive.size(), without_cache.archive.size());
+  EXPECT_EQ(with_cache.best_index, without_cache.best_index);
+  expect_identical(with_cache.best(), without_cache.best());
+  ASSERT_EQ(with_cache.history.size(), without_cache.history.size());
+  for (std::size_t g = 0; g < with_cache.history.size(); ++g) {
+    EXPECT_EQ(with_cache.history[g].best_objective, without_cache.history[g].best_objective);
+    EXPECT_EQ(with_cache.history[g].feasible, without_cache.history[g].feasible);
+  }
+  // Pass-through runs the evaluator for every single candidate.
+  EXPECT_EQ(without_cache.cache.misses, without_cache.total_evaluations);
+}
+
+TEST(hashing, combine_is_order_and_length_sensitive) {
+  std::size_t a = 0;
+  util::hash_combine_range(a, std::vector<double>{1.0, 2.0});
+  std::size_t b = 0;
+  util::hash_combine_range(b, std::vector<double>{2.0, 1.0});
+  EXPECT_NE(a, b);
+
+  std::size_t c = 0;
+  util::hash_combine_range(c, std::vector<double>{1.0, 2.0});
+  EXPECT_EQ(a, c);
+
+  // -0.0 and +0.0 compare equal, so they must hash equal.
+  EXPECT_EQ(util::hash_double(-0.0), util::hash_double(0.0));
+}
+
+}  // namespace
