@@ -12,9 +12,9 @@
 #include <vector>
 
 #include "core/baselines.h"
-#include "core/optimizer.h"
 #include "nn/models.h"
 #include "perf/calibration.h"
+#include "serving/mapping_service.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -43,18 +43,25 @@ struct testbed {
   testbed() { xavier = perf::calibrated_xavier(visformer, vgg19).plat; }
 };
 
-/// One Map-and-Conquer search under a feature-map reuse cap (1.0 = none).
-inline core::optimize_result run_search(const nn::network& net, const soc::platform& plat,
-                                        double reuse_cap, const scale& s,
-                                        std::uint64_t seed = 1) {
-  core::optimizer_options opt;
-  opt.ga.generations = s.generations;
-  opt.ga.population = s.population;
-  opt.ga.threads = s.threads;
-  opt.ga.seed = seed;
-  opt.eval.limits.fmap_reuse_cap = reuse_cap;
-  core::optimizer mapper{net, plat, opt};
-  return mapper.run();
+/// One Map-and-Conquer search under a feature-map reuse cap (1.0 = none),
+/// issued through the serving front-end. Each distinct reuse cap keys its
+/// own session, so benches sweeping regimes get isolated caches.
+inline serving::mapping_report run_search(const nn::network& net, const soc::platform& plat,
+                                          double reuse_cap, const scale& s,
+                                          std::uint64_t seed = 1) {
+  serving::service_options sopt;
+  sopt.engine.threads = s.threads;
+  serving::mapping_service service{sopt};
+  service.register_network(net);
+  service.register_platform(plat);
+
+  serving::mapping_request req;
+  req.network = net.name;
+  req.ga.generations = s.generations;
+  req.ga.population = s.population;
+  req.ga.seed = seed;
+  req.eval.limits.fmap_reuse_cap = reuse_cap;
+  return service.map(req);
 }
 
 /// Best energy among validated picks with accuracy within `acc_drop` of the

@@ -24,7 +24,7 @@ int main() {
   // (<= 0.5% accuracy drop, best energy).
   const auto search = bench::run_search(tb.visformer, tb.xavier, 1.0, s);
   const auto dynamic =
-      bench::pick_constrained(search.validated, gpu.accuracy_pct, 0.5, 1e9, true)
+      bench::pick_constrained(search.front, gpu.accuracy_pct, 0.5, 1e9, true)
           .value_or(search.ours_energy());
 
   util::table t({"deployment", "energy (mJ)", "latency (ms)", "top-1 (%)", "fmap reuse (%)"});

@@ -43,7 +43,7 @@ int main() {
     const auto res = bench::run_search(tb.visformer, tb.xavier, regimes[r].cap, s, 100 + r);
     std::cout << util::format("--- %s: %zu evaluations, %zu on the Pareto front ---\n",
                               regimes[r].name, res.search.total_evaluations,
-                              res.validated.size());
+                              res.front.size());
     std::cout << util::format(
         "    evaluation engine: %zu evaluator runs, %.1f%% cache-served "
         "(%zu hits, %zu dups)\n",
@@ -54,12 +54,12 @@ int main() {
     const std::string csv_path =
         util::format("bench_out/fig6_%zu_front.csv", r);
     util::csv_writer csv{csv_path, {"latency_ms", "energy_mj", "accuracy_pct", "reuse_pct"}};
-    for (const auto& e : res.validated)
+    for (const auto& e : res.front)
       csv.write_row(std::vector<double>{e.avg_latency_ms, e.avg_energy_mj, e.accuracy_pct,
                                         e.fmap_reuse_pct});
 
     // Deciled summary: min-energy point per latency bucket.
-    auto front = res.validated;
+    auto front = res.front;
     std::sort(front.begin(), front.end(), [](const auto& a, const auto& b) {
       return a.avg_latency_ms < b.avg_latency_ms;
     });
@@ -81,8 +81,8 @@ int main() {
 
     // Highlighted factors (<= 0.5% accuracy drop rule).
     const auto e_pick =
-        bench::pick_constrained(res.validated, gpu.accuracy_pct, 0.5, 30.0, true);
-    const auto l_pick = bench::pick_constrained(res.validated, gpu.accuracy_pct, 0.5,
+        bench::pick_constrained(res.front, gpu.accuracy_pct, 0.5, 30.0, true);
+    const auto l_pick = bench::pick_constrained(res.front, gpu.accuracy_pct, 0.5,
                                                 1e9, false);
     if (e_pick)
       std::cout << util::format(
@@ -96,7 +96,7 @@ int main() {
           dla.latency_ms / l_pick->avg_latency_ms, regimes[r].paper_latency_x);
 
     double best_acc = 0.0;
-    for (const auto& e : res.validated) best_acc = std::max(best_acc, e.accuracy_pct);
+    for (const auto& e : res.front) best_acc = std::max(best_acc, e.accuracy_pct);
     std::cout << util::format("best accuracy in this regime: %.2f%% (front CSV: %s)\n\n",
                               best_acc, csv_path.c_str());
     if (r == 0) best_acc_unconstrained = best_acc;

@@ -44,7 +44,7 @@ int main() {
     if (r == 0) dynamic_reuse_best = e.fmap_reuse_pct;
 
     // Right subfigure data: reuse-vs-accuracy across the validated front.
-    for (const auto& v : res.validated) {
+    for (const auto& v : res.front) {
       reuse_axis.push_back(v.fmap_reuse_pct);
       acc_axis.push_back(v.accuracy_pct);
     }

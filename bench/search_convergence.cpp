@@ -3,13 +3,14 @@
 // generation -- plus how the Pareto front's extremes evolve. The paper
 // observes that "most of the explored configurations achieve a good
 // trade-off between DLA energy efficiency and GPU latency speedup".
+// Runs through the serving front-end with the analytic evaluator (no
+// surrogate), mirroring the pre-serving engine-level setup.
 
 #include <algorithm>
 #include <filesystem>
 #include <iostream>
 
 #include "bench_common.h"
-#include "core/evolutionary.h"
 #include "util/csv.h"
 
 int main() {
@@ -18,17 +19,19 @@ int main() {
   bench::scale s = bench::scale::from_env();
   s.generations = std::max<std::size_t>(20, s.generations / 2);
 
-  const core::search_space space{tb.visformer, tb.xavier};
-  const core::evaluator eval{tb.visformer, tb.xavier, {}};
+  serving::service_options sopt;
+  sopt.engine.threads = s.threads;
+  serving::mapping_service service{sopt};
+  service.register_network(tb.visformer);
+  service.register_platform(tb.xavier);
 
-  core::ga_options ga;
-  ga.generations = s.generations;
-  ga.population = s.population;
-  ga.threads = s.threads;
-  core::engine_options eng_opt;
-  eng_opt.threads = s.threads;
-  core::evaluation_engine engine{eval, eng_opt};
-  const auto res = core::evolve(space, engine, ga);
+  serving::mapping_request req;
+  req.network = tb.visformer.name;
+  req.use_surrogate = false;  // trace the analytic objective directly
+  req.ga.generations = s.generations;
+  req.ga.population = s.population;
+  const serving::mapping_report rep = service.map(req);
+  const core::ga_result& res = rep.search;
 
   std::cout << "=== §VI-B: search process analysis (Visformer, analytic evaluator) ===\n\n";
   util::table t({"generation", "best objective", "mean objective", "feasible", "cache hit"});
@@ -59,18 +62,20 @@ int main() {
       "(%.1f%% served by cache: %zu hits + %zu in-batch dups)\n",
       res.cache.misses, res.cache.lookups(), 100.0 * res.cache.hit_rate(), res.cache.hits,
       res.cache.dedup);
+  std::cout << util::format(
+      "cross-phase continuity: %zu/%zu Pareto picks validated without a new evaluator run\n",
+      rep.validation_cache.hits + rep.validation_cache.dedup, rep.validation_cache.lookups());
 
   // Trade-off coverage: how much of the front sits between the baselines.
   const auto gpu = core::single_cu_baseline(tb.visformer, tb.xavier, 0);
   const auto dla = core::single_cu_baseline(tb.visformer, tb.xavier, 1);
   std::size_t in_band = 0;
-  for (const std::size_t i : res.pareto) {
-    const auto& e = res.archive[i];
+  for (const auto& e : rep.front) {
     if (e.avg_latency_ms < dla.latency_ms && e.avg_energy_mj < gpu.energy_mj) ++in_band;
   }
   std::cout << util::format(
       "%zu/%zu Pareto points beat DLA latency AND GPU energy simultaneously\n", in_band,
-      res.pareto.size());
+      rep.front.size());
   std::cout << "full trace: bench_out/convergence.csv\n";
   return 0;
 }

@@ -1,0 +1,102 @@
+// Serving-reuse microbench (the serving front-end's acceptance check): a
+// second map() of the same request against a warm session must perform at
+// least 50% fewer evaluator runs than the first -- in practice ~100% fewer,
+// since the GA at a fixed seed revisits exactly the cached candidates --
+// while returning a bit-identical mapping_report. Also shows that sessions
+// persist across surrogate phases: the GBT trains once per session.
+//
+// Scale via MAPCQ_GENERATIONS / MAPCQ_POPULATION / MAPCQ_THREADS.
+
+#include <chrono>
+#include <iostream>
+
+#include "bench_common.h"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+std::size_t evaluator_runs(const mapcq::serving::mapping_report& rep) {
+  return rep.search_cache.misses + rep.validation_cache.misses;
+}
+
+bool identical_reports(const mapcq::serving::mapping_report& a,
+                       const mapcq::serving::mapping_report& b) {
+  if (a.front.size() != b.front.size()) return false;
+  if (a.ours_latency_index != b.ours_latency_index) return false;
+  if (a.ours_energy_index != b.ours_energy_index) return false;
+  for (std::size_t i = 0; i < a.front.size(); ++i) {
+    const auto& x = a.front[i];
+    const auto& y = b.front[i];
+    if (!(x.config == y.config) || x.objective != y.objective ||
+        x.avg_latency_ms != y.avg_latency_ms || x.avg_energy_mj != y.avg_energy_mj ||
+        x.accuracy_pct != y.accuracy_pct || x.fmap_reuse_pct != y.fmap_reuse_pct)
+      return false;
+  }
+  if (a.search.total_evaluations != b.search.total_evaluations) return false;
+  if (a.search.history.size() != b.search.history.size()) return false;
+  for (std::size_t g = 0; g < a.search.history.size(); ++g)
+    if (a.search.history[g].best_objective != b.search.history[g].best_objective) return false;
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mapcq;
+  const bench::testbed tb;
+  bench::scale s = bench::scale::from_env();
+  s.generations = std::max<std::size_t>(10, s.generations / 4);
+
+  serving::service_options sopt;
+  sopt.engine.threads = s.threads;
+  serving::mapping_service service{sopt};
+  service.register_network(tb.visformer);
+  service.register_platform(tb.xavier);
+
+  std::cout << "=== serving reuse: warm-session map() vs cold ===\n";
+  std::cout << util::format("GA scale: %zu generations x %zu population, %zu threads\n\n",
+                            s.generations, s.population, s.threads);
+
+  bool all_ok = true;
+  for (const bool use_surrogate : {false, true}) {
+    serving::mapping_request req;
+    req.network = tb.visformer.name;
+    req.use_surrogate = use_surrogate;
+    req.ga.generations = s.generations;
+    req.ga.population = s.population;
+
+    auto t0 = std::chrono::steady_clock::now();
+    const serving::mapping_report cold = service.map(req);
+    const double cold_s = seconds_since(t0);
+    t0 = std::chrono::steady_clock::now();
+    const serving::mapping_report warm = service.map(req);
+    const double warm_s = seconds_since(t0);
+
+    const std::size_t cold_runs = evaluator_runs(cold);
+    const std::size_t warm_runs = evaluator_runs(warm);
+    const bool identical = identical_reports(cold, warm);
+    const bool enough_reuse = warm_runs * 2 <= cold_runs;
+    all_ok = all_ok && identical && enough_reuse;
+
+    std::cout << "--- " << (use_surrogate ? "surrogate search" : "analytic search") << " ---\n";
+    util::table t({"request", "wall (s)", "evaluator runs", "validation hits", "GBT trained"});
+    t.add_row({"cold", bench::fmt(cold_s), std::to_string(cold_runs),
+               std::to_string(cold.validation_cache.hits),
+               cold.trained_surrogate ? "yes" : "no"});
+    t.add_row({"warm", bench::fmt(warm_s), std::to_string(warm_runs),
+               std::to_string(warm.validation_cache.hits),
+               warm.trained_surrogate ? "yes" : "no"});
+    std::cout << t.str();
+    std::cout << util::format(
+        "evaluator-run reduction: %.1f%% (need >= 50%%) | reports %s\n\n",
+        cold_runs == 0 ? 0.0 : 100.0 * (1.0 - static_cast<double>(warm_runs) / cold_runs),
+        identical ? "bit-identical" : "DIVERGED (bug!)");
+  }
+
+  std::cout << util::format("sessions: %zu | overall: %s\n", service.session_count(),
+                            all_ok ? "OK" : "FAILED");
+  return all_ok ? 0 : 1;
+}

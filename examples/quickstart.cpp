@@ -1,6 +1,6 @@
-// Quickstart: map a Visformer onto a (calibrated) Jetson AGX Xavier model,
-// compare the single-CU baselines against a searched dynamic mapping, and
-// print the winning configuration.
+// Quickstart: map a Visformer onto a (calibrated) Jetson AGX Xavier model
+// through the serving front-end, compare the single-CU baselines against a
+// searched dynamic mapping, and print the winning configuration.
 //
 // Build & run:  ./build/examples/quickstart [generations] [population]
 
@@ -8,9 +8,9 @@
 #include <iostream>
 
 #include "core/baselines.h"
-#include "core/optimizer.h"
 #include "nn/models.h"
 #include "perf/calibration.h"
+#include "serving/mapping_service.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -39,12 +39,18 @@ int main(int argc, char** argv) {
   t.add_row({dla.name, util::table::num(dla.latency_ms), util::table::num(dla.energy_mj),
              util::table::num(dla.accuracy_pct)});
 
-  // 4. Map-and-Conquer search (dynamic multi-exit mapping).
-  core::optimizer_options opt;
-  opt.ga.generations = generations;
-  opt.ga.population = population;
-  core::optimizer mapper{visformer, xavier, opt};
-  const core::optimize_result result = mapper.run();
+  // 4. Map-and-Conquer search through the serving front-end: register the
+  // network/platform once, then issue a structured request. Repeated
+  // requests against the same session reuse its memo cache and surrogate.
+  serving::mapping_service service;
+  service.register_network(visformer);
+  service.register_platform(xavier);
+
+  serving::mapping_request req;
+  req.network = visformer.name;
+  req.ga.generations = generations;
+  req.ga.population = population;
+  const serving::mapping_report result = service.map(req);
 
   const core::evaluation& ours_e = result.ours_energy();
   const core::evaluation& ours_l = result.ours_latency();
@@ -57,13 +63,17 @@ int main(int argc, char** argv) {
   std::cout << "\nOurs-E mapping: " << ours_e.config.describe(xavier) << "\n";
   std::cout << util::format(
       "searched %zu configurations; %zu on the Pareto front; surrogate MAPE %.1f%% (latency)\n",
-      result.search.total_evaluations, result.search.pareto.size(),
+      result.search.total_evaluations, result.front.size(),
       result.surrogate_fidelity ? result.surrogate_fidelity->latency_mape : 0.0);
   std::cout << util::format(
-      "evaluation cache: %.1f%% of %zu lookups served without an evaluator run "
+      "search cache: %.1f%% of %zu lookups served without an evaluator run "
       "(%zu hits, %zu in-batch dups, %zu distinct evaluations)\n",
-      100.0 * result.search.cache.hit_rate(), result.search.cache.lookups(),
-      result.search.cache.hits, result.search.cache.dedup, result.search.cache.misses);
+      100.0 * result.search_cache.hit_rate(), result.search_cache.lookups(),
+      result.search_cache.hits, result.search_cache.dedup, result.search_cache.misses);
+  std::cout << util::format(
+      "validation: %zu picks, %zu served from the session cache\n",
+      result.validation_cache.lookups(),
+      result.validation_cache.hits + result.validation_cache.dedup);
   std::cout << util::format("energy gain vs GPU-only: %.2fx | speedup vs DLA-only: %.2fx\n",
                             gpu.energy_mj / ours_e.avg_energy_mj,
                             dla.latency_ms / ours_l.avg_latency_ms);

@@ -1,62 +1,90 @@
-// Deployment workflow: search once on the workstation, persist the winning
-// configuration, then reload it (as a runtime daemon on the MPSoC would)
-// and re-evaluate to confirm the shipped artifact reproduces the searched
-// performance bit-for-bit.
+// Deployment workflow on the serving front-end: submit a search
+// asynchronously, ship the resulting mapping report (validated front +
+// picks), then reload it (as a runtime daemon on the MPSoC would) and
+// re-evaluate the shipped pick to confirm the artifact reproduces the
+// searched performance bit-for-bit. A second, synchronous request against
+// the same warm session shows the memo cache persisting across runs.
+//
+// Build & run:  ./build/examples/search_and_ship [generations] [population]
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 
 #include "core/evaluation_engine.h"
 #include "core/evaluator.h"
-#include "core/optimizer.h"
 #include "core/serialization.h"
 #include "nn/models.h"
 #include "perf/calibration.h"
+#include "serving/mapping_service.h"
 #include "util/strings.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mapcq;
+  const std::size_t generations = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 30;
+  const std::size_t population = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 30;
+
   const nn::network vis = nn::build_visformer();
   const nn::network vgg = nn::build_vgg19();
   const soc::platform xavier = perf::calibrated_xavier(vis, vgg).plat;
 
-  // 1. Search (small budget for the demo).
-  core::optimizer_options opt;
-  opt.ga.generations = 30;
-  opt.ga.population = 30;
-  core::optimizer mapper{vis, xavier, opt};
-  const auto res = mapper.run();
-  const core::evaluation& winner = res.ours_energy();
+  // 1. Search: async submission against the serving front-end.
+  serving::mapping_service service;
+  service.register_network(vis);
+  service.register_platform(xavier);
+
+  serving::mapping_request req;
+  req.network = vis.name;
+  req.orientation = serving::objective_orientation::energy;
+  req.ga.generations = generations;
+  req.ga.population = population;
+  auto pending = service.submit(req);
+  std::cout << "request submitted; waiting for the mapping report...\n";
+  const serving::mapping_report report = pending.get();
+  const core::evaluation& winner = report.best();
   std::cout << "searched: " << winner.config.describe(xavier) << "\n";
   std::cout << util::format("searched metrics: %.2f mJ / %.2f ms / %.2f%%\n",
                             winner.avg_energy_mj, winner.avg_latency_ms, winner.accuracy_pct);
 
-  // 2. Ship: persist the configuration.
-  const std::string path = "/tmp/mapcq_shipped_config.txt";
-  core::save_configuration(path, winner.config);
-  std::cout << "\nconfiguration written to " << path << ":\n";
-  std::cout << core::to_text(winner.config).substr(0, 220) << "...\n";
+  // 2. Ship: persist the report summary (front configurations + scalars).
+  const std::string path = "/tmp/mapcq_shipped_report.txt";
+  core::save_report_summary(path, report.summary());
+  std::cout << "\nreport summary (" << report.front.size() << " front entries) written to " << path
+            << ":\n";
+  std::cout << core::to_text(report.summary()).substr(0, 260) << "...\n";
 
-  // 3. Runtime side: reload and re-evaluate through a memoizing engine, the
-  // way a serving daemon would answer repeated cost queries for the shipped
-  // configuration. The second query is a pure cache hit.
-  const core::configuration loaded = core::load_configuration(path);
+  // 3. Runtime side: reload the report, pick the shipped energy-oriented
+  // configuration and re-evaluate it through a memoizing engine, the way a
+  // serving daemon would answer repeated cost queries.
+  const core::report_summary shipped = core::load_report_summary(path);
+  const core::summary_entry& pick = shipped.entries.at(shipped.ours_energy_index);
+  std::cout << "\nreloaded pick '" << pick.label << "' from " << shipped.network << " on "
+            << shipped.platform << "\n";
   const core::evaluator runtime_eval{vis, xavier, {}};
   core::evaluation_engine runtime_engine{runtime_eval};
-  const core::evaluation replay = runtime_engine.evaluate(loaded);
-  const core::evaluation replay_again = runtime_engine.evaluate(loaded);
+  const core::evaluation replay = runtime_engine.evaluate(pick.config);
+  const core::evaluation replay_again = runtime_engine.evaluate(pick.config);
   const auto cache = runtime_engine.stats();
-  std::cout << util::format("\nreplayed metrics: %.2f mJ / %.2f ms / %.2f%%\n",
-                            replay.avg_energy_mj, replay.avg_latency_ms, replay.accuracy_pct);
+  std::cout << util::format("replayed metrics: %.2f mJ / %.2f ms / %.2f%%\n", replay.avg_energy_mj,
+                            replay.avg_latency_ms, replay.accuracy_pct);
   std::cout << util::format(
       "runtime engine: %zu evaluator run(s), %zu cache hit(s) for 2 queries "
       "(hit served bit-identically: %s)\n",
-      cache.misses, cache.hits,
-      replay_again.objective == replay.objective ? "yes" : "NO");
+      cache.misses, cache.hits, replay_again.objective == replay.objective ? "yes" : "NO");
+
+  // 4. Warm-session rerun: the same request again is served mostly from the
+  // session memo cache (and never retrains the surrogate).
+  const serving::mapping_report rerun = service.map(req);
+  std::cout << util::format(
+      "\nwarm rerun: %zu evaluator runs vs %zu cold (surrogate retrained: %s)\n",
+      rerun.search_cache.misses + rerun.validation_cache.misses,
+      report.search_cache.misses + report.validation_cache.misses,
+      rerun.trained_surrogate ? "yes (BUG)" : "no");
 
   const bool identical = replay.avg_energy_mj == winner.avg_energy_mj &&
                          replay.avg_latency_ms == winner.avg_latency_ms &&
-                         replay.accuracy_pct == winner.accuracy_pct;
+                         replay.accuracy_pct == winner.accuracy_pct &&
+                         replay.avg_energy_mj == pick.avg_energy_mj;
   std::cout << (identical ? "shipped artifact reproduces the search exactly.\n"
                           : "WARNING: replay diverged from the searched metrics!\n");
   std::remove(path.c_str());

@@ -8,10 +8,10 @@
 #include <iostream>
 
 #include "core/baselines.h"
-#include "core/optimizer.h"
 #include "nn/flops.h"
 #include "nn/models.h"
 #include "perf/calibration.h"
+#include "serving/mapping_service.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -32,12 +32,16 @@ int main(int argc, char** argv) {
   std::cout << util::format("GPU-only: %.2f mJ / %.2f ms | DLA-only: %.2f mJ / %.2f ms\n\n",
                             gpu.energy_mj, gpu.latency_ms, dla.energy_mj, dla.latency_ms);
 
-  core::optimizer_options opt;
-  opt.ga.generations = generations;
-  opt.ga.population = population;
-  core::optimizer mapper{vgg, xavier, opt};
-  const auto res = mapper.run();
-  const core::evaluation& best = res.ours_energy();
+  serving::mapping_service service;
+  service.register_network(vgg);
+  service.register_platform(xavier);
+  serving::mapping_request req;
+  req.network = vgg.name;
+  req.orientation = serving::objective_orientation::energy;
+  req.ga.generations = generations;
+  req.ga.population = population;
+  const serving::mapping_report res = service.map(req);
+  const core::evaluation& best = res.best();
 
   std::cout << "energy-oriented dynamic mapping found by the search:\n";
   std::cout << "  " << best.config.describe(xavier) << "\n\n";

@@ -28,9 +28,11 @@ bool evaluation_engine::lookup(std::size_t key, const configuration& config, eva
   const std::lock_guard<std::mutex> lock{s.mu};
   const auto it = s.map.find(key);
   if (it == s.map.end()) return false;
-  for (const evaluation& e : it->second) {
-    if (e.config == config) {
-      out = e;
+  for (const entry_list::iterator entry : it->second) {
+    if (entry->second.config == config) {
+      if (opt_.eviction == eviction_policy::lru)
+        s.order.splice(s.order.end(), s.order, entry);  // refresh: now hottest
+      out = entry->second;
       return true;
     }
   }
@@ -42,21 +44,24 @@ void evaluation_engine::insert(std::size_t key, const evaluation& result) {
   const std::lock_guard<std::mutex> lock{s.mu};
   auto& bucket = s.map[key];
   // A concurrent batch may have raced us to the same configuration; keep
-  // the first copy so `entries` stays in step with the eviction queue.
-  for (const evaluation& e : bucket)
-    if (e.config == result.config) return;
-  bucket.push_back(result);
-  s.order.push_back(key);
-  ++s.entries;
+  // the first copy so the bucket stays in step with the eviction list.
+  for (const entry_list::iterator entry : bucket)
+    if (entry->second.config == result.config) return;
+  s.order.emplace_back(key, result);
+  bucket.push_back(std::prev(s.order.end()));
 
-  while (shard_capacity_ > 0 && s.entries > shard_capacity_ && !s.order.empty()) {
-    const std::size_t victim_key = s.order.front();
-    s.order.pop_front();
-    const auto vit = s.map.find(victim_key);
-    if (vit == s.map.end() || vit->second.empty()) continue;
-    vit->second.erase(vit->second.begin());  // oldest entry of the bucket
-    if (vit->second.empty()) s.map.erase(vit);
-    --s.entries;
+  while (shard_capacity_ > 0 && s.order.size() > shard_capacity_) {
+    const entry_list::iterator victim = s.order.begin();
+    const auto vit = s.map.find(victim->first);
+    auto& ventries = vit->second;
+    for (auto e = ventries.begin(); e != ventries.end(); ++e) {
+      if (*e == victim) {
+        ventries.erase(e);
+        break;
+      }
+    }
+    if (ventries.empty()) s.map.erase(vit);
+    s.order.erase(victim);
     evictions_.fetch_add(1, std::memory_order_relaxed);
   }
 }
@@ -158,7 +163,7 @@ std::size_t evaluation_engine::size() const {
   std::size_t total = 0;
   for (const shard& s : shards_) {
     const std::lock_guard<std::mutex> lock{s.mu};
-    total += s.entries;
+    total += s.order.size();
   }
   return total;
 }
@@ -168,7 +173,6 @@ void evaluation_engine::clear() {
     const std::lock_guard<std::mutex> lock{s.mu};
     s.map.clear();
     s.order.clear();
-    s.entries = 0;
   }
 }
 

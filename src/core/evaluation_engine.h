@@ -14,11 +14,12 @@
 
 #include <atomic>
 #include <cstddef>
-#include <deque>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/configuration.h"
@@ -26,6 +27,13 @@
 #include "util/thread_pool.h"
 
 namespace mapcq::core {
+
+/// Which cached entry a full shard evicts first.
+enum class eviction_policy {
+  fifo,  ///< insertion order (cheapest bookkeeping; fine for one-shot runs)
+  lru    ///< least-recently-used: a hit refreshes the entry, so hot keys
+         ///< survive capacity pressure in long-lived serving sessions
+};
 
 /// Engine tuning knobs.
 struct engine_options {
@@ -35,6 +43,7 @@ struct engine_options {
   /// false turns the engine into a pass-through (every call runs the
   /// evaluator); kept for A/B benches and bit-identity tests.
   bool memoize = true;
+  eviction_policy eviction = eviction_policy::fifo;
 };
 
 /// Monotonic counters. One batch element is exactly one of: a `hit` (served
@@ -93,12 +102,14 @@ class evaluation_engine {
 
  private:
   // Hash collisions are resolved by exact configuration equality against
-  // the `evaluation::config` stored in each bucket entry.
+  // the `evaluation::config` stored in each entry. Entries live on the
+  // eviction list (coldest at the front); the map indexes them by key. An
+  // LRU hit splices its entry to the back, FIFO leaves the order alone.
+  using entry_list = std::list<std::pair<std::size_t, evaluation>>;
   struct shard {
     mutable std::mutex mu;
-    std::unordered_map<std::size_t, std::vector<evaluation>> map;
-    std::deque<std::size_t> order;  ///< key insertion order, for FIFO eviction
-    std::size_t entries = 0;
+    entry_list order;
+    std::unordered_map<std::size_t, std::vector<entry_list::iterator>> map;
   };
 
   [[nodiscard]] shard& shard_for(std::size_t key) noexcept {

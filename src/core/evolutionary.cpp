@@ -217,6 +217,7 @@ ga_result evolve(const search_space& space, evaluation_engine& engine, const ga_
     stats.cache_hits = gen_delta.hits;
     stats.cache_misses = gen_delta.misses;
     stats.cache_dedup = gen_delta.dedup;
+    stats.cache_evictions = gen_delta.evictions;
     double sum = 0.0;
     for (std::size_t i = 0; i < population.size(); ++i) {
       const evaluation& e = evals[i];

@@ -55,9 +55,10 @@ struct generation_stats {
   double best_objective = 0.0;
   double mean_objective = 0.0;
   std::size_t feasible = 0;
-  std::size_t cache_hits = 0;    ///< population members served from the memo cache
-  std::size_t cache_misses = 0;  ///< distinct evaluator runs this generation
-  std::size_t cache_dedup = 0;   ///< in-generation duplicate candidates collapsed
+  std::size_t cache_hits = 0;       ///< population members served from the memo cache
+  std::size_t cache_misses = 0;     ///< distinct evaluator runs this generation
+  std::size_t cache_dedup = 0;      ///< in-generation duplicate candidates collapsed
+  std::size_t cache_evictions = 0;  ///< entries dropped under capacity pressure
 };
 
 /// Search output.
@@ -79,6 +80,10 @@ struct ga_result {
 /// Runs the GA with every population evaluation routed through `engine`
 /// (elites and duplicate offspring become cache hits). Throws
 /// std::runtime_error if no feasible configuration is ever found.
+/// Cache counters (per generation and `ga_result::cache`) are deltas of the
+/// engine's global stats, so when several searches share one engine
+/// concurrently they include the other searches' traffic; the results
+/// themselves stay deterministic because evaluation is pure.
 [[nodiscard]] ga_result evolve(const search_space& space, evaluation_engine& engine,
                                const ga_options& opt = {});
 

@@ -1,28 +1,116 @@
 #include "core/optimizer.h"
 
+#include <algorithm>
 #include <limits>
+#include <memory>
 #include <stdexcept>
+#include <utility>
+
+#include "serving/mapping_service.h"
 
 namespace mapcq::core {
 
+namespace {
+
+/// Ours-L / Ours-E selection over an already-validated front (Table II);
+/// kept here only for the legacy foreign-predictor path -- the service does
+/// its own selection.
+std::size_t pick_within_slack(const std::vector<evaluation>& validated, double slack,
+                              double best_acc, double (*metric)(const evaluation&)) {
+  std::size_t best = validated.size();
+  double best_v = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < validated.size(); ++i) {
+    const evaluation& e = validated[i];
+    if (e.accuracy_pct < best_acc - slack) continue;
+    const double v = metric(e);
+    if (v < best_v) {
+      best_v = v;
+      best = i;
+    }
+  }
+  // Slack never excludes everything: the max-accuracy entry qualifies.
+  return best;
+}
+
+}  // namespace
+
 optimizer::optimizer(const nn::network& net, const soc::platform& plat, optimizer_options opt)
-    : net_(&net), plat_(&plat), opt_(std::move(opt)), space_(net, plat, opt_.ratio_levels) {}
+    : net_(&net), plat_(&plat), opt_(std::move(opt)), space_(net, plat, opt_.ratio_levels) {
+  // Seed-equivalent engine sizing: the pre-serving facade built FIFO engines
+  // with ga.threads workers and a few populations' worth of capacity.
+  serving::service_options sopt;
+  sopt.engine.threads = std::max<std::size_t>(1, opt_.ga.threads);
+  sopt.engine.capacity = std::max<std::size_t>(4096, 8 * opt_.ga.population);
+  sopt.engine.eviction = eviction_policy::fifo;
+  service_ = std::make_shared<serving::mapping_service>(sopt);
+
+  // The service registry requires names; the legacy facade accepted
+  // anonymous networks/platforms, so invent placeholders where needed.
+  if (net_->name.empty()) {
+    nn::network named = *net_;
+    named.name = "<anonymous>";
+    network_name_ = named.name;
+    service_->register_network(named);
+  } else {
+    network_name_ = net_->name;
+    service_->register_network(*net_);
+  }
+  if (plat_->name.empty()) {
+    soc::platform named = *plat_;
+    named.name = "<anonymous>";
+    platform_name_ = named.name;
+    service_->register_platform(named);
+  } else {
+    platform_name_ = plat_->name;
+    service_->register_platform(*plat_);
+  }
+}
 
 optimize_result optimizer::run() {
+  if (opt_.eval.predictor != nullptr) return run_with_foreign_predictor();
+
+  serving::mapping_request req;
+  req.network = network_name_;
+  req.platform = platform_name_;
+  req.ga = opt_.ga;
+  req.eval = opt_.eval;
+  req.ratio_levels = opt_.ratio_levels;
+  req.use_surrogate = opt_.use_surrogate;
+  req.bench = opt_.bench;
+  req.gbt = opt_.gbt;
+  req.ours_e_accuracy_slack = opt_.ours_e_accuracy_slack;
+  req.ours_l_accuracy_slack = opt_.ours_l_accuracy_slack;
+  req.ranking_seed = opt_.ranking_seed;
+
+  serving::mapping_report report = service_->map(req);
+
+  optimize_result out;
+  out.search = std::move(report.search);
+  out.validated = std::move(report.front);
+  out.ours_latency_index = report.ours_latency_index;
+  out.ours_energy_index = report.ours_energy_index;
+  out.validation_cache = report.validation_cache;
+  out.surrogate_fidelity = report.surrogate_fidelity;
+  return out;
+}
+
+optimize_result optimizer::run_with_foreign_predictor() {
+  // Pre-serving behavior, preserved verbatim: fresh engines per phase,
+  // search on the caller's predictor (or a newly trained surrogate when
+  // use_surrogate overrides it), validation on the analytic model.
   optimize_result out;
 
-  // --- surrogate training (paper §V-E) -------------------------------------
   evaluator_options search_eval_opt = opt_.eval;
+  std::unique_ptr<surrogate::hw_predictor> trained;
   if (opt_.use_surrogate) {
     const std::vector<const nn::network*> nets = {net_};
     const surrogate::dataset bench = surrogate::generate_benchmark(nets, *plat_, opt_.bench);
     const surrogate::dataset_split parts = surrogate::split(bench, 0.8, opt_.bench.seed ^ 0x5eed);
-    predictor_ = std::make_unique<surrogate::hw_predictor>(parts.train, opt_.gbt);
-    out.surrogate_fidelity = predictor_->evaluate(parts.test);
-    search_eval_opt.predictor = predictor_.get();
+    trained = std::make_unique<surrogate::hw_predictor>(parts.train, opt_.gbt);
+    out.surrogate_fidelity = trained->evaluate(parts.test);
+    search_eval_opt.predictor = trained.get();
   }
 
-  // --- evolutionary search ---------------------------------------------------
   engine_options engine_opt;
   engine_opt.threads = opt_.ga.threads;
   engine_opt.capacity = std::max<std::size_t>(4096, 8 * opt_.ga.population);
@@ -30,10 +118,6 @@ optimize_result optimizer::run() {
   evaluation_engine search_engine{search_eval, engine_opt};
   out.search = evolve(space_, search_engine, opt_.ga);
 
-  // --- validate Pareto picks on the analytic model ---------------------------
-  // The archive holds the same configuration many times (elites survive
-  // generations), so validation also runs through a memoizing engine: each
-  // distinct Pareto configuration costs one analytic evaluation.
   evaluator_options validate_opt = opt_.eval;
   validate_opt.predictor = nullptr;
   const evaluator validate_eval{*net_, *plat_, validate_opt, opt_.ranking_seed};
@@ -43,31 +127,17 @@ optimize_result optimizer::run() {
   for (const std::size_t idx : out.search.pareto)
     pareto_configs.push_back(out.search.archive[idx].config);
   out.validated = validate_engine.evaluate_batch(pareto_configs);
+  out.validation_cache = validate_engine.stats();
   if (out.validated.empty()) throw std::runtime_error("optimizer: empty Pareto set");
 
-  // --- Ours-L / Ours-E selection (Table II) ----------------------------------
   double best_acc = 0.0;
   for (const auto& e : out.validated) best_acc = std::max(best_acc, e.accuracy_pct);
-
-  const auto pick = [&](double slack, auto metric) {
-    std::size_t best = out.validated.size();
-    double best_v = std::numeric_limits<double>::infinity();
-    for (std::size_t i = 0; i < out.validated.size(); ++i) {
-      const auto& e = out.validated[i];
-      if (e.accuracy_pct < best_acc - slack) continue;
-      const double v = metric(e);
-      if (v < best_v) {
-        best_v = v;
-        best = i;
-      }
-    }
-    // Slack never excludes everything: the max-accuracy entry qualifies.
-    return best;
-  };
-  out.ours_energy_index = pick(opt_.ours_e_accuracy_slack,
-                               [](const evaluation& e) { return e.avg_energy_mj; });
-  out.ours_latency_index = pick(opt_.ours_l_accuracy_slack,
-                                [](const evaluation& e) { return e.avg_latency_ms; });
+  out.ours_energy_index =
+      pick_within_slack(out.validated, opt_.ours_e_accuracy_slack, best_acc,
+                        [](const evaluation& e) { return e.avg_energy_mj; });
+  out.ours_latency_index =
+      pick_within_slack(out.validated, opt_.ours_l_accuracy_slack, best_acc,
+                        [](const evaluation& e) { return e.avg_latency_ms; });
   return out;
 }
 

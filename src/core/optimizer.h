@@ -1,18 +1,32 @@
 #pragma once
-// Top-level Map-and-Conquer facade (paper Fig. 5): trains the hardware
-// surrogate, runs the evolutionary search under the requested constraints,
-// then validates the Pareto picks on the analytic ("measured") model --
-// mirroring the paper's search-on-predictor / report-on-hardware flow --
-// and finally selects the latency-oriented (Ours-L) and energy-oriented
-// (Ours-E) models reported in Table II.
+// DEPRECATED one-shot facade, kept as a thin compatibility shim over
+// `serving::mapping_service`. New code should talk to the service directly:
+// it registers many networks/platforms, keys immutable sessions by
+// (network, platform, evaluator options, ranking seed), and persists the
+// memo cache across search, validation and repeated requests -- everything
+// this per-run facade used to rebuild and discard per phase.
+//
+// The shim still mirrors the paper flow (Fig. 5): train the hardware
+// surrogate, search on it, validate the Pareto picks on the analytic
+// ("measured") model, then select the latency-oriented (Ours-L) and
+// energy-oriented (Ours-E) models reported in Table II. Because it now
+// holds one service session across phases (and across repeated run()
+// calls), validation of an analytic search is served from the search's own
+// cache -- see `optimize_result::validation_cache`.
 
 #include <memory>
 #include <optional>
+#include <string>
 
+#include "core/evaluation_engine.h"
 #include "core/evaluator.h"
 #include "core/evolutionary.h"
 #include "core/search_space.h"
 #include "surrogate/predictor.h"
+
+namespace mapcq::serving {
+class mapping_service;
+}  // namespace mapcq::serving
 
 namespace mapcq::core {
 
@@ -43,6 +57,11 @@ struct optimize_result {
   std::size_t ours_latency_index = 0;
   std::size_t ours_energy_index = 0;
 
+  /// Engine delta of the validation phase. Search and validation share one
+  /// serving session, so when the search already ran analytically
+  /// (use_surrogate = false) the Pareto picks validate as pure cache hits.
+  engine_stats validation_cache;
+
   /// Surrogate held-out fidelity (populated when use_surrogate).
   std::optional<surrogate::hw_predictor::fidelity> surrogate_fidelity;
 
@@ -50,22 +69,31 @@ struct optimize_result {
   [[nodiscard]] const evaluation& ours_energy() const { return validated.at(ours_energy_index); }
 };
 
-/// One search run for one network on one platform.
+/// One search run for one network on one platform. Deprecated: use
+/// serving::mapping_service, which this wraps.
 class optimizer {
  public:
   optimizer(const nn::network& net, const soc::platform& plat, optimizer_options opt = {});
 
   /// Executes surrogate training (optional), GA search and validation.
+  /// Repeated calls reuse the underlying session: the surrogate trains
+  /// once and later runs are served largely from the memo cache.
   [[nodiscard]] optimize_result run();
 
   [[nodiscard]] const search_space& space() const noexcept { return space_; }
 
  private:
+  /// Pre-serving flow for the one legacy knob the service refuses: a
+  /// caller-supplied eval.predictor (sessions own their predictors).
+  [[nodiscard]] optimize_result run_with_foreign_predictor();
+
   const nn::network* net_;
   const soc::platform* plat_;
   optimizer_options opt_;
+  std::string network_name_;   ///< registered name (placeholder if unnamed)
+  std::string platform_name_;  ///< registered name (placeholder if unnamed)
   search_space space_;
-  std::unique_ptr<surrogate::hw_predictor> predictor_;
+  std::shared_ptr<serving::mapping_service> service_;  ///< owns the session
 };
 
 }  // namespace mapcq::core

@@ -9,12 +9,55 @@
 namespace mapcq::core {
 
 namespace {
-constexpr const char* format_tag = "mapcq-config-v1";
+
+constexpr const char* config_tag = "mapcq-config-v1";
+constexpr const char* report_tag = "mapcq-report-v1";
+
+std::string next_line(std::istream& is, const char* what) {
+  std::string line;
+  if (!std::getline(is, line))
+    throw std::runtime_error(std::string("serialization: missing ") + what);
+  return line;
 }
 
-std::string to_text(const configuration& config) {
-  std::ostringstream os;
-  os << format_tag << "\n";
+/// Reads a `key value...` line and returns everything after "key " verbatim
+/// (values such as network names may contain spaces).
+std::string read_tail(std::istream& is, const char* key) {
+  const std::string line = next_line(is, key);
+  const std::string prefix = std::string(key) + ' ';
+  if (line.rfind(prefix, 0) != 0) {
+    if (line == key) return "";
+    throw std::runtime_error(std::string("serialization: expected ") + key);
+  }
+  return line.substr(prefix.size());
+}
+
+std::size_t read_sized(std::istream& is, const char* key) {
+  std::istringstream ls{next_line(is, key)};
+  std::string k;
+  std::size_t v = 0;
+  if (!(ls >> k >> v) || k != key)
+    throw std::runtime_error(std::string("serialization: expected ") + key);
+  return v;
+}
+
+// std::stod rather than stream extraction: validated fronts can carry
+// non-finite scalars (an infeasible pick has objective = inf) and streams
+// refuse to parse the "inf"/"nan" they themselves printed.
+double read_scalar(std::istream& is, const char* key) {
+  std::istringstream ls{next_line(is, key)};
+  std::string k, token;
+  if (!(ls >> k >> token) || k != key)
+    throw std::runtime_error(std::string("serialization: expected ") + key);
+  try {
+    return std::stod(token);
+  } catch (const std::exception&) {
+    throw std::runtime_error(std::string("serialization: bad value for ") + key);
+  }
+}
+
+void write_configuration(std::ostream& os, const configuration& config) {
+  os << config_tag << "\n";
   os << "groups " << config.groups() << "\n";
   os << "stages " << config.stages() << "\n";
   os << "partition\n";
@@ -33,50 +76,34 @@ std::string to_text(const configuration& config) {
   os << "\ndvfs";
   for (const std::size_t level : config.dvfs) os << ' ' << level;
   os << "\n";
-  return os.str();
 }
 
-configuration configuration_from_text(const std::string& text) {
-  std::istringstream is{text};
-  std::string line;
-
-  const auto next_line = [&](const char* what) {
-    if (!std::getline(is, line))
-      throw std::runtime_error(std::string("configuration_from_text: missing ") + what);
-    return line;
-  };
-
-  if (next_line("header") != format_tag)
+/// The config format is self-delimiting (the header fixes every section's
+/// row count), so it can be read both standalone and embedded in a report.
+configuration read_configuration(std::istream& is) {
+  if (next_line(is, "header") != config_tag)
     throw std::runtime_error("configuration_from_text: bad header");
 
-  const auto read_sized = [&](const char* key) {
-    std::istringstream ls{next_line(key)};
-    std::string k;
-    std::size_t v = 0;
-    if (!(ls >> k >> v) || k != key)
-      throw std::runtime_error(std::string("configuration_from_text: expected ") + key);
-    return v;
-  };
-  const std::size_t groups = read_sized("groups");
-  const std::size_t stages = read_sized("stages");
+  const std::size_t groups = read_sized(is, "groups");
+  const std::size_t stages = read_sized(is, "stages");
   if (groups == 0 || stages == 0)
     throw std::runtime_error("configuration_from_text: empty dimensions");
 
   configuration c;
-  if (next_line("partition") != "partition")
+  if (next_line(is, "partition") != "partition")
     throw std::runtime_error("configuration_from_text: expected partition section");
   c.partition.assign(groups, std::vector<double>(stages));
   for (auto& row : c.partition) {
-    std::istringstream ls{next_line("partition row")};
+    std::istringstream ls{next_line(is, "partition row")};
     for (auto& v : row)
       if (!(ls >> v)) throw std::runtime_error("configuration_from_text: short partition row");
   }
 
-  if (next_line("forward") != "forward")
+  if (next_line(is, "forward") != "forward")
     throw std::runtime_error("configuration_from_text: expected forward section");
   c.forward.assign(groups, std::vector<bool>(stages));
   for (auto& row : c.forward) {
-    std::istringstream ls{next_line("forward row")};
+    std::istringstream ls{next_line(is, "forward row")};
     for (std::size_t i = 0; i < stages; ++i) {
       int bit = 0;
       if (!(ls >> bit) || (bit != 0 && bit != 1))
@@ -86,7 +113,7 @@ configuration configuration_from_text(const std::string& text) {
   }
 
   {
-    std::istringstream ls{next_line("mapping")};
+    std::istringstream ls{next_line(is, "mapping")};
     std::string k;
     if (!(ls >> k) || k != "mapping")
       throw std::runtime_error("configuration_from_text: expected mapping");
@@ -96,7 +123,7 @@ configuration configuration_from_text(const std::string& text) {
       throw std::runtime_error("configuration_from_text: mapping size mismatch");
   }
   {
-    std::istringstream ls{next_line("dvfs")};
+    std::istringstream ls{next_line(is, "dvfs")};
     std::string k;
     if (!(ls >> k) || k != "dvfs")
       throw std::runtime_error("configuration_from_text: expected dvfs");
@@ -107,19 +134,101 @@ configuration configuration_from_text(const std::string& text) {
   return c;
 }
 
-void save_configuration(const std::string& path, const configuration& config) {
+std::string slurp(const std::string& path, const char* what) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error(std::string(what) + ": cannot open " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void spill(const std::string& path, const std::string& text, const char* what) {
   std::ofstream out{path};
-  if (!out) throw std::runtime_error("save_configuration: cannot open " + path);
-  out << to_text(config);
-  if (!out) throw std::runtime_error("save_configuration: write failed for " + path);
+  if (!out) throw std::runtime_error(std::string(what) + ": cannot open " + path);
+  out << text;
+  if (!out) throw std::runtime_error(std::string(what) + ": write failed for " + path);
+}
+
+}  // namespace
+
+std::string to_text(const configuration& config) {
+  std::ostringstream os;
+  write_configuration(os, config);
+  return os.str();
+}
+
+configuration configuration_from_text(const std::string& text) {
+  std::istringstream is{text};
+  return read_configuration(is);
+}
+
+void save_configuration(const std::string& path, const configuration& config) {
+  spill(path, to_text(config), "save_configuration");
 }
 
 configuration load_configuration(const std::string& path) {
-  std::ifstream in{path};
-  if (!in) throw std::runtime_error("load_configuration: cannot open " + path);
-  std::stringstream buf;
-  buf << in.rdbuf();
-  return configuration_from_text(buf.str());
+  return configuration_from_text(slurp(path, "load_configuration"));
+}
+
+std::string to_text(const report_summary& summary) {
+  std::ostringstream os;
+  os.precision(17);
+  os << report_tag << "\n";
+  os << "network " << summary.network << "\n";
+  os << "platform " << summary.platform << "\n";
+  os << "ours_latency " << summary.ours_latency_index << "\n";
+  os << "ours_energy " << summary.ours_energy_index << "\n";
+  os << "entries " << summary.entries.size() << "\n";
+  for (const summary_entry& e : summary.entries) {
+    os << "entry " << e.label << "\n";
+    os << "feasible " << (e.feasible ? 1 : 0) << "\n";
+    os << "objective " << e.objective << "\n";
+    os << "avg_latency_ms " << e.avg_latency_ms << "\n";
+    os << "avg_energy_mj " << e.avg_energy_mj << "\n";
+    os << "accuracy_pct " << e.accuracy_pct << "\n";
+    os << "fmap_reuse_pct " << e.fmap_reuse_pct << "\n";
+    write_configuration(os, e.config);
+  }
+  return os.str();
+}
+
+report_summary report_summary_from_text(const std::string& text) {
+  std::istringstream is{text};
+  if (next_line(is, "header") != report_tag)
+    throw std::runtime_error("report_summary_from_text: bad header");
+
+  report_summary s;
+  s.network = read_tail(is, "network");
+  s.platform = read_tail(is, "platform");
+  s.ours_latency_index = read_sized(is, "ours_latency");
+  s.ours_energy_index = read_sized(is, "ours_energy");
+  const std::size_t n = read_sized(is, "entries");
+  if (n == 0) throw std::runtime_error("report_summary_from_text: empty report");
+  if (s.ours_latency_index >= n || s.ours_energy_index >= n)
+    throw std::runtime_error("report_summary_from_text: pick index out of range");
+
+  s.entries.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    summary_entry e;
+    e.label = read_tail(is, "entry");
+    e.feasible = read_sized(is, "feasible") != 0;
+    e.objective = read_scalar(is, "objective");
+    e.avg_latency_ms = read_scalar(is, "avg_latency_ms");
+    e.avg_energy_mj = read_scalar(is, "avg_energy_mj");
+    e.accuracy_pct = read_scalar(is, "accuracy_pct");
+    e.fmap_reuse_pct = read_scalar(is, "fmap_reuse_pct");
+    e.config = read_configuration(is);
+    s.entries.push_back(std::move(e));
+  }
+  return s;
+}
+
+void save_report_summary(const std::string& path, const report_summary& summary) {
+  spill(path, to_text(summary), "save_report_summary");
+}
+
+report_summary load_report_summary(const std::string& path) {
+  return report_summary_from_text(slurp(path, "load_report_summary"));
 }
 
 }  // namespace mapcq::core

@@ -1,11 +1,17 @@
 #pragma once
-// Persistence for mapping configurations: a deployment tool wants to search
-// once and ship the winning Pi = (P, I, M, theta) to the runtime. The format
-// is a simple line-oriented text file (key = value, matrix rows as
-// whitespace-separated values) -- trivially diffable and versioned.
+// Persistence for mapping artifacts: a deployment tool wants to search once
+// and ship the winners to the runtime. Two text formats, both line-oriented
+// (key = value, matrix rows as whitespace-separated values) -- trivially
+// diffable and versioned:
+//   * mapcq-config-v1: one Pi = (P, I, M, theta) configuration
+//   * mapcq-report-v1: a serving::mapping_report summary -- the validated
+//     Pareto front's configurations with their headline evaluation scalars
+//     and the Ours-L / Ours-E pick indices.
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "core/configuration.h"
 
@@ -21,5 +27,41 @@ namespace mapcq::core {
 /// File convenience wrappers. save throws std::runtime_error on I/O failure.
 void save_configuration(const std::string& path, const configuration& config);
 [[nodiscard]] configuration load_configuration(const std::string& path);
+
+/// One shipped pick: a configuration plus the evaluation scalars a runtime
+/// needs to select among the front without re-running the evaluator.
+struct summary_entry {
+  std::string label;  ///< e.g. "front-3+ours-E"; free-form, may contain spaces
+  configuration config;
+  bool feasible = true;
+  double objective = 0.0;
+  double avg_latency_ms = 0.0;
+  double avg_energy_mj = 0.0;
+  double accuracy_pct = 0.0;
+  double fmap_reuse_pct = 0.0;
+};
+
+/// Shippable summary of a serving::mapping_report (see
+/// serving::mapping_report::summary()).
+struct report_summary {
+  std::string network;
+  std::string platform;
+  std::size_t ours_latency_index = 0;
+  std::size_t ours_energy_index = 0;
+  std::vector<summary_entry> entries;
+};
+
+/// Serializes a report summary (scalars at full precision, configurations
+/// embedded in the mapcq-config-v1 format).
+[[nodiscard]] std::string to_text(const report_summary& summary);
+
+/// Parses a report summary back; exact round-trip of to_text. Throws
+/// std::runtime_error on malformed input (bad header, short sections,
+/// pick indices out of range).
+[[nodiscard]] report_summary report_summary_from_text(const std::string& text);
+
+/// File convenience wrappers. save throws std::runtime_error on I/O failure.
+void save_report_summary(const std::string& path, const report_summary& summary);
+[[nodiscard]] report_summary load_report_summary(const std::string& path);
 
 }  // namespace mapcq::core

@@ -1,0 +1,181 @@
+#include "serving/mapping_service.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace mapcq::serving {
+
+namespace {
+
+/// Ours-L / Ours-E selection (Table II): cheapest pick whose accuracy stays
+/// within `slack` points of the best validated accuracy. The slack never
+/// excludes everything: the max-accuracy entry always qualifies.
+template <typename Metric>
+std::size_t pick_within_slack(const std::vector<core::evaluation>& front, double slack,
+                              Metric metric) {
+  double best_acc = 0.0;
+  for (const auto& e : front) best_acc = std::max(best_acc, e.accuracy_pct);
+  std::size_t best = front.size();
+  double best_v = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < front.size(); ++i) {
+    const auto& e = front[i];
+    if (e.accuracy_pct < best_acc - slack) continue;
+    const double v = metric(e);
+    if (v < best_v) {
+      best_v = v;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+mapping_service::mapping_service(service_options opt) : opt_(opt) {
+  if (opt_.engine.threads == 0)
+    opt_.engine.threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  if (opt_.workers == 0) opt_.workers = 1;
+}
+
+void mapping_service::register_network(const nn::network& net) {
+  if (net.name.empty())
+    throw std::invalid_argument("mapping_service: cannot register a nameless network");
+  const std::lock_guard<std::mutex> lock{mu_};
+  networks_[net.name] = std::make_shared<const nn::network>(net);
+  ++network_generations_[net.name];
+}
+
+void mapping_service::register_platform(const soc::platform& plat) {
+  if (plat.name.empty())
+    throw std::invalid_argument("mapping_service: cannot register a nameless platform");
+  const std::lock_guard<std::mutex> lock{mu_};
+  platforms_[plat.name] = std::make_shared<const soc::platform>(plat);
+  ++platform_generations_[plat.name];
+  if (default_platform_.empty()) default_platform_ = plat.name;
+}
+
+std::string mapping_service::session_key(const mapping_request& req,
+                                         const std::string& platform_name,
+                                         std::uint64_t network_generation,
+                                         std::uint64_t platform_generation) const {
+  // Every knob that changes what an evaluator computes takes part in the
+  // key; GA and surrogate-training knobs do not (GA budgets are
+  // per-request, the surrogate is locked in by the session's first trainer).
+  // Registration generations ensure a re-registered network/platform stops
+  // matching sessions built against the previous snapshot.
+  std::ostringstream os;
+  os.precision(17);
+  const core::evaluator_options& e = req.eval;
+  os << "net=" << req.network << "@" << network_generation << "|plat=" << platform_name << "@"
+     << platform_generation << "|rank=" << std::hex << req.ranking_seed << std::dec
+     << "|ratios=" << req.ratio_levels << "|pop=" << e.population
+     << "|reorder=" << e.reorder << "|exits=" << e.dynamic_exits << "|idle=" << e.count_idle_power
+     << "|contention=" << e.model.enable_contention << ":" << e.model.bandwidth_contention
+     << "|lat=" << e.limits.latency_target_ms << "|en=" << e.limits.energy_target_mj
+     << "|reuse=" << e.limits.fmap_reuse_cap;
+  os << "|thermal=";
+  if (e.thermal) {
+    os << e.thermal->ambient_c << "," << e.thermal->r_thermal_c_per_w << "," << e.thermal->tau_s
+       << "," << e.thermal->throttle_c;
+  } else {
+    os << "none";
+  }
+  return os.str();
+}
+
+std::shared_ptr<mapping_session> mapping_service::session_for(const mapping_request& req) {
+  if (req.eval.predictor != nullptr)
+    throw std::invalid_argument(
+        "mapping_service: request.eval.predictor must be null (sessions own their predictors)");
+  const std::lock_guard<std::mutex> lock{mu_};
+  const auto net_it = networks_.find(req.network);
+  if (net_it == networks_.end())
+    throw std::invalid_argument("mapping_service: unregistered network '" + req.network + "'");
+  const std::string plat_name = req.platform.empty() ? default_platform_ : req.platform;
+  const auto plat_it = platforms_.find(plat_name);
+  if (plat_it == platforms_.end())
+    throw std::invalid_argument("mapping_service: unregistered platform '" + plat_name + "'");
+
+  const std::string key =
+      session_key(req, plat_name, network_generations_.at(req.network),
+                  platform_generations_.at(plat_name));
+  const auto it = sessions_.find(key);
+  if (it != sessions_.end()) return it->second;
+  auto session = std::make_shared<mapping_session>(key, net_it->second, plat_it->second, req.eval,
+                                                   req.ratio_levels, req.ranking_seed, opt_.engine);
+  sessions_.emplace(key, session);
+  return session;
+}
+
+mapping_report mapping_service::map(const mapping_request& req) {
+  const std::shared_ptr<mapping_session> session = session_for(req);
+
+  mapping_report rep;
+  rep.network = req.network;
+  rep.platform = session->plat().name;
+  rep.session_key = session->key();
+  rep.orientation = req.orientation;
+
+  // --- search, on the session engine matching the requested predictor -----
+  core::evaluation_engine* search_engine = &session->analytic_engine();
+  if (req.use_surrogate) {
+    bool trained_now = false;
+    search_engine = &session->surrogate_engine(req.bench, req.gbt, &trained_now);
+    rep.trained_surrogate = trained_now;
+    rep.surrogate_fidelity = session->surrogate_fidelity();
+  }
+  rep.search = core::evolve(session->space(), *search_engine, req.ga);
+  rep.search_cache = rep.search.cache;
+
+  // --- validate the Pareto picks on the analytic model --------------------
+  // Always through the session's analytic engine: after an analytic search
+  // these are pure cross-phase hits, and across requests each distinct pick
+  // costs at most one analytic evaluation per session lifetime.
+  core::evaluation_engine& validator = session->analytic_engine();
+  const core::engine_stats validation_start = validator.stats();
+  std::vector<core::configuration> picks;
+  picks.reserve(rep.search.pareto.size());
+  for (const std::size_t idx : rep.search.pareto) picks.push_back(rep.search.archive[idx].config);
+  rep.front = validator.evaluate_batch(picks);
+  rep.validation_cache = validator.stats() - validation_start;
+  if (rep.front.empty()) throw std::runtime_error("mapping_service: empty Pareto set");
+
+  rep.ours_energy_index = pick_within_slack(
+      rep.front, req.ours_e_accuracy_slack,
+      [](const core::evaluation& e) { return e.avg_energy_mj; });
+  rep.ours_latency_index = pick_within_slack(
+      rep.front, req.ours_l_accuracy_slack,
+      [](const core::evaluation& e) { return e.avg_latency_ms; });
+  return rep;
+}
+
+std::future<mapping_report> mapping_service::submit(mapping_request req) {
+  {
+    const std::lock_guard<std::mutex> lock{mu_};
+    if (!pool_) pool_ = std::make_unique<util::thread_pool>(opt_.workers);
+  }
+  auto task = std::make_shared<std::packaged_task<mapping_report()>>(
+      [this, req = std::move(req)] { return map(req); });
+  std::future<mapping_report> result = task->get_future();
+  pool_->submit([task] { (*task)(); });
+  return result;
+}
+
+std::size_t mapping_service::session_count() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  return sessions_.size();
+}
+
+std::vector<std::string> mapping_service::session_keys() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  std::vector<std::string> keys;
+  keys.reserve(sessions_.size());
+  for (const auto& [key, session] : sessions_) keys.push_back(key);
+  return keys;
+}
+
+}  // namespace mapcq::serving

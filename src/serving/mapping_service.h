@@ -1,0 +1,101 @@
+#pragma once
+// The multi-network serving front-end (ROADMAP: "multi-network serving
+// front-end reusing one engine per (net, platform, options) tuple").
+//
+// A `mapping_service` owns registries of networks and platforms plus a
+// registry of immutable `mapping_session`s keyed by (network, platform,
+// evaluator options, ranking seed). Requests against the same tuple share
+// one session and therefore one memo cache: the second `map()` of a request
+// costs a fraction of the first, validation of an analytic search is pure
+// cache hits, and the session surrogate trains exactly once. Requests for
+// different tuples get isolated sessions and never contend on each other's
+// cache shards.
+//
+// `map()` serves a request synchronously; `submit()` queues it on the
+// service worker pool and returns a std::future (errors propagate through
+// the future). Both are safe to call from any thread.
+
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serving/mapping_types.h"
+#include "serving/session.h"
+#include "util/thread_pool.h"
+
+namespace mapcq::serving {
+
+/// Service tuning knobs.
+struct service_options {
+  service_options() {
+    // Long-lived serving defaults: bounded LRU cache per engine (hot
+    // configurations survive capacity pressure across requests) and
+    // auto-sized batch workers.
+    engine.capacity = std::size_t{1} << 16;
+    engine.eviction = core::eviction_policy::lru;
+    engine.threads = 0;  // 0 = one worker per hardware thread
+  }
+
+  core::engine_options engine;  ///< per-session engine tuning
+  std::size_t workers = 2;      ///< async submit() worker threads
+};
+
+class mapping_service {
+ public:
+  explicit mapping_service(service_options opt = {});
+
+  mapping_service(const mapping_service&) = delete;
+  mapping_service& operator=(const mapping_service&) = delete;
+
+  /// Registers (or replaces) a network under `net.name`; the service keeps
+  /// its own copy. Replacement takes effect for new requests -- the session
+  /// key carries a per-name registration generation, so the next request
+  /// builds a fresh session against the new snapshot while sessions already
+  /// created keep serving the one they were built with. Throws
+  /// std::invalid_argument on an empty name.
+  void register_network(const nn::network& net);
+
+  /// Registers (or replaces) a platform under `plat.name`, with the same
+  /// generation semantics as register_network; the first registered
+  /// platform becomes the default for requests with an empty `platform`
+  /// field. Throws std::invalid_argument on an empty name.
+  void register_platform(const soc::platform& plat);
+
+  /// Serves one request synchronously on the calling thread.
+  [[nodiscard]] mapping_report map(const mapping_request& req);
+
+  /// Queues the request on the service worker pool. Exceptions (unknown
+  /// network, surrogate knob mismatch, ...) surface at future::get().
+  [[nodiscard]] std::future<mapping_report> submit(mapping_request req);
+
+  /// The session that serves `req`, created on first use. Throws
+  /// std::invalid_argument for an unregistered network/platform.
+  [[nodiscard]] std::shared_ptr<mapping_session> session_for(const mapping_request& req);
+
+  [[nodiscard]] std::size_t session_count() const;
+  [[nodiscard]] std::vector<std::string> session_keys() const;
+
+ private:
+  [[nodiscard]] std::string session_key(const mapping_request& req,
+                                        const std::string& platform_name,
+                                        std::uint64_t network_generation,
+                                        std::uint64_t platform_generation) const;
+
+  service_options opt_;
+  mutable std::mutex mu_;  ///< guards the three registries + pool creation
+  std::unordered_map<std::string, std::shared_ptr<const nn::network>> networks_;
+  std::unordered_map<std::string, std::shared_ptr<const soc::platform>> platforms_;
+  /// Bumped on every (re-)registration; part of the session key so a
+  /// replaced network/platform stops matching pre-replacement sessions.
+  std::unordered_map<std::string, std::uint64_t> network_generations_;
+  std::unordered_map<std::string, std::uint64_t> platform_generations_;
+  std::string default_platform_;
+  std::unordered_map<std::string, std::shared_ptr<mapping_session>> sessions_;
+  std::unique_ptr<util::thread_pool> pool_;  ///< lazily created on first submit()
+};
+
+}  // namespace mapcq::serving

@@ -1,0 +1,48 @@
+#include "serving/mapping_types.h"
+
+#include <stdexcept>
+
+namespace mapcq::serving {
+
+const core::evaluation& mapping_report::best() const {
+  switch (orientation) {
+    case objective_orientation::latency:
+      return ours_latency();
+    case objective_orientation::energy:
+      return ours_energy();
+    case objective_orientation::balanced:
+      break;
+  }
+  if (front.empty()) throw std::out_of_range("mapping_report::best: empty front");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < front.size(); ++i)
+    if (front[i].objective < front[best].objective) best = i;
+  return front[best];
+}
+
+core::report_summary mapping_report::summary() const {
+  core::report_summary s;
+  s.network = network;
+  s.platform = platform;
+  s.ours_latency_index = ours_latency_index;
+  s.ours_energy_index = ours_energy_index;
+  s.entries.reserve(front.size());
+  for (std::size_t i = 0; i < front.size(); ++i) {
+    const core::evaluation& e = front[i];
+    core::summary_entry entry;
+    entry.label = "front-" + std::to_string(i);
+    if (i == ours_latency_index) entry.label += "+ours-L";
+    if (i == ours_energy_index) entry.label += "+ours-E";
+    entry.config = e.config;
+    entry.feasible = e.feasible;
+    entry.objective = e.objective;
+    entry.avg_latency_ms = e.avg_latency_ms;
+    entry.avg_energy_mj = e.avg_energy_mj;
+    entry.accuracy_pct = e.accuracy_pct;
+    entry.fmap_reuse_pct = e.fmap_reuse_pct;
+    s.entries.push_back(std::move(entry));
+  }
+  return s;
+}
+
+}  // namespace mapcq::serving

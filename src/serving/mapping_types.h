@@ -1,0 +1,99 @@
+#pragma once
+// Structured request/report pair of the serving front-end -- the API the
+// one-shot `core::optimizer` facade grew into. A `mapping_request` names a
+// *registered* network/platform and carries the search knobs; the
+// `mapping_report` returns the analytically validated Pareto front, the
+// Table-II picks, the per-phase evaluation-cache deltas and the fidelity of
+// the session surrogate that served the search.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/evaluation_engine.h"
+#include "core/evaluator.h"
+#include "core/evolutionary.h"
+#include "core/serialization.h"
+#include "surrogate/dataset.h"
+#include "surrogate/gbt.h"
+#include "surrogate/predictor.h"
+
+namespace mapcq::serving {
+
+/// Which pick `mapping_report::best()` returns.
+enum class objective_orientation {
+  balanced,  ///< minimum eq. 16 objective on the validated front
+  latency,   ///< the Ours-L pick (Table II latency-oriented model)
+  energy,    ///< the Ours-E pick (Table II energy-oriented model)
+};
+
+/// One mapping job against a `mapping_service`.
+struct mapping_request {
+  std::string network;   ///< name passed to `mapping_service::register_network`
+  std::string platform;  ///< registered platform name; empty = service default
+
+  /// Search budget/operators; per-request, never keyed. Note `ga.threads`
+  /// does not apply here: evaluation parallelism belongs to the session
+  /// engine, fixed by `service_options::engine.threads` at service
+  /// construction (the knob only drives the engine-less evolve() overload).
+  core::ga_options ga;
+  /// Evaluation knobs; together with (network, platform, ranking_seed,
+  /// ratio_levels) these key the session. `eval.predictor` must stay null --
+  /// sessions own their predictors -- and `eval.limits` carries the search
+  /// constraints (paper eq. 15).
+  core::evaluator_options eval;
+  int ratio_levels = 8;  ///< paper §V-A: 8 channel partitioning ratios
+
+  bool use_surrogate = true;  ///< search on the session GBT (paper flow)
+  /// Surrogate training knobs. The first surrogate request of a session
+  /// trains its predictor with these; later requests must match them.
+  surrogate::benchmark_options bench;
+  surrogate::gbt_params gbt;
+
+  objective_orientation orientation = objective_orientation::balanced;
+  /// Accuracy slack (points below the best validated accuracy) tolerated
+  /// when picking the energy-/latency-oriented models.
+  double ours_e_accuracy_slack = 0.75;
+  double ours_l_accuracy_slack = 2.50;
+
+  std::uint64_t ranking_seed = 0xC0FFEE;  ///< channel-ranking seed (keys the session)
+};
+
+/// What a request returns.
+struct mapping_report {
+  std::string network;
+  std::string platform;
+  std::string session_key;  ///< registry key of the session that served this
+
+  core::ga_result search;  ///< raw search output (archive, history, cache)
+  /// The search's Pareto picks re-evaluated on the analytic model
+  /// ("hardware"), index-aligned with `search.pareto`.
+  std::vector<core::evaluation> front;
+  std::size_t ours_latency_index = 0;
+  std::size_t ours_energy_index = 0;
+  objective_orientation orientation = objective_orientation::balanced;
+
+  /// Engine deltas per phase. `search_cache` equals `search.cache`; a warm
+  /// session serves repeats from cache, so deltas shrink run over run.
+  /// Validation runs on the session's analytic engine, so after an analytic
+  /// search (`use_surrogate = false`) it is pure cross-phase hits.
+  core::engine_stats search_cache;
+  core::engine_stats validation_cache;
+
+  /// Held-out fidelity of the session surrogate (set when use_surrogate).
+  std::optional<surrogate::hw_predictor::fidelity> surrogate_fidelity;
+  bool trained_surrogate = false;  ///< true when this request trained the session GBT
+
+  [[nodiscard]] const core::evaluation& ours_latency() const { return front.at(ours_latency_index); }
+  [[nodiscard]] const core::evaluation& ours_energy() const { return front.at(ours_energy_index); }
+  /// The single pick selected by `orientation`.
+  [[nodiscard]] const core::evaluation& best() const;
+
+  /// Shippable summary (see core::serialization): the validated front with
+  /// its headline scalars, entries labeled `front-<i>` plus `+ours-L` /
+  /// `+ours-E` tags on the picks.
+  [[nodiscard]] core::report_summary summary() const;
+};
+
+}  // namespace mapcq::serving

@@ -1,0 +1,91 @@
+#include "serving/session.h"
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace mapcq::serving {
+
+namespace {
+
+core::evaluator_options strip_predictor(core::evaluator_options opt) {
+  opt.predictor = nullptr;
+  return opt;
+}
+
+bool same_bench(const surrogate::benchmark_options& a, const surrogate::benchmark_options& b) {
+  return a.samples == b.samples && a.noise_stddev == b.noise_stddev && a.seed == b.seed &&
+         a.model.bandwidth_contention == b.model.bandwidth_contention &&
+         a.model.enable_contention == b.model.enable_contention;
+}
+
+bool same_gbt(const surrogate::gbt_params& a, const surrogate::gbt_params& b) {
+  return a.n_trees == b.n_trees && a.learning_rate == b.learning_rate &&
+         a.subsample == b.subsample && a.seed == b.seed && a.log_target == b.log_target &&
+         a.tree.max_depth == b.tree.max_depth &&
+         a.tree.min_samples_leaf == b.tree.min_samples_leaf && a.tree.lambda == b.tree.lambda &&
+         a.tree.min_gain == b.tree.min_gain;
+}
+
+}  // namespace
+
+mapping_session::mapping_session(std::string key, std::shared_ptr<const nn::network> net,
+                                 std::shared_ptr<const soc::platform> plat,
+                                 core::evaluator_options eval_opt, int ratio_levels,
+                                 std::uint64_t ranking_seed, core::engine_options engine_opt)
+    : key_(std::move(key)),
+      net_(std::move(net)),
+      plat_(std::move(plat)),
+      eval_opt_(strip_predictor(std::move(eval_opt))),
+      ranking_seed_(ranking_seed),
+      engine_opt_(engine_opt),
+      space_(*net_, *plat_, ratio_levels),
+      analytic_eval_(*net_, *plat_, eval_opt_, ranking_seed_),
+      analytic_engine_(analytic_eval_, engine_opt_) {}
+
+core::evaluation_engine& mapping_session::surrogate_engine(
+    const surrogate::benchmark_options& bench, const surrogate::gbt_params& gbt,
+    bool* trained_now) {
+  const std::lock_guard<std::mutex> lock{surrogate_mu_};
+  if (!predictor_) {
+    // Train once per session (paper §V-E), then pin an evaluator/engine pair
+    // to the fitted predictor so every later surrogate request reuses both
+    // the model and the memo cache.
+    const std::vector<const nn::network*> nets = {net_.get()};
+    const surrogate::dataset data = surrogate::generate_benchmark(nets, *plat_, bench);
+    const surrogate::dataset_split parts = surrogate::split(data, 0.8, bench.seed ^ 0x5eed);
+    predictor_ = std::make_unique<surrogate::hw_predictor>(parts.train, gbt);
+    fidelity_ = predictor_->evaluate(parts.test);
+    bench_ = bench;
+    gbt_ = gbt;
+    core::evaluator_options opt = eval_opt_;
+    opt.predictor = predictor_.get();
+    surrogate_eval_ = std::make_unique<core::evaluator>(*net_, *plat_, opt, ranking_seed_);
+    surrogate_engine_ = std::make_unique<core::evaluation_engine>(*surrogate_eval_, engine_opt_);
+    if (trained_now) *trained_now = true;
+    return *surrogate_engine_;
+  }
+  if (!same_bench(bench_, bench) || !same_gbt(gbt_, gbt))
+    throw std::invalid_argument(
+        "mapping_session: surrogate knobs differ from the session's trained predictor "
+        "(sessions are immutable; change the evaluator options or ranking seed to fork one)");
+  if (trained_now) *trained_now = false;
+  return *surrogate_engine_;
+}
+
+bool mapping_session::surrogate_trained() const {
+  const std::lock_guard<std::mutex> lock{surrogate_mu_};
+  return predictor_ != nullptr;
+}
+
+std::optional<surrogate::hw_predictor::fidelity> mapping_session::surrogate_fidelity() const {
+  const std::lock_guard<std::mutex> lock{surrogate_mu_};
+  return fidelity_;
+}
+
+core::engine_stats mapping_session::surrogate_cache_stats() const {
+  const std::lock_guard<std::mutex> lock{surrogate_mu_};
+  return surrogate_engine_ ? surrogate_engine_->stats() : core::engine_stats{};
+}
+
+}  // namespace mapcq::serving

@@ -1,0 +1,92 @@
+#pragma once
+// One immutable serving session: the binding of (network, platform,
+// evaluator options, ranking seed) to long-lived evaluator/engine state, so
+// the memo cache persists across search, validation and repeated requests
+// -- the cross-phase/cross-run reuse the one-shot optimizer facade threw
+// away by rebuilding engines per phase.
+//
+// A session owns a *paired* engine set over one shared cache policy:
+//   * the analytic engine serves validation and analytic searches, which is
+//     exactly what turns search -> validation into cache hits when the
+//     search already ran on the analytic model;
+//   * the surrogate engine (lazily trained on first use) serves surrogate
+//     searches, so repeated requests skip both GBT training and re-runs.
+// Sessions are immutable once created: the key never changes and the first
+// surrogate request locks the training knobs in.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "core/evaluation_engine.h"
+#include "core/evaluator.h"
+#include "core/search_space.h"
+#include "nn/graph.h"
+#include "soc/platform.h"
+#include "surrogate/dataset.h"
+#include "surrogate/gbt.h"
+#include "surrogate/predictor.h"
+
+namespace mapcq::serving {
+
+class mapping_session {
+ public:
+  /// `eval_opt.predictor` is ignored (forced null); the session installs its
+  /// own predictor into the surrogate evaluator.
+  mapping_session(std::string key, std::shared_ptr<const nn::network> net,
+                  std::shared_ptr<const soc::platform> plat, core::evaluator_options eval_opt,
+                  int ratio_levels, std::uint64_t ranking_seed, core::engine_options engine_opt);
+
+  mapping_session(const mapping_session&) = delete;
+  mapping_session& operator=(const mapping_session&) = delete;
+
+  [[nodiscard]] const std::string& key() const noexcept { return key_; }
+  [[nodiscard]] const nn::network& net() const noexcept { return *net_; }
+  [[nodiscard]] const soc::platform& plat() const noexcept { return *plat_; }
+  [[nodiscard]] const core::search_space& space() const noexcept { return space_; }
+  [[nodiscard]] std::uint64_t ranking_seed() const noexcept { return ranking_seed_; }
+
+  /// The analytic ("hardware") engine.
+  [[nodiscard]] core::evaluation_engine& analytic_engine() noexcept { return analytic_engine_; }
+
+  /// The surrogate engine. The first caller trains the session GBT with
+  /// `bench`/`gbt` (thread-safe; concurrent callers block on the training);
+  /// later callers must pass the same knobs or get std::invalid_argument.
+  /// `trained_now` (optional out) reports whether this call trained it.
+  [[nodiscard]] core::evaluation_engine& surrogate_engine(
+      const surrogate::benchmark_options& bench, const surrogate::gbt_params& gbt,
+      bool* trained_now = nullptr);
+
+  [[nodiscard]] bool surrogate_trained() const;
+  /// Held-out fidelity of the session GBT; nullopt until trained.
+  [[nodiscard]] std::optional<surrogate::hw_predictor::fidelity> surrogate_fidelity() const;
+
+  /// Whole-lifetime counters across every request served by this session.
+  [[nodiscard]] core::engine_stats analytic_cache_stats() const noexcept {
+    return analytic_engine_.stats();
+  }
+  [[nodiscard]] core::engine_stats surrogate_cache_stats() const;
+
+ private:
+  std::string key_;
+  std::shared_ptr<const nn::network> net_;
+  std::shared_ptr<const soc::platform> plat_;
+  core::evaluator_options eval_opt_;  ///< predictor forced to nullptr
+  std::uint64_t ranking_seed_;
+  core::engine_options engine_opt_;
+  core::search_space space_;
+  core::evaluator analytic_eval_;
+  core::evaluation_engine analytic_engine_;
+
+  mutable std::mutex surrogate_mu_;  ///< guards the lazy surrogate members
+  surrogate::benchmark_options bench_;
+  surrogate::gbt_params gbt_;
+  std::unique_ptr<surrogate::hw_predictor> predictor_;
+  std::optional<surrogate::hw_predictor::fidelity> fidelity_;
+  std::unique_ptr<core::evaluator> surrogate_eval_;
+  std::unique_ptr<core::evaluation_engine> surrogate_engine_;
+};
+
+}  // namespace mapcq::serving

@@ -1,0 +1,239 @@
+// Serving front-end tests: session registry keying, warm-cache reuse with
+// bit-identical reports, cross-phase cache continuity, one-shot surrogate
+// training, async submission, concurrency (shared session vs isolated
+// sessions) and report-summary round-trips.
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <stdexcept>
+#include <vector>
+
+#include "core/serialization.h"
+#include "nn/models.h"
+#include "serving/mapping_service.h"
+#include "soc/platform.h"
+
+namespace {
+
+using namespace mapcq;
+using serving::mapping_report;
+using serving::mapping_request;
+using serving::mapping_service;
+using serving::service_options;
+
+service_options small_service() {
+  service_options opt;
+  opt.engine.threads = 2;
+  return opt;
+}
+
+mapping_request tiny_request(const std::string& network, std::uint64_t ga_seed = 1) {
+  mapping_request req;
+  req.network = network;
+  req.use_surrogate = false;  // analytic by default: fast and cache-transparent
+  req.ga.generations = 6;
+  req.ga.population = 12;
+  req.ga.seed = ga_seed;
+  return req;
+}
+
+void expect_same_front(const mapping_report& a, const mapping_report& b) {
+  ASSERT_EQ(a.front.size(), b.front.size());
+  EXPECT_EQ(a.ours_latency_index, b.ours_latency_index);
+  EXPECT_EQ(a.ours_energy_index, b.ours_energy_index);
+  for (std::size_t i = 0; i < a.front.size(); ++i) {
+    EXPECT_TRUE(a.front[i].config == b.front[i].config);
+    EXPECT_EQ(a.front[i].objective, b.front[i].objective);
+    EXPECT_EQ(a.front[i].avg_latency_ms, b.front[i].avg_latency_ms);
+    EXPECT_EQ(a.front[i].avg_energy_mj, b.front[i].avg_energy_mj);
+    EXPECT_EQ(a.front[i].accuracy_pct, b.front[i].accuracy_pct);
+  }
+}
+
+struct service_fixture : ::testing::Test {
+  nn::network cnn = nn::build_simple_cnn();
+  nn::network mobile = nn::build_mobilenet_cifar();
+  soc::platform plat = soc::agx_xavier();
+  mapping_service service{small_service()};
+
+  service_fixture() {
+    service.register_network(cnn);
+    service.register_network(mobile);
+    service.register_platform(plat);
+  }
+};
+
+TEST_F(service_fixture, warm_session_reuses_cache_and_is_bit_identical) {
+  const mapping_request req = tiny_request(cnn.name);
+  const mapping_report cold = service.map(req);
+  const mapping_report warm = service.map(req);
+
+  EXPECT_EQ(service.session_count(), 1u);
+  EXPECT_EQ(warm.session_key, cold.session_key);
+  // Every candidate of the warm rerun was evaluated by the cold run.
+  EXPECT_GT(cold.search_cache.misses, 0u);
+  EXPECT_EQ(warm.search_cache.misses, 0u);
+  EXPECT_EQ(warm.validation_cache.misses, 0u);
+  expect_same_front(cold, warm);
+  ASSERT_EQ(cold.search.history.size(), warm.search.history.size());
+  for (std::size_t g = 0; g < cold.search.history.size(); ++g)
+    EXPECT_EQ(cold.search.history[g].best_objective, warm.search.history[g].best_objective);
+}
+
+TEST_F(service_fixture, analytic_search_validates_as_cross_phase_hits) {
+  const mapping_report rep = service.map(tiny_request(cnn.name));
+  EXPECT_EQ(rep.validation_cache.misses, 0u);
+  EXPECT_EQ(rep.validation_cache.hits + rep.validation_cache.dedup, rep.front.size());
+  EXPECT_FALSE(rep.surrogate_fidelity.has_value());
+}
+
+TEST_F(service_fixture, surrogate_trains_once_per_session) {
+  mapping_request req = tiny_request(cnn.name);
+  req.use_surrogate = true;
+  req.bench.samples = 600;
+  req.gbt.n_trees = 30;
+
+  const mapping_report first = service.map(req);
+  const mapping_report second = service.map(req);
+  EXPECT_EQ(service.session_count(), 1u);  // same key as an analytic request would use
+  EXPECT_TRUE(first.trained_surrogate);
+  EXPECT_FALSE(second.trained_surrogate);
+  ASSERT_TRUE(first.surrogate_fidelity.has_value());
+  ASSERT_TRUE(second.surrogate_fidelity.has_value());
+  EXPECT_EQ(first.surrogate_fidelity->latency_mape, second.surrogate_fidelity->latency_mape);
+  EXPECT_EQ(second.search_cache.misses, 0u);  // warm surrogate engine
+  expect_same_front(first, second);
+
+  // A session's predictor is immutable: different training knobs are an error.
+  mapping_request clashing = req;
+  clashing.gbt.n_trees = 31;
+  EXPECT_THROW((void)service.map(clashing), std::invalid_argument);
+}
+
+TEST_F(service_fixture, submit_serves_async_and_propagates_errors) {
+  std::future<mapping_report> pending = service.submit(tiny_request(cnn.name));
+  const mapping_report rep = pending.get();
+  EXPECT_FALSE(rep.front.empty());
+
+  std::future<mapping_report> bogus = service.submit(tiny_request("no-such-network"));
+  EXPECT_THROW((void)bogus.get(), std::invalid_argument);
+}
+
+TEST_F(service_fixture, rejects_unregistered_platform_and_foreign_predictor) {
+  mapping_request req = tiny_request(cnn.name);
+  req.platform = "no-such-platform";
+  EXPECT_THROW((void)service.map(req), std::invalid_argument);
+}
+
+TEST_F(service_fixture, concurrent_requests_on_one_session_share_the_cache) {
+  // Baseline: one cold run on its own service/session.
+  mapping_service solo{small_service()};
+  solo.register_network(cnn);
+  solo.register_platform(plat);
+  const mapping_request req = tiny_request(cnn.name);
+  const mapping_report single = solo.map(req);
+  const std::size_t solo_misses = solo.session_for(req)->analytic_cache_stats().misses;
+  ASSERT_GT(solo_misses, 0u);
+
+  // Warm the shared session once, then let two threads hammer it
+  // concurrently. Because they share one memo cache, the combined
+  // evaluator-run count across all three requests stays below two
+  // independent cold runs (the concurrent pair is served from the cache;
+  // racing threads at worst re-run the occasional in-flight candidate).
+  (void)service.map(req);
+  std::future<mapping_report> a = service.submit(req);
+  std::future<mapping_report> b = service.submit(req);
+  const mapping_report ra = a.get();
+  const mapping_report rb = b.get();
+  EXPECT_EQ(service.session_count(), 1u);
+  const std::size_t shared_misses = service.session_for(req)->analytic_cache_stats().misses;
+  EXPECT_LT(shared_misses, 2u * solo_misses);
+  // Purity: both threads land on the identical result regardless of races.
+  expect_same_front(ra, rb);
+  expect_same_front(ra, single);
+}
+
+TEST_F(service_fixture, reregistering_a_network_forks_a_fresh_session) {
+  const mapping_request req = tiny_request(cnn.name);
+  const mapping_report before = service.map(req);
+
+  // Replace the registered network under the same name: subsequent requests
+  // must not be served from the stale session's warm cache.
+  nn::network tweaked = cnn;
+  tweaked.base_accuracy += 1.0;
+  service.register_network(tweaked);
+  const mapping_report after = service.map(req);
+  EXPECT_NE(after.session_key, before.session_key);
+  EXPECT_EQ(service.session_count(), 2u);
+  EXPECT_GT(after.search_cache.misses, 0u);  // cold session, not the old cache
+}
+
+TEST_F(service_fixture, different_networks_get_isolated_sessions) {
+  const mapping_request cnn_req = tiny_request(cnn.name);
+  const mapping_request mobile_req = tiny_request(mobile.name);
+  const auto cnn_session = service.session_for(cnn_req);
+  const auto mobile_session = service.session_for(mobile_req);
+  EXPECT_EQ(service.session_count(), 2u);
+  EXPECT_NE(cnn_session->key(), mobile_session->key());
+
+  (void)service.map(cnn_req);
+  // Traffic for one network never lands in the other's shards.
+  EXPECT_EQ(mobile_session->analytic_cache_stats().lookups(), 0u);
+  const core::engine_stats cnn_after = cnn_session->analytic_cache_stats();
+  EXPECT_GT(cnn_after.lookups(), 0u);
+
+  (void)service.map(mobile_req);
+  const core::engine_stats cnn_unchanged = cnn_session->analytic_cache_stats();
+  EXPECT_EQ(cnn_unchanged.lookups(), cnn_after.lookups());
+  EXPECT_EQ(cnn_unchanged.misses, cnn_after.misses);
+  EXPECT_GT(mobile_session->analytic_cache_stats().lookups(), 0u);
+}
+
+TEST_F(service_fixture, report_summary_roundtrips_through_text) {
+  const mapping_report rep = service.map(tiny_request(cnn.name));
+  const core::report_summary summary = rep.summary();
+  ASSERT_EQ(summary.entries.size(), rep.front.size());
+  EXPECT_EQ(summary.ours_latency_index, rep.ours_latency_index);
+  EXPECT_EQ(summary.ours_energy_index, rep.ours_energy_index);
+
+  const std::string text = core::to_text(summary);
+  const core::report_summary back = core::report_summary_from_text(text);
+  EXPECT_EQ(back.network, summary.network);
+  EXPECT_EQ(back.platform, summary.platform);
+  EXPECT_EQ(back.ours_latency_index, summary.ours_latency_index);
+  EXPECT_EQ(back.ours_energy_index, summary.ours_energy_index);
+  ASSERT_EQ(back.entries.size(), summary.entries.size());
+  for (std::size_t i = 0; i < back.entries.size(); ++i) {
+    const core::summary_entry& x = back.entries[i];
+    const core::summary_entry& y = summary.entries[i];
+    EXPECT_EQ(x.label, y.label);
+    EXPECT_TRUE(x.config == y.config);
+    EXPECT_EQ(x.feasible, y.feasible);
+    EXPECT_EQ(x.objective, y.objective);
+    EXPECT_EQ(x.avg_latency_ms, y.avg_latency_ms);
+    EXPECT_EQ(x.avg_energy_mj, y.avg_energy_mj);
+    EXPECT_EQ(x.accuracy_pct, y.accuracy_pct);
+    EXPECT_EQ(x.fmap_reuse_pct, y.fmap_reuse_pct);
+  }
+
+  EXPECT_THROW((void)core::report_summary_from_text("garbage"), std::runtime_error);
+}
+
+TEST_F(service_fixture, orientation_selects_the_best_pick) {
+  mapping_request req = tiny_request(cnn.name);
+  req.orientation = serving::objective_orientation::energy;
+  const mapping_report energy = service.map(req);
+  EXPECT_EQ(energy.best().avg_energy_mj, energy.ours_energy().avg_energy_mj);
+
+  req.orientation = serving::objective_orientation::latency;
+  const mapping_report latency = service.map(req);
+  EXPECT_EQ(latency.best().avg_latency_ms, latency.ours_latency().avg_latency_ms);
+
+  req.orientation = serving::objective_orientation::balanced;
+  const mapping_report balanced = service.map(req);
+  for (const auto& e : balanced.front)
+    EXPECT_LE(balanced.best().objective, e.objective);
+}
+
+}  // namespace
