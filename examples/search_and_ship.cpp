@@ -5,7 +5,10 @@
 // searched performance bit-for-bit. A second, synchronous request against
 // the same warm session shows the memo cache persisting across runs.
 //
-// Build & run:  ./build/examples/search_and_ship [generations] [population]
+// Build & run:
+//   ./build/examples/search_and_ship [generations] [population] [islands]
+// `islands` > 1 shards the population into an island-model search
+// (ga_options::island) — same serving API, same shippable artifact.
 
 #include <cstdio>
 #include <cstdlib>
@@ -23,6 +26,7 @@ int main(int argc, char** argv) {
   using namespace mapcq;
   const std::size_t generations = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 30;
   const std::size_t population = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 30;
+  const std::size_t islands = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 1;
 
   const nn::network vis = nn::build_visformer();
   const nn::network vgg = nn::build_vgg19();
@@ -38,8 +42,10 @@ int main(int argc, char** argv) {
   req.orientation = serving::objective_orientation::energy;
   req.ga.generations = generations;
   req.ga.population = population;
+  req.ga.island.islands = islands;
   auto pending = service.submit(req);
-  std::cout << "request submitted; waiting for the mapping report...\n";
+  std::cout << "request submitted (" << islands
+            << " island(s)); waiting for the mapping report...\n";
   const serving::mapping_report report = pending.get();
   const core::evaluation& winner = report.best();
   std::cout << "searched: " << winner.config.describe(xavier) << "\n";

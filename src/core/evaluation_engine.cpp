@@ -1,6 +1,7 @@
 #include "core/evaluation_engine.h"
 
 #include <algorithm>
+#include <exception>
 #include <utility>
 
 namespace mapcq::core {
@@ -66,29 +67,177 @@ void evaluation_engine::insert(std::size_t key, const evaluation& result) {
   }
 }
 
+evaluation_engine::claim evaluation_engine::claim_slot(std::size_t key,
+                                                       const configuration& config) {
+  shard& s = shard_for(key);
+  claim c;
+  const std::lock_guard<std::mutex> lock{s.mu};
+  // 1. Memo table. Holding the shard lock for the whole claim closes the
+  // classic stampede window: an owner publishes its result and retires its
+  // in-flight slot under this same lock, so "in neither table" can only
+  // mean "never started".
+  const auto it = s.map.find(key);
+  if (it != s.map.end()) {
+    for (const entry_list::iterator entry : it->second) {
+      if (entry->second.config == config) {
+        if (opt_.eviction == eviction_policy::lru)
+          s.order.splice(s.order.end(), s.order, entry);
+        c.outcome = claim::kind::hit;
+        c.value = entry->second;
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return c;
+      }
+    }
+  }
+  // 2. In-flight table: somebody else is evaluating this exact candidate;
+  // join their run instead of starting a second one.
+  const auto fit = s.inflight.find(key);
+  if (fit != s.inflight.end()) {
+    for (const inflight_slot& slot : fit->second) {
+      if (slot.config == config) {
+        c.outcome = claim::kind::join;
+        c.pending = slot.result;
+        inflight_.fetch_add(1, std::memory_order_relaxed);
+        return c;
+      }
+    }
+  }
+  // 3. Nobody has it: claim ownership and advertise the pending run.
+  c.outcome = claim::kind::owner;
+  c.pending = c.promise.get_future().share();
+  s.inflight[key].push_back({config, c.pending});
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return c;
+}
+
+void evaluation_engine::retire_slot(std::size_t key, const configuration& config) {
+  shard& s = shard_for(key);
+  const std::lock_guard<std::mutex> lock{s.mu};
+  const auto fit = s.inflight.find(key);
+  if (fit == s.inflight.end()) return;
+  auto& slots = fit->second;
+  for (auto slot = slots.begin(); slot != slots.end(); ++slot) {
+    if (slot->config == config) {
+      slots.erase(slot);
+      break;
+    }
+  }
+  if (slots.empty()) s.inflight.erase(fit);
+}
+
+void evaluation_engine::complete_owner(std::size_t key, const configuration& config,
+                                       std::promise<evaluation>& promise,
+                                       const evaluation& result) {
+  // Publish before retiring the slot (see claim_slot's invariant: a prober
+  // that sees neither table entry knows the run never started).
+  insert(key, result);
+  retire_slot(key, config);
+  promise.set_value(result);
+}
+
+void evaluation_engine::abandon_owner(std::size_t key, const configuration& config,
+                                      std::promise<evaluation>& promise) {
+  retire_slot(key, config);
+  promise.set_exception(std::current_exception());
+}
+
 evaluation evaluation_engine::evaluate(const configuration& config) {
   if (!opt_.memoize) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     return eval_->evaluate(config);
   }
   const std::size_t key = config.hash();
-  evaluation cached;
-  if (lookup(key, config, cached)) {
-    hits_.fetch_add(1, std::memory_order_relaxed);
-    return cached;
+  claim c = claim_slot(key, config);
+  switch (c.outcome) {
+    case claim::kind::hit:
+      return c.value;
+    case claim::kind::join:
+      return c.pending.get();  // blocks until the owning thread finishes
+    case claim::kind::owner:
+      break;
   }
-  evaluation fresh = eval_->evaluate(config);
-  misses_.fetch_add(1, std::memory_order_relaxed);
-  insert(key, fresh);
-  return fresh;
+  try {
+    const evaluation fresh = eval_->evaluate(config);
+    complete_owner(key, config, c.promise, fresh);
+    return fresh;
+  } catch (...) {
+    abandon_owner(key, config, c.promise);
+    throw;
+  }
+}
+
+void evaluation_engine::plan_batch(batch_plan& plan) {
+  const std::size_t n = plan.configs.size();
+  plan.out.resize(n);
+
+  // Classify every element: earlier in-batch groups first (so a duplicate
+  // of our own pending representative counts as `dedup`, exactly as the
+  // synchronous batch always has), then the shared cache / in-flight state.
+  std::size_t dups = 0;
+  std::unordered_map<std::size_t, std::vector<std::size_t>> local;  // key -> group indices
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t key = plan.configs[i].hash();
+    bool merged = false;
+    if (const auto lit = local.find(key); lit != local.end()) {
+      for (const std::size_t gi : lit->second) {
+        if (plan.configs[plan.groups[gi].rep] == plan.configs[i]) {
+          plan.groups[gi].dups.push_back(i);
+          ++dups;
+          merged = true;
+          break;
+        }
+      }
+    }
+    if (merged) continue;
+
+    claim c = claim_slot(key, plan.configs[i]);
+    if (c.outcome == claim::kind::hit) {
+      plan.out[i] = std::move(c.value);
+      continue;
+    }
+    batch_plan::group g;
+    g.rep = i;
+    g.key = key;
+    g.pending = std::move(c.pending);
+    if (c.outcome == claim::kind::owner) {
+      g.owner = true;
+      g.promise = std::move(c.promise);
+      plan.owners.push_back(plan.groups.size());
+    }
+    local[key].push_back(plan.groups.size());
+    plan.groups.push_back(std::move(g));
+  }
+  // `claim_slot` already counted hits/misses/inflight per element; only the
+  // in-batch dedups are counted here.
+  dedup_.fetch_add(dups, std::memory_order_relaxed);
+}
+
+void evaluation_engine::run_owner(batch_plan& plan, std::size_t group_index) {
+  batch_plan::group& g = plan.groups[group_index];
+  try {
+    const evaluation fresh = eval_->evaluate(plan.configs[g.rep]);
+    complete_owner(g.key, plan.configs[g.rep], g.promise, fresh);
+  } catch (...) {
+    // Park the exception in the promise: finish_plan rethrows it on the
+    // consuming thread. Unwinding here would escape into a pool worker and
+    // std::terminate (thread_pool runs tasks bare), and would leave the
+    // remaining owned slots of an inline batch claimed forever.
+    abandon_owner(g.key, plan.configs[g.rep], g.promise);
+  }
+}
+
+void evaluation_engine::finish_plan(batch_plan& plan) {
+  for (batch_plan::group& g : plan.groups) {
+    plan.out[g.rep] = g.pending.get();  // own run or foreign join; may rethrow
+    for (const std::size_t d : g.dups) plan.out[d] = plan.out[g.rep];
+  }
 }
 
 std::vector<evaluation> evaluation_engine::evaluate_batch(
     std::span<const configuration> configs) {
   const std::size_t n = configs.size();
-  std::vector<evaluation> out(n);
-
   if (!opt_.memoize) {
+    std::vector<evaluation> out(n);
     misses_.fetch_add(n, std::memory_order_relaxed);
     if (pool_ && n > 1) {
       pool_->parallel_for(n, [&](std::size_t i) { out[i] = eval_->evaluate(configs[i]); });
@@ -98,56 +247,108 @@ std::vector<evaluation> evaluation_engine::evaluate_batch(
     return out;
   }
 
-  // Probe the cache and group the misses: one representative index per
-  // distinct configuration, duplicates recorded against it.
-  struct pending {
-    std::size_t rep;
-    std::vector<std::size_t> dups;
-  };
-  std::vector<std::size_t> keys(n);
-  std::unordered_map<std::size_t, std::vector<pending>> missing;
-  std::vector<std::size_t> reps;
-  std::size_t hits = 0;
-  std::size_t dups = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    keys[i] = configs[i].hash();
-    if (lookup(keys[i], configs[i], out[i])) {
-      ++hits;
-      continue;
+  batch_plan plan;
+  plan.configs = configs;  // view of the caller's span: no copy on this path
+  plan_batch(plan);
+  if (pool_ && plan.owners.size() > 1) {
+    // Per-batch countdown, NOT parallel_for: its wait_idle() is a
+    // whole-pool barrier, and other batches (async island generations,
+    // racing requests) may keep this shared pool busy indefinitely. Only
+    // this batch's own tasks are awaited. Capturing stack state is safe:
+    // run_owner never throws, so the countdown always completes and we
+    // never return while a task is live.
+    std::promise<void> done;
+    std::future<void> all_done = done.get_future();
+    std::atomic<std::size_t> remaining{plan.owners.size()};
+    for (const std::size_t gi : plan.owners) {
+      pool_->submit([this, &plan, gi, &remaining, &done] {
+        run_owner(plan, gi);
+        if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) done.set_value();
+      });
     }
-    auto& groups = missing[keys[i]];
-    bool merged = false;
-    for (pending& p : groups) {
-      if (configs[p.rep] == configs[i]) {
-        p.dups.push_back(i);
-        merged = true;
-        ++dups;
-        break;
-      }
-    }
-    if (!merged) {
-      groups.push_back({i, {}});
-      reps.push_back(i);
-    }
-  }
-  hits_.fetch_add(hits, std::memory_order_relaxed);
-  dedup_.fetch_add(dups, std::memory_order_relaxed);
-  misses_.fetch_add(reps.size(), std::memory_order_relaxed);
-
-  if (pool_ && reps.size() > 1) {
-    pool_->parallel_for(reps.size(),
-                        [&](std::size_t j) { out[reps[j]] = eval_->evaluate(configs[reps[j]]); });
+    all_done.wait();
   } else {
-    for (const std::size_t i : reps) out[i] = eval_->evaluate(configs[i]);
+    for (const std::size_t gi : plan.owners) run_owner(plan, gi);
+  }
+  finish_plan(plan);
+  return std::move(plan.out);
+}
+
+std::future<std::vector<evaluation>> evaluation_engine::evaluate_batch_async(
+    std::vector<configuration> configs) {
+  if (!opt_.memoize) {
+    // Pass-through mode: evaluate inline; the async shape is kept only so
+    // callers need not special-case it (exceptions still land in the
+    // future, per the contract).
+    std::promise<std::vector<evaluation>> done;
+    std::future<std::vector<evaluation>> fut = done.get_future();
+    try {
+      done.set_value(evaluate_batch(configs));
+    } catch (...) {
+      done.set_exception(std::current_exception());
+    }
+    return fut;
   }
 
-  for (const auto& [key, groups] : missing) {
-    for (const pending& p : groups) {
-      insert(key, out[p.rep]);
-      for (const std::size_t d : p.dups) out[d] = out[p.rep];
+  // The plan (probe + dedup + in-flight registration + all counter bumps)
+  // runs synchronously here; only the owned evaluator runs are enqueued.
+  // The batch owns its configurations: moving the plan keeps the vector's
+  // heap buffer, so the span stays valid for the pool tasks' lifetime.
+  auto plan = std::make_shared<batch_plan>();
+  plan->storage = std::move(configs);
+  plan->configs = plan->storage;
+  plan_batch(*plan);
+
+  if (!pool_) {
+    // No workers: evaluate inline (the documented degenerate mode). Joins
+    // may block on foreign threads, but only this caller waits — never a
+    // pool worker — and failures still surface at get().
+    for (const std::size_t gi : plan->owners) run_owner(*plan, gi);
+    std::promise<std::vector<evaluation>> done;
+    std::future<std::vector<evaluation>> fut = done.get_future();
+    try {
+      finish_plan(*plan);
+      done.set_value(std::move(plan->out));
+    } catch (...) {
+      done.set_exception(std::current_exception());
+    }
+    return fut;
+  }
+
+  // Owned misses go to the pool; the last one to finish flips `owners_done`
+  // (immediately, when the batch was all hits and joins — the call must
+  // never block on foreign runs). Workers only ever evaluate — joining
+  // foreign in-flight runs is deferred to the caller's get(), so
+  // overlapping batches can never deadlock the pool however small it is.
+  struct async_state {
+    std::shared_ptr<batch_plan> plan;
+    std::promise<void> owners_done;
+    std::shared_future<void> done_future;
+    std::atomic<std::size_t> remaining{0};
+  };
+  auto state = std::make_shared<async_state>();
+  state->plan = plan;
+  state->done_future = state->owners_done.get_future().share();
+  state->remaining.store(plan->owners.size(), std::memory_order_relaxed);
+
+  if (plan->owners.empty()) {
+    state->owners_done.set_value();
+  } else {
+    for (const std::size_t gi : plan->owners) {
+      pool_->submit([this, state, gi] {
+        run_owner(*state->plan, gi);
+        if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
+          state->owners_done.set_value();
+      });
     }
   }
-  return out;
+  // Deferred assembly: runs on the thread that calls get()/wait(); an
+  // abandoned owner's exception rethrows there.
+  return std::async(std::launch::deferred, [this, state] {
+    state->done_future.wait();
+    finish_plan(*state->plan);
+    return std::move(state->plan->out);
+  });
 }
 
 engine_stats evaluation_engine::stats() const noexcept {
@@ -155,6 +356,7 @@ engine_stats evaluation_engine::stats() const noexcept {
   s.hits = hits_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
   s.dedup = dedup_.load(std::memory_order_relaxed);
+  s.inflight = inflight_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
   return s;
 }

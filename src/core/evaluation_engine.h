@@ -1,6 +1,6 @@
 #pragma once
-// Memoizing, batched evaluation service — the first step toward the
-// ROADMAP's caching/batching/async serving architecture.
+// Memoizing, batched evaluation service — the shared evaluation back-end of
+// the ROADMAP's caching/batching/async serving architecture.
 //
 // The GA re-visits many candidates: elites survive generations unchanged,
 // crossover and mutation regenerate earlier children, and Pareto validation
@@ -11,9 +11,20 @@
 // over a `util::thread_pool`. Cached results are bit-identical to direct
 // evaluation: `evaluator::evaluate` is deterministic and const, so serving
 // a stored `evaluation` is indistinguishable from recomputing it.
+//
+// Concurrency model (see docs/ARCHITECTURE.md for the full picture):
+//   * every public member is safe to call from any thread;
+//   * racing callers never evaluate the same configuration twice: a request
+//     for a candidate that another thread is currently evaluating joins the
+//     *in-flight slot* and waits for that run instead of starting its own
+//     ("in-flight dedup", counted in `engine_stats::inflight`);
+//   * `evaluate_batch_async` lets several batches overlap on one worker
+//     pool — the island-model GA keeps the pool busy across generations by
+//     having K islands' batches in flight at once.
 
 #include <atomic>
 #include <cstddef>
+#include <future>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -41,25 +52,31 @@ struct engine_options {
   std::size_t capacity = 0;  ///< max cached evaluations; 0 = unbounded
   std::size_t threads = 1;   ///< batch-evaluation workers (1 = inline)
   /// false turns the engine into a pass-through (every call runs the
-  /// evaluator); kept for A/B benches and bit-identity tests.
+  /// evaluator, and in-flight dedup is disabled too); kept for A/B benches
+  /// and bit-identity tests.
   bool memoize = true;
   eviction_policy eviction = eviction_policy::fifo;
 };
 
 /// Monotonic counters. One batch element is exactly one of: a `hit` (served
 /// from the table), a `dedup` (identical to an earlier element of the same
-/// batch, collapsed onto its run) or a `miss` (an actual evaluator run).
+/// batch, collapsed onto its run), an `inflight` (identical to a candidate
+/// another thread was already evaluating, served by waiting on that run) or
+/// a `miss` (an actual evaluator run).
 struct engine_stats {
   std::size_t hits = 0;
   std::size_t misses = 0;
   std::size_t dedup = 0;
+  std::size_t inflight = 0;
   std::size_t evictions = 0;
 
-  [[nodiscard]] std::size_t lookups() const noexcept { return hits + misses + dedup; }
+  [[nodiscard]] std::size_t lookups() const noexcept {
+    return hits + misses + dedup + inflight;
+  }
   /// Fraction of lookups that avoided an evaluator run.
   [[nodiscard]] double hit_rate() const noexcept {
     const std::size_t n = lookups();
-    return n == 0 ? 0.0 : static_cast<double>(hits + dedup) / static_cast<double>(n);
+    return n == 0 ? 0.0 : static_cast<double>(hits + dedup + inflight) / static_cast<double>(n);
   }
 };
 
@@ -67,12 +84,21 @@ struct engine_stats {
   a.hits -= b.hits;
   a.misses -= b.misses;
   a.dedup -= b.dedup;
+  a.inflight -= b.inflight;
   a.evictions -= b.evictions;
   return a;
 }
 
-/// Thread-safe memoizing front-end of one `evaluator`. The wrapped
-/// evaluator must outlive the engine.
+/// Thread-safe memoizing front-end of one `evaluator`.
+///
+/// Ownership: the engine borrows the evaluator (which must outlive it) and
+/// owns its memo table and worker pool. Engines are neither copyable nor
+/// movable; long-lived callers (serving sessions) hold them by reference.
+///
+/// Thread-safety: every public member may be called concurrently from any
+/// thread. Results are pure functions of the configuration, so racing
+/// callers always observe bit-identical evaluations regardless of which
+/// thread actually ran the evaluator.
 class evaluation_engine {
  public:
   explicit evaluation_engine(const evaluator& eval, engine_options opt = {});
@@ -81,12 +107,40 @@ class evaluation_engine {
   evaluation_engine& operator=(const evaluation_engine&) = delete;
 
   /// One candidate, served from the cache when possible.
+  ///
+  /// Blocking: returns immediately on a cache hit; blocks for one evaluator
+  /// run on a miss; blocks until the owning thread finishes when the same
+  /// configuration is already in flight elsewhere (never runs it twice).
   [[nodiscard]] evaluation evaluate(const configuration& config);
 
-  /// A whole population: probes the cache, collapses in-batch duplicates,
-  /// then evaluates the distinct misses across the worker pool. The result
-  /// vector is index-aligned with `configs` regardless of thread count.
+  /// A whole population, synchronously: probes the cache, collapses
+  /// in-batch duplicates, joins candidates already in flight on other
+  /// threads, then evaluates the distinct misses across the worker pool.
+  /// The result vector is index-aligned with `configs` regardless of thread
+  /// count. Blocks the calling thread until every element is resolved.
   [[nodiscard]] std::vector<evaluation> evaluate_batch(std::span<const configuration> configs);
+
+  /// A whole population, asynchronously. The cache probe, in-batch dedup
+  /// and in-flight registration happen synchronously on the calling thread
+  /// (so the engine's counters are already final for this batch when the
+  /// call returns); the distinct misses are then enqueued on the worker
+  /// pool and the call returns without waiting for them.
+  ///
+  /// The returned future assembles the index-aligned result vector lazily:
+  /// call `get()` (or `wait()`) to block until every element — including
+  /// candidates joined from other threads' in-flight runs — is resolved.
+  /// Worker threads never block on other batches, so any number of async
+  /// batches may safely overlap on one engine; this is what lets the
+  /// island GA keep the pool busy while individual islands rank and breed.
+  ///
+  /// Dropping the future without calling `get()` is safe: the enqueued
+  /// evaluations still run and populate the cache. An evaluator exception
+  /// rethrows at `get()` (never inside a pool worker).
+  ///
+  /// With `threads <= 1` (no pool) the batch is evaluated inline before the
+  /// call returns and the future is immediately ready.
+  [[nodiscard]] std::future<std::vector<evaluation>> evaluate_batch_async(
+      std::vector<configuration> configs);
 
   /// Snapshot of the counters (cheap; callers diff snapshots for deltas).
   [[nodiscard]] engine_stats stats() const noexcept;
@@ -94,7 +148,8 @@ class evaluation_engine {
   /// Number of evaluations currently cached.
   [[nodiscard]] std::size_t size() const;
 
-  /// Drops every cached entry (counters are kept).
+  /// Drops every cached entry (counters are kept). In-flight evaluations
+  /// are unaffected: they complete and re-insert their results.
   void clear();
 
   [[nodiscard]] const evaluator& base() const noexcept { return *eval_; }
@@ -105,11 +160,52 @@ class evaluation_engine {
   // the `evaluation::config` stored in each entry. Entries live on the
   // eviction list (coldest at the front); the map indexes them by key. An
   // LRU hit splices its entry to the back, FIFO leaves the order alone.
+  //
+  // The in-flight table shares the shard mutex with the memo table, which
+  // gives the dedup protocol its key invariant for free: an owner inserts
+  // its result into the cache and retires its in-flight slot under one lock
+  // acquisition, so a prober that sees neither (under the same lock) knows
+  // the candidate has never been started and can safely claim ownership.
   using entry_list = std::list<std::pair<std::size_t, evaluation>>;
+  struct inflight_slot {
+    configuration config;
+    std::shared_future<evaluation> result;
+  };
   struct shard {
     mutable std::mutex mu;
     entry_list order;
     std::unordered_map<std::size_t, std::vector<entry_list::iterator>> map;
+    std::unordered_map<std::size_t, std::vector<inflight_slot>> inflight;
+  };
+
+  /// Outcome of claiming one candidate under the shard lock.
+  struct claim {
+    enum class kind { hit, join, owner } outcome;
+    evaluation value;  ///< filled for `hit`
+    /// Pending result: a foreign run for `join`, our own promise's future
+    /// for `owner` (so batch assembly reads values and exceptions alike).
+    std::shared_future<evaluation> pending;
+    std::promise<evaluation> promise;  ///< owned by `owner`
+  };
+
+  /// One batch, planned: every element classified as hit / in-batch dup /
+  /// cross-thread join / owned miss, with all counters already bumped.
+  struct batch_plan {
+    struct group {
+      std::size_t rep = 0;  ///< index of the group's representative element
+      std::size_t key = 0;
+      std::vector<std::size_t> dups;           ///< later in-batch duplicates
+      bool owner = false;                      ///< we run the evaluator
+      std::shared_future<evaluation> pending;  ///< the rep's eventual result
+      std::promise<evaluation> promise;        ///< when owner
+    };
+    /// Async batches own their configurations here; synchronous batches
+    /// leave it empty and `configs` views the caller's span (no copy).
+    std::vector<configuration> storage;
+    std::span<const configuration> configs;
+    std::vector<evaluation> out;      ///< hits pre-filled
+    std::vector<group> groups;        ///< joins and owned misses
+    std::vector<std::size_t> owners;  ///< indices into `groups`
   };
 
   [[nodiscard]] shard& shard_for(std::size_t key) noexcept {
@@ -117,6 +213,26 @@ class evaluation_engine {
   }
   bool lookup(std::size_t key, const configuration& config, evaluation& out);
   void insert(std::size_t key, const evaluation& result);
+  /// Cache-or-inflight-or-register, atomically per shard (counters bumped).
+  [[nodiscard]] claim claim_slot(std::size_t key, const configuration& config);
+  /// Removes a claimed in-flight slot (shared by completion and abandon).
+  void retire_slot(std::size_t key, const configuration& config);
+  /// Owner completion: publishes to the cache, retires the in-flight slot
+  /// and fulfills the promise.
+  void complete_owner(std::size_t key, const configuration& config,
+                      std::promise<evaluation>& promise, const evaluation& result);
+  /// Owner failure: retires the slot and propagates the exception to joiners.
+  void abandon_owner(std::size_t key, const configuration& config,
+                     std::promise<evaluation>& promise);
+  /// Classifies `plan.configs` (which must already be set) in place.
+  void plan_batch(batch_plan& plan);
+  /// Evaluates one owned group. Never throws: an evaluator exception is
+  /// parked in the group's promise (via abandon_owner) so pool workers
+  /// never unwind; `finish_plan` rethrows it on the consuming thread.
+  void run_owner(batch_plan& plan, std::size_t group_index);
+  /// Collects every group's result (own runs and foreign joins alike) and
+  /// copies duplicates into place; rethrows the first failed run.
+  void finish_plan(batch_plan& plan);
 
   const evaluator* eval_;
   engine_options opt_;
@@ -127,6 +243,7 @@ class evaluation_engine {
   std::atomic<std::size_t> hits_{0};
   std::atomic<std::size_t> misses_{0};
   std::atomic<std::size_t> dedup_{0};
+  std::atomic<std::size_t> inflight_{0};
   std::atomic<std::size_t> evictions_{0};
 };
 

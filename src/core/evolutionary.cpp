@@ -1,9 +1,11 @@
 #include "core/evolutionary.h"
 
 #include <algorithm>
+#include <future>
 #include <limits>
 #include <map>
 #include <stdexcept>
+#include <utility>
 
 #include "core/pareto.h"
 
@@ -141,6 +143,50 @@ std::vector<double> crowding_distances(const std::vector<evaluation>& evals,
   return dist;
 }
 
+/// hybrid_nsga: non-dominated front first, eq. 16 objective within a front.
+/// objective_only: the paper-literal pure P ranking.
+std::vector<std::size_t> rank_order(const std::vector<evaluation>& evals,
+                                    const ga_options& opt) {
+  std::vector<std::size_t> order(evals.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  if (opt.selection == selection_mode::hybrid_nsga) {
+    const std::vector<std::size_t> fronts = front_indices(evals);
+    const std::vector<double> crowd = crowding_distances(evals, fronts);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (evals[a].feasible != evals[b].feasible) return evals[a].feasible;
+      if (fronts[a] != fronts[b]) return fronts[a] < fronts[b];
+      if (crowd[a] != crowd[b]) return crowd[a] > crowd[b];
+      return evals[a].objective < evals[b].objective;
+    });
+  } else {
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (evals[a].feasible != evals[b].feasible) return evals[a].feasible;
+      return evals[a].objective < evals[b].objective;
+    });
+  }
+  return order;
+}
+
+/// Decorrelated RNG stream per island. Island 0 keeps the raw seed so a
+/// 1-island run replays the exact pre-island stream (bit-identity).
+std::uint64_t island_seed(std::uint64_t seed, std::size_t island) {
+  if (island == 0) return seed;
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(island);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// One island: a private sub-population with its own deterministic RNG
+/// stream, evolving against the shared engine via async batches.
+struct island {
+  util::rng gen{0};
+  std::vector<genome> population;
+  std::vector<genome> outbox;  ///< elites published at the last round boundary
+  std::future<std::vector<evaluation>> pending;
+  engine_stats plan_delta;  ///< engine counters attributable to the pending batch
+};
+
 }  // namespace
 
 ga_result evolve(const search_space& space, const evaluator& eval, const ga_options& opt) {
@@ -158,90 +204,106 @@ ga_result evolve(const search_space& space, evaluation_engine& engine, const ga_
   if (opt.population < 4) throw std::invalid_argument("evolve: population too small");
   if (opt.elite_fraction <= 0.0 || opt.elite_fraction >= 1.0)
     throw std::invalid_argument("evolve: elite_fraction out of (0,1)");
+  const std::size_t K = std::max<std::size_t>(1, opt.island.islands);
+  if (K > 1 && opt.population / K < 4)
+    throw std::invalid_argument("evolve: population too small for island count");
+  const std::size_t M = std::max<std::size_t>(1, opt.island.migration_interval);
+  const std::size_t G = opt.generations;
 
-  util::rng gen{opt.seed};
   const engine_stats run_start = engine.stats();
+  std::size_t evictions_seen = run_start.evictions;
 
-  std::vector<genome> population;
-  population.reserve(opt.population);
-  // Anchor the high-accuracy corner with the static seed (plus mapping
-  // rotations of it); fill the rest randomly.
-  const genome anchor = space.static_seed();
-  population.push_back(anchor);
-  for (std::size_t r = 1; r < space.stages() && population.size() + 1 < opt.population; ++r) {
-    genome rotated = population.back();
-    std::rotate(rotated.mapping.begin(), rotated.mapping.begin() + 1, rotated.mapping.end());
-    population.push_back(std::move(rotated));
+  // --- split the population across islands -------------------------------
+  // Island 0 anchors the high-accuracy corner exactly like the classic GA
+  // (static seed + mapping rotations); every other island re-seeds the
+  // anchor too (duplicates are cache hits anyway) and fills randomly from
+  // its own decorrelated stream.
+  std::vector<island> isl(K);
+  for (std::size_t i = 0; i < K; ++i) {
+    const std::size_t size_i = opt.population / K + (i < opt.population % K ? 1 : 0);
+    island& s = isl[i];
+    s.gen = util::rng{island_seed(opt.seed, i)};
+    s.population.reserve(size_i);
+    s.population.push_back(space.static_seed());
+    if (i == 0) {
+      for (std::size_t r = 1; r < space.stages() && s.population.size() + 1 < size_i; ++r) {
+        genome rotated = s.population.back();
+        std::rotate(rotated.mapping.begin(), rotated.mapping.begin() + 1, rotated.mapping.end());
+        s.population.push_back(std::move(rotated));
+      }
+    }
+    while (s.population.size() < size_i) s.population.push_back(space.random(s.gen));
   }
-  while (population.size() < opt.population) population.push_back(space.random(gen));
 
   ga_result result;
+  result.islands = K;
+  result.history.resize(G);
 
-  for (std::size_t g = 0; g < opt.generations; ++g) {
-    // --- evaluate through the memoizing engine (the paper's evaluation
-    // cluster): elites and duplicate offspring are served from the cache,
-    // distinct misses run across the engine's worker pool. Decoding stays
-    // serial: it is O(groups x stages) arithmetic per genome, orders of
-    // magnitude below one evaluator run.
+  // --- coordinator helpers -----------------------------------------------
+  // Decoding stays serial: it is O(groups x stages) arithmetic per genome,
+  // orders of magnitude below one evaluator run. The async submit runs the
+  // cache probe inline (so plan_delta is exact: only this coordinator
+  // thread bumps hit/miss/dedup/inflight counters) and enqueues the
+  // distinct misses on the engine pool.
+  const auto submit = [&](island& s) {
     std::vector<configuration> configs;
-    configs.reserve(population.size());
-    for (const genome& p : population) configs.push_back(space.decode(p));
-    const engine_stats gen_start = engine.stats();
-    std::vector<evaluation> evals = engine.evaluate_batch(configs);
-    const engine_stats gen_delta = engine.stats() - gen_start;
-    result.total_evaluations += population.size();
+    configs.reserve(s.population.size());
+    for (const genome& p : s.population) configs.push_back(space.decode(p));
+    const engine_stats before = engine.stats();
+    s.pending = engine.evaluate_batch_async(std::move(configs));
+    s.plan_delta = engine.stats() - before;
+  };
 
-    // --- rank ----------------------------------------------------------------
-    // hybrid_nsga: non-dominated front first, eq. 16 objective within a
-    // front. objective_only: the paper-literal pure P ranking.
-    std::vector<std::size_t> order(population.size());
-    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-    if (opt.selection == selection_mode::hybrid_nsga) {
-      const std::vector<std::size_t> fronts = front_indices(evals);
-      const std::vector<double> crowd = crowding_distances(evals, fronts);
-      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-        if (evals[a].feasible != evals[b].feasible) return evals[a].feasible;
-        if (fronts[a] != fronts[b]) return fronts[a] < fronts[b];
-        if (crowd[a] != crowd[b]) return crowd[a] > crowd[b];
-        return evals[a].objective < evals[b].objective;
-      });
-    } else {
-      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-        if (evals[a].feasible != evals[b].feasible) return evals[a].feasible;
-        return evals[a].objective < evals[b].objective;
-      });
-    }
+  // Waits out island i's generation `gg`, folds it into history/archive and
+  // returns (evaluations, ranking) for breeding.
+  const auto process = [&](std::size_t i, std::size_t gg) {
+    island& s = isl[i];
+    std::vector<evaluation> evals = s.pending.get();
+    result.total_evaluations += evals.size();
 
-    generation_stats stats;
-    stats.generation = g;
-    stats.cache_hits = gen_delta.hits;
-    stats.cache_misses = gen_delta.misses;
-    stats.cache_dedup = gen_delta.dedup;
-    stats.cache_evictions = gen_delta.evictions;
+    generation_stats& hist = result.history[gg];
+    hist.generation = gg;
+    hist.cache_hits += s.plan_delta.hits;
+    hist.cache_misses += s.plan_delta.misses;
+    hist.cache_dedup += s.plan_delta.dedup;
+    hist.cache_inflight += s.plan_delta.inflight;
+    // Evictions happen on pool threads; attribute everything observed since
+    // the previous processing step to this generation (exact for K = 1).
+    const std::size_t ev_now = engine.stats().evictions;
+    hist.cache_evictions += ev_now - evictions_seen;
+    evictions_seen = ev_now;
+
+    std::vector<std::size_t> order = rank_order(evals, opt);
+
+    std::size_t feasible = 0;
     double sum = 0.0;
-    for (std::size_t i = 0; i < population.size(); ++i) {
-      const evaluation& e = evals[i];
+    for (const evaluation& e : evals) {
       if (!e.feasible) continue;
-      ++stats.feasible;
+      ++feasible;
       sum += e.objective;
       result.archive.push_back(e);
     }
-    if (stats.feasible > 0) {
-      stats.best_objective = evals[order.front()].objective;
-      stats.mean_objective = sum / static_cast<double>(stats.feasible);
+    if (feasible > 0) {
+      const double best = evals[order.front()].objective;
+      if (hist.feasible == 0 || best < hist.best_objective) hist.best_objective = best;
+      hist.mean_objective += sum;  // normalized to a mean after the run
+      hist.feasible += feasible;
     }
-    result.history.push_back(stats);
+    return std::make_pair(std::move(evals), std::move(order));
+  };
 
-    if (g + 1 == opt.generations) break;
-
-    // --- elite selection + offspring ---------------------------------------
+  // Elite selection + offspring for the next generation; optionally records
+  // the island's ranked elites as outbound migrants for the ring exchange.
+  const auto breed = [&](island& s, const std::vector<evaluation>& evals,
+                         const std::vector<std::size_t>& order, bool capture_outbox) {
+    const std::size_t island_pop = s.population.size();
     const std::size_t n_elite = std::max<std::size_t>(
-        2, static_cast<std::size_t>(opt.elite_fraction * static_cast<double>(opt.population)));
+        2, static_cast<std::size_t>(opt.elite_fraction * static_cast<double>(island_pop)));
     std::vector<genome> survivors;
     survivors.reserve(n_elite + opt.accuracy_elites);
     for (std::size_t r = 0; r < n_elite && r < order.size(); ++r) {
       if (!evals[order[r]].feasible) break;  // never breed from violators
-      survivors.push_back(population[order[r]]);
+      survivors.push_back(s.population[order[r]]);
     }
     if (opt.accuracy_elites > 0 && !survivors.empty()) {
       // Also protect the most accurate feasible candidates of the
@@ -253,27 +315,105 @@ ga_result evolve(const search_space& space, evaluation_engine& engine, const ga_
       });
       for (std::size_t r = 0; r < opt.accuracy_elites && r < by_acc.size(); ++r) {
         if (!evals[by_acc[r]].feasible) break;
-        survivors.push_back(population[by_acc[r]]);
+        survivors.push_back(s.population[by_acc[r]]);
       }
     }
+    // Small islands must keep breeding: survivors never fill more than half
+    // the sub-population (accuracy elites, appended last, are trimmed
+    // first). The single-population phases — K = 1 runs and the merged
+    // polish tail — keep the exact classic behavior, preserving
+    // bit-identity with the pre-island implementation.
+    if (isl.size() > 1) {
+      const std::size_t cap = std::max<std::size_t>(2, island_pop / 2);
+      if (survivors.size() > cap) survivors.resize(cap);
+    }
+
+    s.outbox.clear();
+    if (capture_outbox) {
+      const std::size_t want =
+          std::min(opt.island.migrants, island_pop > 1 ? island_pop - 1 : std::size_t{0});
+      for (std::size_t r = 0; r < order.size() && s.outbox.size() < want; ++r) {
+        if (!evals[order[r]].feasible) break;
+        s.outbox.push_back(s.population[order[r]]);
+      }
+    }
+
     if (survivors.empty()) {
-      // No feasible candidate yet: reseed the whole generation.
-      for (auto& p : population) p = space.random(gen);
-      continue;
+      // No feasible candidate yet: reseed the whole island.
+      for (genome& p : s.population) p = space.random(s.gen);
+      return;
     }
 
     std::vector<genome> next;
-    next.reserve(opt.population);
-    for (const auto& s : survivors) next.push_back(s);
-    while (next.size() < opt.population) {
-      genome child = gen.bernoulli(opt.crossover_prob)
-                         ? crossover(tournament(survivors, gen), tournament(survivors, gen), gen)
-                         : tournament(survivors, gen);
-      mutate(child, space, opt, gen);
+    next.reserve(island_pop);
+    for (const genome& sv : survivors) next.push_back(sv);
+    while (next.size() < island_pop) {
+      genome child =
+          s.gen.bernoulli(opt.crossover_prob)
+              ? crossover(tournament(survivors, s.gen), tournament(survivors, s.gen), s.gen)
+              : tournament(survivors, s.gen);
+      mutate(child, space, opt, s.gen);
       next.push_back(std::move(child));
     }
-    population = std::move(next);
+    s.population = std::move(next);
+  };
+
+  // --- generation loop, in rounds between migration boundaries ------------
+  // Within a round, islands are pipelined: after island i's generation is
+  // ranked and bred, its next batch enters the engine pool immediately —
+  // while islands i+1..K-1 of the current generation are still evaluating.
+  // The serial rank/breed segments therefore hide behind evaluation instead
+  // of leaving the pool idle between generations.
+  //
+  // The final `polish_fraction` of the budget runs merged: the union of the
+  // island populations evolves as one population (island 0's RNG stream
+  // continues), so NSGA crowding can refine the combined front.
+  const double polish = std::clamp(opt.island.polish_fraction, 0.0, 1.0);
+  const std::size_t merge_start =
+      K > 1 ? G - std::min(G, static_cast<std::size_t>(polish * static_cast<double>(G))) : G;
+  std::size_t g = 0;
+  while (g < G) {
+    if (isl.size() > 1 && g >= merge_start) {
+      // Deterministic merge: concatenate the island populations (ring
+      // order) into island 0 and keep evolving on its RNG stream.
+      for (std::size_t i = 1; i < isl.size(); ++i)
+        isl[0].population.insert(isl[0].population.end(), isl[i].population.begin(),
+                                 isl[i].population.end());
+      isl.resize(1);
+    }
+    const std::size_t n_islands = isl.size();
+    const std::size_t round_end =
+        n_islands > 1 ? std::min({G, merge_start, (g / M + 1) * M}) : G;
+    for (island& s : isl) submit(s);
+    for (std::size_t gg = g; gg < round_end; ++gg) {
+      for (std::size_t i = 0; i < n_islands; ++i) {
+        const auto [evals, order] = process(i, gg);
+        if (gg + 1 == G) continue;  // final generation: rank/archive only
+        const bool last_of_round = gg + 1 == round_end;
+        breed(isl[i], evals, order, /*capture_outbox=*/n_islands > 1 && last_of_round);
+        if (!last_of_round) submit(isl[i]);
+      }
+    }
+    g = round_end;
+
+    if (g < merge_start && isl.size() > 1) {
+      // Ring migration: island i receives island (i-1)'s ranked elites and
+      // replaces its worst offspring slots (the tail; elites sit at the
+      // front of a bred population). Deterministic: outboxes are fixed by
+      // each island's private stream and the exchange order is the ring.
+      const std::size_t n_isl = isl.size();
+      for (std::size_t i = 0; i < n_isl; ++i) {
+        const std::vector<genome>& incoming = isl[(i + n_isl - 1) % n_isl].outbox;
+        std::vector<genome>& pop = isl[i].population;
+        const std::size_t n = std::min(
+            incoming.size(), pop.size() > 1 ? pop.size() - 1 : std::size_t{0});
+        for (std::size_t j = 0; j < n; ++j) pop[pop.size() - 1 - j] = incoming[j];
+      }
+    }
   }
+
+  for (generation_stats& hist : result.history)
+    if (hist.feasible > 0) hist.mean_objective /= static_cast<double>(hist.feasible);
 
   result.cache = engine.stats() - run_start;
   if (result.archive.empty())

@@ -5,6 +5,13 @@
 // mutation of tournament-selected parents. Every feasible evaluation is
 // archived; the Pareto set over (avg latency, avg energy, -accuracy) is
 // extracted at the end.
+//
+// The population can be split into K *islands* (island_options) that evolve
+// independently against one shared `evaluation_engine` through its async
+// batch API, with ring-topology elite migration every few generations and a
+// deterministic merge into the final archive/front. K = 1 is exactly the
+// classic single-population GA — same RNG stream, same candidate order,
+// bit-identical results. See docs/ARCHITECTURE.md for the data flow.
 
 #include <cstdint>
 #include <vector>
@@ -29,11 +36,44 @@ namespace mapcq::core {
 /// bench.
 enum class selection_mode { hybrid_nsga, objective_only };
 
+/// Island-model knobs (Risso et al. 2024 show partitioned search with
+/// periodic exchange matches monolithic search at a fraction of the
+/// wall-clock). The total `ga_options::population` is split evenly across
+/// the islands; each island evolves on its own deterministic RNG stream and
+/// submits its generations through `evaluate_batch_async`, so one island's
+/// ranking/breeding overlaps the others' evaluations on the engine pool.
+///
+/// The non-island defaults below (migration every 2 generations, 2
+/// migrants, 70% merged tail) were tuned on the Visformer/Xavier testbed at
+/// 50 generations x 60 population: across paired seeds they hold the
+/// merged-front hypervolume at parity with the classic single-population
+/// GA (see bench/island_scaling), which shorter merged tails or rarer
+/// migration do not.
+struct island_options {
+  /// Number of islands. 1 (or 0) = classic single-population GA, bit-
+  /// identical to the pre-island implementation at equal seeds. Each island
+  /// needs at least 4 members: `islands > population / 4` is rejected.
+  std::size_t islands = 1;
+  /// Every `migration_interval` generations the islands exchange elites
+  /// around a ring (island i sends to island i+1 mod K). Clamped to >= 1.
+  std::size_t migration_interval = 2;
+  /// Ranked elites each island emits per migration; they overwrite the
+  /// receiver's worst offspring slots. Clamped to the island size - 1.
+  std::size_t migrants = 2;
+  /// Fraction of the generation budget spent *after* the islands are merged
+  /// back into one population (the "conquer" tail): the union of all island
+  /// populations evolves monolithically, letting NSGA crowding refine the
+  /// combined front. Islands explore, the merged phase exploits — without
+  /// it, K islands of P/K members each converge to narrower fronts and the
+  /// merged hypervolume trails the classic GA. 0 disables; ignored at K=1.
+  double polish_fraction = 0.70;
+};
+
 /// GA hyper-parameters. Paper defaults: 200 generations x 60 population
 /// (12k evaluations); benches shrink these via CLI for quick runs.
 struct ga_options {
   std::size_t generations = 200;
-  std::size_t population = 60;
+  std::size_t population = 60;  ///< total across all islands
   double elite_fraction = 0.25;
   double crossover_prob = 0.9;
   double ratio_mutation_prob = 0.20;    ///< per partition group
@@ -45,11 +85,14 @@ struct ga_options {
   /// only weakly rewards accuracy).
   std::size_t accuracy_elites = 2;
   selection_mode selection = selection_mode::hybrid_nsga;
+  island_options island;  ///< sharded-population search (1 island = off)
   std::uint64_t seed = 1;
   std::size_t threads = 12;  ///< evaluation workers (paper: 12-GPU cluster)
 };
 
-/// Convergence trace entry.
+/// Convergence trace entry; with K islands each entry aggregates the K
+/// sub-populations of that generation (best = min over islands, mean =
+/// feasibility-weighted mean over islands).
 struct generation_stats {
   std::size_t generation = 0;
   double best_objective = 0.0;
@@ -58,6 +101,7 @@ struct generation_stats {
   std::size_t cache_hits = 0;       ///< population members served from the memo cache
   std::size_t cache_misses = 0;     ///< distinct evaluator runs this generation
   std::size_t cache_dedup = 0;      ///< in-generation duplicate candidates collapsed
+  std::size_t cache_inflight = 0;   ///< candidates joined from a concurrent in-flight run
   std::size_t cache_evictions = 0;  ///< entries dropped under capacity pressure
 };
 
@@ -67,6 +111,7 @@ struct ga_result {
   std::vector<std::size_t> pareto;       ///< archive indices on the Pareto front
   std::size_t best_index = 0;            ///< archive index of the min-objective entry
   std::vector<generation_stats> history;
+  std::size_t islands = 1;  ///< island count the search actually ran with
   /// Candidates *considered* (population x generations); the evaluator only
   /// actually ran `cache.misses` times.
   std::size_t total_evaluations = 0;
@@ -79,11 +124,22 @@ struct ga_result {
 
 /// Runs the GA with every population evaluation routed through `engine`
 /// (elites and duplicate offspring become cache hits). Throws
-/// std::runtime_error if no feasible configuration is ever found.
-/// Cache counters (per generation and `ga_result::cache`) are deltas of the
+/// std::runtime_error if no feasible configuration is ever found and
+/// std::invalid_argument for unusable options (population < 4, islands that
+/// would leave an island under 4 members, elite_fraction outside (0,1)).
+///
+/// Blocking: runs the whole search on the calling thread (the coordinator);
+/// only candidate evaluation is offloaded to the engine's pool. With K > 1
+/// the coordinator pipelines islands, so the pool stays busy while
+/// individual islands rank and breed.
+///
+/// Determinism: results depend only on (space, options); racing searches on
+/// a shared engine stay deterministic because evaluation is pure. Cache
+/// counters (per generation and `ga_result::cache`) are deltas of the
 /// engine's global stats, so when several searches share one engine
-/// concurrently they include the other searches' traffic; the results
-/// themselves stay deterministic because evaluation is pure.
+/// concurrently they include the other searches' traffic; with K > 1
+/// islands, per-generation eviction counts are attributed to the
+/// generation whose processing window observed them.
 [[nodiscard]] ga_result evolve(const search_space& space, evaluation_engine& engine,
                                const ga_options& opt = {});
 

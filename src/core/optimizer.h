@@ -2,17 +2,32 @@
 // DEPRECATED one-shot facade, kept as a thin compatibility shim over
 // `serving::mapping_service`. New code should talk to the service directly:
 // it registers many networks/platforms, keys immutable sessions by
-// (network, platform, evaluator options, ranking seed), and persists the
-// memo cache across search, validation and repeated requests -- everything
-// this per-run facade used to rebuild and discard per phase.
+// (network, platform, evaluator options, ranking seed), serves requests
+// synchronously (`map()`) or from a worker pool (`submit()`), and persists
+// the memo cache across search, validation and repeated requests --
+// everything this per-run facade used to rebuild and discard per phase.
+// Everything the service supports flows through the shim untouched,
+// including `ga_options::island` sharded searches.
 //
-// The shim still mirrors the paper flow (Fig. 5): train the hardware
-// surrogate, search on it, validate the Pareto picks on the analytic
-// ("measured") model, then select the latency-oriented (Ours-L) and
-// energy-oriented (Ours-E) models reported in Table II. Because it now
-// holds one service session across phases (and across repeated run()
-// calls), validation of an analytic search is served from the search's own
-// cache -- see `optimize_result::validation_cache`.
+// How the shim maps onto the service: the constructor builds a private
+// one-network service (anonymous networks/platforms get placeholder
+// registry names), `optimizer_options` is repackaged as a
+// `mapping_request`, and `run()` forwards to `mapping_service::map` — so
+// the paper flow (Fig. 5: train the hardware surrogate, search on it,
+// validate the Pareto picks on the analytic model, select the Ours-L /
+// Ours-E picks of Table II) executes inside one serving session. Repeated
+// `run()` calls reuse that session: the surrogate trains once, validation
+// of an analytic search is served from the search's own cache
+// (`optimize_result::validation_cache`), and warm reruns cost ~zero
+// evaluator runs.
+//
+// LEGACY PATH — caller-supplied predictor: the service refuses
+// `eval.predictor` (sessions own their predictors), so an optimizer built
+// with one falls back to the pre-serving per-phase flow
+// (`run_with_foreign_predictor`): fresh evaluator/engine pairs per phase,
+// no session, no cross-phase or cross-run cache reuse, no island
+// coordination beyond what `evolve()` itself provides. It exists only so
+// pre-PR-2 callers keep working; do not use it in new code.
 
 #include <memory>
 #include <optional>
@@ -69,22 +84,28 @@ struct optimize_result {
   [[nodiscard]] const evaluation& ours_energy() const { return validated.at(ours_energy_index); }
 };
 
-/// One search run for one network on one platform. Deprecated: use
-/// serving::mapping_service, which this wraps.
+/// One search run for one network on one platform.
+/// \deprecated Use serving::mapping_service, which this wraps: it serves
+/// many networks, runs requests asynchronously and never throws a warm
+/// cache away. The referenced network/platform must outlive the optimizer.
 class optimizer {
  public:
   optimizer(const nn::network& net, const soc::platform& plat, optimizer_options opt = {});
 
-  /// Executes surrogate training (optional), GA search and validation.
-  /// Repeated calls reuse the underlying session: the surrogate trains
-  /// once and later runs are served largely from the memo cache.
+  /// Executes surrogate training (optional), GA search and validation,
+  /// blocking the calling thread end to end (the service equivalent of a
+  /// synchronous `map()`). Repeated calls reuse the underlying session:
+  /// the surrogate trains once and later runs are served largely from the
+  /// memo cache — except on the legacy foreign-predictor path, which
+  /// rebuilds engines per call.
   [[nodiscard]] optimize_result run();
 
   [[nodiscard]] const search_space& space() const noexcept { return space_; }
 
  private:
-  /// Pre-serving flow for the one legacy knob the service refuses: a
+  /// LEGACY pre-serving flow for the one knob the service refuses: a
   /// caller-supplied eval.predictor (sessions own their predictors).
+  /// Fresh engines per phase; no session, no cross-run reuse.
   [[nodiscard]] optimize_result run_with_foreign_predictor();
 
   const nn::network* net_;

@@ -1,8 +1,43 @@
 #include "core/pareto.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace mapcq::core {
+
+namespace {
+
+// Recursive slicing: sort the surviving points by the last coordinate, then
+// integrate slabs — between consecutive distinct last-coordinate values the
+// dominated cross-section is the (d-1)-dimensional hypervolume of the
+// points already passed, projected onto the remaining axes.
+double hv_recursive(std::vector<std::vector<double>> pts, const std::vector<double>& ref) {
+  const std::size_t d = ref.size();
+  if (pts.empty()) return 0.0;
+  if (d == 1) {
+    double best = ref[0];
+    for (const auto& p : pts) best = std::min(best, p[0]);
+    return ref[0] - best;
+  }
+  std::sort(pts.begin(), pts.end(), [d](const std::vector<double>& a,
+                                        const std::vector<double>& b) {
+    return a[d - 1] < b[d - 1];
+  });
+  const std::vector<double> sub_ref(ref.begin(), ref.end() - 1);
+  std::vector<std::vector<double>> passed;
+  passed.reserve(pts.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    passed.emplace_back(pts[i].begin(), pts[i].end() - 1);
+    // Extend the slab to the next distinct last-coordinate (or the ref).
+    if (i + 1 < pts.size() && pts[i + 1][d - 1] == pts[i][d - 1]) continue;
+    const double hi = i + 1 < pts.size() ? pts[i + 1][d - 1] : ref[d - 1];
+    if (hi > pts[i][d - 1]) total += hv_recursive(passed, sub_ref) * (hi - pts[i][d - 1]);
+  }
+  return total;
+}
+
+}  // namespace
 
 bool dominates(std::span<const double> a, std::span<const double> b) {
   if (a.size() != b.size() || a.empty())
@@ -26,6 +61,20 @@ std::vector<std::size_t> pareto_front(const std::vector<std::vector<double>>& po
     if (!dominated) front.push_back(i);
   }
   return front;
+}
+
+double hypervolume(const std::vector<std::vector<double>>& points,
+                   const std::vector<double>& ref) {
+  if (ref.empty()) throw std::invalid_argument("hypervolume: empty reference point");
+  std::vector<std::vector<double>> contributing;
+  contributing.reserve(points.size());
+  for (const auto& p : points) {
+    if (p.size() != ref.size()) throw std::invalid_argument("hypervolume: size mismatch");
+    bool inside = true;
+    for (std::size_t k = 0; k < ref.size() && inside; ++k) inside = p[k] < ref[k];
+    if (inside) contributing.push_back(p);
+  }
+  return hv_recursive(std::move(contributing), ref);
 }
 
 }  // namespace mapcq::core

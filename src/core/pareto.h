@@ -18,4 +18,15 @@ namespace mapcq::core {
 [[nodiscard]] std::vector<std::size_t> pareto_front(
     const std::vector<std::vector<double>>& points);
 
+/// Exact hypervolume (Lebesgue measure) of the region dominated by `points`
+/// and bounded by the reference point `ref`, all objectives minimized.
+/// Points not strictly better than `ref` in every component contribute
+/// nothing. Computed by recursive slicing along the last axis: exact in any
+/// dimension, O(n^d)-ish — intended for the small fronts the GA produces
+/// (used by `bench/island_scaling` to compare search quality across island
+/// counts). Throws std::invalid_argument on ragged rows or a width mismatch
+/// with `ref`; an empty `points` has hypervolume 0.
+[[nodiscard]] double hypervolume(const std::vector<std::vector<double>>& points,
+                                 const std::vector<double>& ref);
+
 }  // namespace mapcq::core

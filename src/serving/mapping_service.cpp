@@ -87,6 +87,48 @@ std::string mapping_service::session_key(const mapping_request& req,
   return os.str();
 }
 
+void mapping_service::prune_expired_locked(std::chrono::steady_clock::time_point now) {
+  if (opt_.session_ttl.count() <= 0) return;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    // A session referenced outside the registry is serving a request right
+    // now — it is not idle, whatever its stamp says (the stamp only
+    // refreshes when a request resolves or completes). Skipping it keeps
+    // the "a long search cannot expire its own session" guarantee against
+    // concurrent pruners as well.
+    const bool busy = it->second.session.use_count() > 1;
+    if (!busy && now - it->second.last_used > opt_.session_ttl) {
+      it = sessions_.erase(it);
+      ++sessions_evicted_;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void mapping_service::enforce_capacity_locked(const std::string& keep) {
+  if (opt_.max_sessions == 0) return;
+  while (sessions_.size() > opt_.max_sessions) {
+    // LRU victim, preferring sessions no request currently holds; if every
+    // other session is busy the cap still wins (holders keep theirs alive
+    // via their shared_ptr, only the registry entry is dropped).
+    auto victim = sessions_.end();
+    bool victim_busy = true;
+    for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+      if (it->first == keep) continue;  // never evict the session being handed out
+      const bool busy = it->second.session.use_count() > 1;
+      const bool better = victim == sessions_.end() || (victim_busy && !busy) ||
+                          (victim_busy == busy && it->second.last_used < victim->second.last_used);
+      if (better) {
+        victim = it;
+        victim_busy = busy;
+      }
+    }
+    if (victim == sessions_.end()) return;  // only `keep` remains
+    sessions_.erase(victim);
+    ++sessions_evicted_;
+  }
+}
+
 std::shared_ptr<mapping_session> mapping_service::session_for(const mapping_request& req) {
   if (req.eval.predictor != nullptr)
     throw std::invalid_argument(
@@ -103,11 +145,17 @@ std::shared_ptr<mapping_session> mapping_service::session_for(const mapping_requ
   const std::string key =
       session_key(req, plat_name, network_generations_.at(req.network),
                   platform_generations_.at(plat_name));
+  const auto now = std::chrono::steady_clock::now();
+  prune_expired_locked(now);
   const auto it = sessions_.find(key);
-  if (it != sessions_.end()) return it->second;
+  if (it != sessions_.end()) {
+    it->second.last_used = now;
+    return it->second.session;
+  }
   auto session = std::make_shared<mapping_session>(key, net_it->second, plat_it->second, req.eval,
                                                    req.ratio_levels, req.ranking_seed, opt_.engine);
-  sessions_.emplace(key, session);
+  sessions_.emplace(key, session_entry{session, now});
+  enforce_capacity_locked(key);
   return session;
 }
 
@@ -150,7 +198,16 @@ mapping_report mapping_service::map(const mapping_request& req) {
   rep.ours_latency_index = pick_within_slack(
       rep.front, req.ours_l_accuracy_slack,
       [](const core::evaluation& e) { return e.avg_latency_ms; });
+  // A completed request counts as a use: a search longer than the TTL must
+  // not expire the session it just warmed.
+  touch_session(session->key());
   return rep;
+}
+
+void mapping_service::touch_session(const std::string& key) {
+  const std::lock_guard<std::mutex> lock{mu_};
+  const auto it = sessions_.find(key);
+  if (it != sessions_.end()) it->second.last_used = std::chrono::steady_clock::now();
 }
 
 std::future<mapping_report> mapping_service::submit(mapping_request req) {
@@ -174,8 +231,13 @@ std::vector<std::string> mapping_service::session_keys() const {
   const std::lock_guard<std::mutex> lock{mu_};
   std::vector<std::string> keys;
   keys.reserve(sessions_.size());
-  for (const auto& [key, session] : sessions_) keys.push_back(key);
+  for (const auto& [key, entry] : sessions_) keys.push_back(key);
   return keys;
+}
+
+std::size_t mapping_service::sessions_evicted() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  return sessions_evicted_;
 }
 
 }  // namespace mapcq::serving

@@ -11,10 +11,12 @@
 // different tuples get isolated sessions and never contend on each other's
 // cache shards.
 //
-// `map()` serves a request synchronously; `submit()` queues it on the
-// service worker pool and returns a std::future (errors propagate through
-// the future). Both are safe to call from any thread.
+// Under many distinct (network, options) tuples the registry is kept
+// memory-bounded: `service_options::max_sessions` caps it with LRU
+// eviction and `service_options::session_ttl` expires idle sessions.
+// See docs/ARCHITECTURE.md for session-key and cache-lifetime semantics.
 
+#include <chrono>
 #include <cstddef>
 #include <future>
 #include <memory>
@@ -42,8 +44,30 @@ struct service_options {
 
   core::engine_options engine;  ///< per-session engine tuning
   std::size_t workers = 2;      ///< async submit() worker threads
+
+  /// Maximum live sessions; 0 = unbounded. When a new session would exceed
+  /// the cap, the least-recently-used session is evicted (its caches and
+  /// trained surrogate are dropped; requests in flight keep it alive via
+  /// their shared_ptr and a later identical request rebuilds it cold).
+  std::size_t max_sessions = 0;
+  /// Idle time after which a session expires; zero = never. A session is
+  /// "used" when a request resolves it and again when the request
+  /// completes (so a search longer than the TTL cannot expire its own
+  /// session). Expiry is lazy: checked whenever the registry is touched.
+  std::chrono::milliseconds session_ttl{0};
 };
 
+/// Thread-safe, long-lived serving front-end.
+///
+/// Ownership: the service copies registered networks/platforms (callers
+/// may drop theirs) and owns every session it creates. `session_for` hands
+/// out shared_ptrs, so an evicted or expired session stays valid for
+/// whoever still holds it.
+///
+/// Thread-safety: every public member may be called concurrently. Requests
+/// that share a session share its engines; thanks to the engine's
+/// cross-thread in-flight dedup, racing requests never evaluate the same
+/// candidate twice on one session.
 class mapping_service {
  public:
   explicit mapping_service(service_options opt = {});
@@ -65,25 +89,47 @@ class mapping_service {
   /// field. Throws std::invalid_argument on an empty name.
   void register_platform(const soc::platform& plat);
 
-  /// Serves one request synchronously on the calling thread.
+  /// Serves one request synchronously: blocks the calling thread through
+  /// surrogate training (first surrogate request of a session), the GA
+  /// search (including `req.ga.island` sharded searches) and the analytic
+  /// validation of the Pareto picks. Safe to call from any thread; racing
+  /// calls on one session share its memo cache and in-flight runs.
   [[nodiscard]] mapping_report map(const mapping_request& req);
 
-  /// Queues the request on the service worker pool. Exceptions (unknown
-  /// network, surrogate knob mismatch, ...) surface at future::get().
+  /// Queues the request on the service worker pool and returns immediately;
+  /// the future resolves to the same report `map()` would produce.
+  /// Exceptions (unknown network, surrogate knob mismatch, ...) surface at
+  /// future::get().
   [[nodiscard]] std::future<mapping_report> submit(mapping_request req);
 
-  /// The session that serves `req`, created on first use. Throws
-  /// std::invalid_argument for an unregistered network/platform.
+  /// The session that serves `req`, created on first use (and counted as a
+  /// use for TTL/LRU purposes). Throws std::invalid_argument for an
+  /// unregistered network/platform.
   [[nodiscard]] std::shared_ptr<mapping_session> session_for(const mapping_request& req);
 
+  /// Live sessions currently in the registry (evicted/expired excluded).
   [[nodiscard]] std::size_t session_count() const;
   [[nodiscard]] std::vector<std::string> session_keys() const;
+  /// Sessions dropped so far by the LRU cap or the idle TTL.
+  [[nodiscard]] std::size_t sessions_evicted() const;
 
  private:
+  struct session_entry {
+    std::shared_ptr<mapping_session> session;
+    std::chrono::steady_clock::time_point last_used;
+  };
+
   [[nodiscard]] std::string session_key(const mapping_request& req,
                                         const std::string& platform_name,
                                         std::uint64_t network_generation,
                                         std::uint64_t platform_generation) const;
+  /// Drops idle sessions past the TTL. Caller must hold `mu_`.
+  void prune_expired_locked(std::chrono::steady_clock::time_point now);
+  /// Refreshes a session's last-used stamp (no-op if already evicted).
+  void touch_session(const std::string& key);
+  /// Enforces `max_sessions` by evicting LRU entries other than `keep`.
+  /// Caller must hold `mu_`.
+  void enforce_capacity_locked(const std::string& keep);
 
   service_options opt_;
   mutable std::mutex mu_;  ///< guards the three registries + pool creation
@@ -94,7 +140,8 @@ class mapping_service {
   std::unordered_map<std::string, std::uint64_t> network_generations_;
   std::unordered_map<std::string, std::uint64_t> platform_generations_;
   std::string default_platform_;
-  std::unordered_map<std::string, std::shared_ptr<mapping_session>> sessions_;
+  std::unordered_map<std::string, session_entry> sessions_;
+  std::size_t sessions_evicted_ = 0;
   std::unique_ptr<util::thread_pool> pool_;  ///< lazily created on first submit()
 };
 

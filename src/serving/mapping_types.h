@@ -33,10 +33,14 @@ struct mapping_request {
   std::string network;   ///< name passed to `mapping_service::register_network`
   std::string platform;  ///< registered platform name; empty = service default
 
-  /// Search budget/operators; per-request, never keyed. Note `ga.threads`
-  /// does not apply here: evaluation parallelism belongs to the session
-  /// engine, fixed by `service_options::engine.threads` at service
-  /// construction (the knob only drives the engine-less evolve() overload).
+  /// Search budget/operators; per-request, never keyed. `ga.island`
+  /// selects the island-model search (`{islands, migration_interval,
+  /// migrants}`): the population is sharded across K islands that evolve
+  /// concurrently against the session engine — K = 1 is the classic GA,
+  /// bit-identical at equal seeds. Note `ga.threads` does not apply here:
+  /// evaluation parallelism belongs to the session engine, fixed by
+  /// `service_options::engine.threads` at service construction (the knob
+  /// only drives the engine-less evolve() overload).
   core::ga_options ga;
   /// Evaluation knobs; together with (network, platform, ranking_seed,
   /// ratio_levels) these key the session. `eval.predictor` must stay null --
@@ -66,7 +70,8 @@ struct mapping_report {
   std::string platform;
   std::string session_key;  ///< registry key of the session that served this
 
-  core::ga_result search;  ///< raw search output (archive, history, cache)
+  /// Raw search output (archive, history, cache counters, island count).
+  core::ga_result search;
   /// The search's Pareto picks re-evaluated on the analytic model
   /// ("hardware"), index-aligned with `search.pareto`.
   std::vector<core::evaluation> front;

@@ -13,6 +13,18 @@
 //     searches, so repeated requests skip both GBT training and re-runs.
 // Sessions are immutable once created: the key never changes and the first
 // surrogate request locks the training knobs in.
+//
+// Ownership: a session copies nothing per-request — it shares the
+// registered network/platform snapshots with the service (shared_ptr) and
+// owns its evaluators, engines and trained predictor outright. Sessions are
+// handed out as shared_ptr, so one evicted from the service registry (LRU
+// cap or idle TTL) keeps serving whoever still holds it.
+//
+// Thread-safety: every member is safe to call concurrently. The engines do
+// their own striped locking (and cross-thread in-flight dedup, so racing
+// requests never evaluate a candidate twice); the lazy surrogate state is
+// guarded by `surrogate_mu_` — concurrent first-callers block until the one
+// training run finishes.
 
 #include <cstdint>
 #include <memory>
@@ -48,12 +60,15 @@ class mapping_session {
   [[nodiscard]] const core::search_space& space() const noexcept { return space_; }
   [[nodiscard]] std::uint64_t ranking_seed() const noexcept { return ranking_seed_; }
 
-  /// The analytic ("hardware") engine.
+  /// The analytic ("hardware") engine. Never blocks; the reference stays
+  /// valid for the session's lifetime.
   [[nodiscard]] core::evaluation_engine& analytic_engine() noexcept { return analytic_engine_; }
 
-  /// The surrogate engine. The first caller trains the session GBT with
-  /// `bench`/`gbt` (thread-safe; concurrent callers block on the training);
-  /// later callers must pass the same knobs or get std::invalid_argument.
+  /// The surrogate engine. The first caller blocks through benchmark
+  /// generation and GBT training with `bench`/`gbt` (thread-safe;
+  /// concurrent first-callers block on the one training run); later callers
+  /// must pass the same knobs or get std::invalid_argument — sessions are
+  /// immutable, fork one via the evaluator options or ranking seed instead.
   /// `trained_now` (optional out) reports whether this call trained it.
   [[nodiscard]] core::evaluation_engine& surrogate_engine(
       const surrogate::benchmark_options& bench, const surrogate::gbt_params& gbt,

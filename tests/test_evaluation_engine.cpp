@@ -1,9 +1,13 @@
 // Memoizing evaluation-engine tests: hash/equality identity, bit-identical
-// cached results, in-batch dedup, concurrent batch determinism, capacity
-// eviction and GA cache-stat accounting.
+// cached results, in-batch dedup, cross-thread in-flight dedup, async batch
+// futures, concurrent batch determinism, capacity eviction and GA
+// cache-stat accounting.
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <future>
+#include <thread>
 #include <vector>
 
 #include "core/evaluation_engine.h"
@@ -270,6 +274,102 @@ TEST_F(engine_fixture, ga_reports_cache_stats_and_matches_bypass_run) {
   }
   // Pass-through runs the evaluator for every single candidate.
   EXPECT_EQ(without_cache.cache.misses, without_cache.total_evaluations);
+}
+
+TEST_F(engine_fixture, racing_threads_on_one_candidate_run_the_evaluator_once) {
+  // Cross-thread in-flight dedup: however many threads race the same
+  // configuration, exactly one evaluator run happens — every other caller
+  // is a cache hit or joins the in-flight slot. This must hold for any
+  // interleaving, so the accounting below is exact, not probabilistic.
+  evaluation_engine engine{eval};
+  const configuration c = random_configs(1).front();
+  const evaluation direct = eval.evaluate(c);
+
+  constexpr std::size_t n_threads = 4;
+  std::atomic<bool> go{false};
+  std::vector<evaluation> results(n_threads);
+  std::vector<std::thread> threads;
+  threads.reserve(n_threads);
+  for (std::size_t t = 0; t < n_threads; ++t) {
+    threads.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      results[t] = engine.evaluate(c);
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+
+  for (const auto& r : results) expect_identical(r, direct);
+  const auto s = engine.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits + s.inflight, n_threads - 1);
+  EXPECT_EQ(s.lookups(), n_threads);
+  EXPECT_EQ(engine.size(), 1u);
+}
+
+TEST_F(engine_fixture, async_batch_matches_sync_batch_bit_for_bit) {
+  const auto configs = random_configs(24);
+  engine_options opt;
+  opt.threads = 4;
+  evaluation_engine sync_engine{eval, opt};
+  evaluation_engine async_engine{eval, opt};
+
+  const auto expected = sync_engine.evaluate_batch(configs);
+  std::future<std::vector<evaluation>> fut = async_engine.evaluate_batch_async(configs);
+  const auto got = fut.get();
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) expect_identical(got[i], expected[i]);
+  // Same accounting as the sync path: counters are final at submit time.
+  EXPECT_EQ(async_engine.stats().misses, sync_engine.stats().misses);
+  EXPECT_EQ(async_engine.stats().dedup, sync_engine.stats().dedup);
+}
+
+TEST_F(engine_fixture, overlapping_async_batches_share_in_flight_runs) {
+  // Submit the same population twice before resolving either future. The
+  // first submit claims every distinct candidate; the second, planned
+  // synchronously afterwards, must find each one cached or in flight —
+  // never re-running one. Exact for any pool interleaving.
+  const auto configs = random_configs(16, 11);
+  engine_options opt;
+  opt.threads = 2;
+  evaluation_engine engine{eval, opt};
+
+  std::future<std::vector<evaluation>> a = engine.evaluate_batch_async(configs);
+  std::future<std::vector<evaluation>> b = engine.evaluate_batch_async(configs);
+  const auto ra = a.get();
+  const auto rb = b.get();
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) expect_identical(ra[i], rb[i]);
+
+  const auto s = engine.stats();
+  EXPECT_EQ(s.misses, configs.size());  // each distinct candidate ran once
+  EXPECT_EQ(s.hits + s.inflight, configs.size());  // second batch joined or hit
+  EXPECT_EQ(s.lookups(), 2 * configs.size());
+}
+
+TEST_F(engine_fixture, async_batch_without_pool_is_immediately_ready) {
+  evaluation_engine engine{eval};  // threads = 1: inline evaluation
+  const auto configs = random_configs(6, 23);
+  std::future<std::vector<evaluation>> fut = engine.evaluate_batch_async(configs);
+  ASSERT_TRUE(fut.valid());
+  const auto out = fut.get();
+  ASSERT_EQ(out.size(), configs.size());
+  for (std::size_t i = 0; i < out.size(); ++i) expect_identical(out[i], eval.evaluate(configs[i]));
+  EXPECT_EQ(engine.stats().misses, configs.size());
+}
+
+TEST_F(engine_fixture, dropping_an_async_future_still_populates_the_cache) {
+  engine_options opt;
+  opt.threads = 2;
+  evaluation_engine engine{eval, opt};
+  const auto configs = random_configs(8, 31);
+  { auto dropped = engine.evaluate_batch_async(configs); }  // never get()
+  // The enqueued runs complete regardless; a sync pass is then all-cached.
+  const auto out = engine.evaluate_batch(configs);
+  ASSERT_EQ(out.size(), configs.size());
+  const auto s = engine.stats();
+  EXPECT_EQ(s.misses, configs.size());
+  EXPECT_EQ(s.hits + s.inflight, configs.size());
 }
 
 TEST(hashing, combine_is_order_and_length_sensitive) {

@@ -109,6 +109,82 @@ TEST_F(ga_fixture, constrained_run_respects_reuse_cap) {
   for (const auto& e : res.archive) EXPECT_LE(e.fmap_reuse_pct, 50.0 + 1e-6);
 }
 
+// --- island model ----------------------------------------------------------
+
+void expect_same_result(const ga_result& a, const ga_result& b) {
+  ASSERT_EQ(a.archive.size(), b.archive.size());
+  EXPECT_EQ(a.best_index, b.best_index);
+  EXPECT_EQ(a.pareto, b.pareto);
+  for (std::size_t i = 0; i < a.archive.size(); ++i) {
+    EXPECT_TRUE(a.archive[i].config == b.archive[i].config);
+    EXPECT_EQ(a.archive[i].objective, b.archive[i].objective);
+  }
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t g = 0; g < a.history.size(); ++g) {
+    EXPECT_EQ(a.history[g].best_objective, b.history[g].best_objective);
+    EXPECT_EQ(a.history[g].mean_objective, b.history[g].mean_objective);
+    EXPECT_EQ(a.history[g].feasible, b.history[g].feasible);
+  }
+}
+
+TEST_F(ga_fixture, one_island_is_the_classic_ga) {
+  // islands = 1 must take the exact same deterministic path as a default
+  // run: same archive, same trajectory, same Pareto front. (The K = 1
+  // bit-identity against the pre-island implementation is additionally
+  // checked by bench/island_scaling's warm-rerun property.)
+  ga_options explicit_one = tiny_ga(5);
+  explicit_one.island.islands = 1;
+  explicit_one.island.migration_interval = 3;  // irrelevant at K = 1
+  const ga_result a = evolve(space, eval, tiny_ga(5));
+  const ga_result b = evolve(space, eval, explicit_one);
+  EXPECT_EQ(a.islands, 1u);
+  expect_same_result(a, b);
+}
+
+TEST_F(ga_fixture, island_run_is_reproducible_and_well_formed) {
+  ga_options opt = tiny_ga(21);
+  opt.population = 16;  // 4 islands x 4 members
+  opt.island.islands = 4;
+  opt.island.migration_interval = 2;
+  opt.island.migrants = 1;
+
+  const ga_result a = evolve(space, eval, opt);
+  const ga_result b = evolve(space, eval, opt);
+  EXPECT_EQ(a.islands, 4u);
+  expect_same_result(a, b);
+
+  EXPECT_EQ(a.total_evaluations, opt.generations * opt.population);
+  EXPECT_EQ(a.history.size(), opt.generations);
+  EXPECT_EQ(a.cache.lookups(), a.total_evaluations);
+  for (const auto& e : a.archive) EXPECT_TRUE(e.feasible);
+  for (const std::size_t i : a.pareto) EXPECT_LT(i, a.archive.size());
+  for (const auto& e : a.archive) EXPECT_LE(a.best().objective, e.objective);
+}
+
+TEST_F(ga_fixture, islands_share_one_engine_cache) {
+  // A warm engine replays an identical island search purely from cache.
+  ga_options opt = tiny_ga(33);
+  opt.population = 16;
+  opt.island.islands = 2;
+  opt.island.migration_interval = 2;
+
+  core::engine_options eopt;
+  eopt.threads = 4;
+  core::evaluation_engine engine{eval, eopt};
+  const ga_result cold = evolve(space, engine, opt);
+  EXPECT_GT(cold.cache.misses, 0u);
+  const ga_result warm = evolve(space, engine, opt);
+  expect_same_result(cold, warm);
+  EXPECT_EQ(warm.cache.misses, 0u);
+}
+
+TEST_F(ga_fixture, rejects_island_counts_that_starve_islands) {
+  ga_options opt = tiny_ga();
+  opt.population = 12;
+  opt.island.islands = 4;  // 3 members per island: too small to breed
+  EXPECT_THROW((void)evolve(space, eval, opt), std::invalid_argument);
+}
+
 TEST(optimizer, end_to_end_small_run) {
   const auto net = nn::build_simple_cnn();
   const auto plat = soc::agx_xavier();

@@ -5,8 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <future>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "core/serialization.h"
@@ -136,22 +138,89 @@ TEST_F(service_fixture, concurrent_requests_on_one_session_share_the_cache) {
   const std::size_t solo_misses = solo.session_for(req)->analytic_cache_stats().misses;
   ASSERT_GT(solo_misses, 0u);
 
-  // Warm the shared session once, then let two threads hammer it
-  // concurrently. Because they share one memo cache, the combined
-  // evaluator-run count across all three requests stays below two
-  // independent cold runs (the concurrent pair is served from the cache;
-  // racing threads at worst re-run the occasional in-flight candidate).
-  (void)service.map(req);
+  // Two COLD requests race on one fresh session. Thanks to the engine's
+  // cross-thread in-flight dedup, a candidate the first thread is already
+  // evaluating is joined — never re-run — so the combined evaluator-run
+  // count across both racing requests is *exactly* one cold run's worth,
+  // for any interleaving.
   std::future<mapping_report> a = service.submit(req);
   std::future<mapping_report> b = service.submit(req);
   const mapping_report ra = a.get();
   const mapping_report rb = b.get();
   EXPECT_EQ(service.session_count(), 1u);
   const std::size_t shared_misses = service.session_for(req)->analytic_cache_stats().misses;
-  EXPECT_LT(shared_misses, 2u * solo_misses);
+  EXPECT_EQ(shared_misses, solo_misses);
   // Purity: both threads land on the identical result regardless of races.
   expect_same_front(ra, rb);
   expect_same_front(ra, single);
+}
+
+TEST_F(service_fixture, island_requests_flow_through_the_service) {
+  mapping_request req = tiny_request(cnn.name);
+  req.ga.population = 16;
+  req.ga.island.islands = 2;
+  req.ga.island.migration_interval = 2;
+  const mapping_report cold = service.map(req);
+  EXPECT_EQ(cold.search.islands, 2u);
+  EXPECT_FALSE(cold.front.empty());
+  // Island searches are deterministic, so the warm rerun replays from cache.
+  const mapping_report warm = service.map(req);
+  EXPECT_EQ(warm.search_cache.misses, 0u);
+  expect_same_front(cold, warm);
+  // Island knobs are per-request (like the rest of ga_options): both runs
+  // were served by one session.
+  EXPECT_EQ(service.session_count(), 1u);
+}
+
+TEST(service_lifetime, lru_cap_bounds_the_session_registry) {
+  service_options opt;
+  opt.engine.threads = 2;
+  opt.max_sessions = 1;
+  mapping_service service{opt};
+  const nn::network cnn = nn::build_simple_cnn();
+  const nn::network mobile = nn::build_mobilenet_cifar();
+  service.register_network(cnn);
+  service.register_network(mobile);
+  service.register_platform(soc::agx_xavier());
+
+  (void)service.map(tiny_request(cnn.name));
+  EXPECT_EQ(service.session_count(), 1u);
+  EXPECT_EQ(service.sessions_evicted(), 0u);
+
+  // A second tuple evicts the least-recently-used session.
+  (void)service.map(tiny_request(mobile.name));
+  EXPECT_EQ(service.session_count(), 1u);
+  EXPECT_EQ(service.sessions_evicted(), 1u);
+
+  // The evicted tuple comes back cold (fresh session, fresh cache).
+  const mapping_report again = service.map(tiny_request(cnn.name));
+  EXPECT_GT(again.search_cache.misses, 0u);
+  EXPECT_EQ(service.sessions_evicted(), 2u);
+}
+
+TEST(service_lifetime, idle_sessions_expire_after_the_ttl) {
+  service_options opt;
+  opt.engine.threads = 2;
+  opt.session_ttl = std::chrono::milliseconds{250};
+  mapping_service service{opt};
+  const nn::network cnn = nn::build_simple_cnn();
+  service.register_network(cnn);
+  service.register_platform(soc::agx_xavier());
+
+  const mapping_request req = tiny_request(cnn.name);
+  const mapping_report cold = service.map(req);
+  EXPECT_GT(cold.search_cache.misses, 0u);
+
+  // Within the TTL the session is warm...
+  const mapping_report warm = service.map(req);
+  EXPECT_EQ(warm.search_cache.misses, 0u);
+
+  // ...and after sitting idle past it, the tuple is served cold again.
+  std::this_thread::sleep_for(std::chrono::milliseconds{600});
+  const mapping_report expired = service.map(req);
+  EXPECT_GT(expired.search_cache.misses, 0u);
+  EXPECT_GE(service.sessions_evicted(), 1u);
+  expect_same_front(cold, expired);  // determinism survives the round trip
 }
 
 TEST_F(service_fixture, reregistering_a_network_forks_a_fresh_session) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "core/objective.h"
 #include "core/pareto.h"
@@ -129,6 +130,48 @@ TEST(pareto, single_point) {
 
 TEST(pareto, empty_input_empty_front) {
   EXPECT_TRUE(pareto_front({}).empty());
+}
+
+TEST(hypervolume, matches_hand_computed_rectangles) {
+  // One box: [1,2] x [1,2] relative to ref (2,2).
+  EXPECT_DOUBLE_EQ(core::hypervolume({{1.0, 1.0}}, {2.0, 2.0}), 1.0);
+  // Two overlapping boxes: 3 + 3 - 1 (see the union of (1,3) and (3,1)).
+  EXPECT_DOUBLE_EQ(core::hypervolume({{1.0, 3.0}, {3.0, 1.0}}, {4.0, 4.0}), 5.0);
+  // A dominated point adds nothing.
+  EXPECT_DOUBLE_EQ(core::hypervolume({{1.0, 3.0}, {3.0, 1.0}, {3.0, 3.0}}, {4.0, 4.0}), 5.0);
+  // 3-D unit cube corner.
+  EXPECT_DOUBLE_EQ(core::hypervolume({{0.0, 0.0, 0.0}}, {1.0, 1.0, 1.0}), 1.0);
+  // Two disjoint 3-D boxes: 1x1x2 and 1x1x1 stacked along distinct axes.
+  EXPECT_DOUBLE_EQ(
+      core::hypervolume({{0.0, 2.0, 1.0}, {2.0, 0.0, 2.0}}, {3.0, 3.0, 3.0}), 6.0 + 3.0 - 1.0);
+}
+
+TEST(hypervolume, points_outside_the_reference_contribute_nothing) {
+  EXPECT_DOUBLE_EQ(core::hypervolume({{2.0, 2.0}}, {2.0, 2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(core::hypervolume({{5.0, 0.0}}, {2.0, 2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(core::hypervolume({}, {2.0, 2.0}), 0.0);
+}
+
+TEST(hypervolume, rejects_bad_shapes) {
+  EXPECT_THROW((void)core::hypervolume({{1.0, 2.0}}, {}), std::invalid_argument);
+  EXPECT_THROW((void)core::hypervolume({{1.0, 2.0, 3.0}}, {4.0, 4.0}), std::invalid_argument);
+}
+
+TEST(hypervolume, monotone_under_added_points_and_front_sufficient) {
+  util::rng gen{7};
+  std::vector<std::vector<double>> pts;
+  const std::vector<double> ref = {1.0, 1.0, 1.0};
+  double prev = 0.0;
+  for (int i = 0; i < 30; ++i) {
+    pts.push_back({gen.uniform(), gen.uniform(), gen.uniform()});
+    const double hv = core::hypervolume(pts, ref);
+    EXPECT_GE(hv, prev - 1e-12);  // adding a point never shrinks the measure
+    prev = hv;
+  }
+  // The dominated region is fully described by the non-dominated subset.
+  std::vector<std::vector<double>> front_pts;
+  for (const std::size_t i : pareto_front(pts)) front_pts.push_back(pts[i]);
+  EXPECT_NEAR(core::hypervolume(front_pts, ref), prev, 1e-12);
 }
 
 // Property: every front member is pairwise non-dominated; every non-member

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Markdown link check for docs/*.md and README.md (CI docs job).
+#
+# Extracts every inline [text](target) link and verifies that relative
+# targets exist in the repository. External links (http/https/mailto),
+# pure in-page anchors (#...) and targets that resolve outside the repo
+# (e.g. the GitHub-relative CI badge ../../actions/...) are skipped.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+repo_root=$(pwd)
+fail=0
+
+check_file() {
+  local md="$1"
+  local dir
+  dir=$(dirname "$md")
+  # Inline links: capture the (...) target of [...](...) pairs. A file
+  # without links is fine (grep exits 1 on no match).
+  { grep -oE '\[[^]]*\]\([^)]+\)' "$md" || true; } |
+    sed -E 's/^\[[^]]*\]\(([^)]+)\)$/\1/' |
+    while IFS= read -r target; do
+      case "$target" in
+        http://*|https://*|mailto:*) continue ;;
+        '#'*) continue ;;  # in-page anchor
+      esac
+      local path="${target%%#*}"  # strip a trailing anchor
+      [ -z "$path" ] && continue
+      local resolved
+      resolved=$(realpath -m "$dir/$path")
+      case "$resolved" in
+        "$repo_root"/*) ;;
+        *) continue ;;  # escapes the repo (GitHub-relative badge etc.)
+      esac
+      if [ ! -e "$resolved" ]; then
+        echo "BROKEN: $md -> $target"
+        echo 1 > "$tmp_fail"
+      fi
+    done
+}
+
+tmp_fail=$(mktemp)
+trap 'rm -f "$tmp_fail"' EXIT
+
+for md in README.md docs/*.md; do
+  [ -e "$md" ] || continue
+  check_file "$md"
+done
+
+if [ -s "$tmp_fail" ]; then
+  echo "link check FAILED"
+  exit 1
+fi
+echo "link check OK"
