@@ -178,6 +178,11 @@ std::string to_text(const report_summary& summary) {
   os << "platform " << summary.platform << "\n";
   os << "ours_latency " << summary.ours_latency_index << "\n";
   os << "ours_energy " << summary.ours_energy_index << "\n";
+  if (summary.scheduler) {
+    const scheduler_note& n = *summary.scheduler;
+    os << "scheduler " << n.submitted << ' ' << n.admitted << ' ' << n.coalesced << ' '
+       << n.rejected << ' ' << n.expired << ' ' << n.completed << ' ' << n.failed << "\n";
+  }
   os << "entries " << summary.entries.size() << "\n";
   for (const summary_entry& e : summary.entries) {
     os << "entry " << e.label << "\n";
@@ -202,7 +207,27 @@ report_summary report_summary_from_text(const std::string& text) {
   s.platform = read_tail(is, "platform");
   s.ours_latency_index = read_sized(is, "ours_latency");
   s.ours_energy_index = read_sized(is, "ours_energy");
-  const std::size_t n = read_sized(is, "entries");
+
+  // The scheduler line is optional: direct-map() artifacts (and files from
+  // before the scheduler existed) go straight to the entries section.
+  std::string line = next_line(is, "entries");
+  if (line.rfind("scheduler ", 0) == 0) {
+    std::istringstream ls{line};
+    std::string k;
+    scheduler_note note;
+    if (!(ls >> k >> note.submitted >> note.admitted >> note.coalesced >> note.rejected >>
+          note.expired >> note.completed >> note.failed))
+      throw std::runtime_error("report_summary_from_text: bad scheduler line");
+    s.scheduler = note;
+    line = next_line(is, "entries");
+  }
+  std::size_t n = 0;
+  {
+    std::istringstream ls{line};
+    std::string k;
+    if (!(ls >> k >> n) || k != "entries")
+      throw std::runtime_error("serialization: expected entries");
+  }
   if (n == 0) throw std::runtime_error("report_summary_from_text: empty report");
   if (s.ours_latency_index >= n || s.ours_energy_index >= n)
     throw std::runtime_error("report_summary_from_text: pick index out of range");

@@ -9,7 +9,9 @@
 //     and the Ours-L / Ours-E pick indices.
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -41,6 +43,21 @@ struct summary_entry {
   double fmap_reuse_pct = 0.0;
 };
 
+/// Service-level scheduler counters captured with a shipped report (the
+/// plain-counter mirror of serving::scheduler_stats, kept here so core
+/// serialization does not depend on the serving layer). Present only for
+/// reports produced by a scheduled submit(); see
+/// serving::mapping_report::scheduler.
+struct scheduler_note {
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+};
+
 /// Shippable summary of a serving::mapping_report (see
 /// serving::mapping_report::summary()).
 struct report_summary {
@@ -48,6 +65,10 @@ struct report_summary {
   std::string platform;
   std::size_t ours_latency_index = 0;
   std::size_t ours_energy_index = 0;
+  /// Scheduler counters at report time; absent for direct map() reports
+  /// (and for artifacts written before the scheduler existed — the text
+  /// format keeps the line optional for exactly that back-compat).
+  std::optional<scheduler_note> scheduler;
   std::vector<summary_entry> entries;
 };
 

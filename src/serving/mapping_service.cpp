@@ -210,16 +210,42 @@ void mapping_service::touch_session(const std::string& key) {
   if (it != sessions_.end()) it->second.last_used = std::chrono::steady_clock::now();
 }
 
-std::future<mapping_report> mapping_service::submit(mapping_request req) {
+std::string mapping_service::fairness_lane(const mapping_request& req) const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  const std::string plat_name =
+      req.platform.empty() && !default_platform_.empty() ? default_platform_ : req.platform;
+  const auto ngen = network_generations_.find(req.network);
+  const auto pgen = platform_generations_.find(plat_name);
+  return session_key(req, plat_name, ngen == network_generations_.end() ? 0 : ngen->second,
+                     pgen == platform_generations_.end() ? 0 : pgen->second);
+}
+
+request_scheduler& mapping_service::ensure_scheduler() {
+  const std::lock_guard<std::mutex> lock{mu_};
+  if (!scheduler_)
+    scheduler_ = std::make_unique<request_scheduler>(
+        opt_.scheduler, opt_.workers, [this](const mapping_request& r) { return map(r); });
+  return *scheduler_;
+}
+
+std::shared_future<mapping_report> mapping_service::submit(mapping_request req) {
+  request_scheduler& sched = ensure_scheduler();
+  // The fairness lane is the session key the request resolves to (computed
+  // leniently so a doomed request still gets queued and fails in map(),
+  // surfacing its error at future::get() like any other execution error).
+  // Lane + fingerprint also form the coalescing identity: identical
+  // requests share one execution while one is queued or in flight.
+  const std::string lane = fairness_lane(req);
+  const std::string fingerprint = request_fingerprint(req);
+  return sched.submit(lane, fingerprint, std::move(req));
+}
+
+scheduler_stats mapping_service::scheduler() const {
   {
     const std::lock_guard<std::mutex> lock{mu_};
-    if (!pool_) pool_ = std::make_unique<util::thread_pool>(opt_.workers);
+    if (!scheduler_) return {};
   }
-  auto task = std::make_shared<std::packaged_task<mapping_report()>>(
-      [this, req = std::move(req)] { return map(req); });
-  std::future<mapping_report> result = task->get_future();
-  pool_->submit([task] { (*task)(); });
-  return result;
+  return scheduler_->stats();
 }
 
 std::size_t mapping_service::session_count() const {

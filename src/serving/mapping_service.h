@@ -15,6 +15,11 @@
 // memory-bounded: `service_options::max_sessions` caps it with LRU
 // eviction and `service_options::session_ttl` expires idle sessions.
 // See docs/ARCHITECTURE.md for session-key and cache-lifetime semantics.
+//
+// Asynchronous traffic (`submit()`) flows through a `request_scheduler`:
+// a bounded admission queue with weighted round-robin fairness across
+// sessions, coalescing of identical requests, and priority/deadline lanes
+// (`service_options::scheduler`; operator guide in docs/SERVING.md).
 
 #include <chrono>
 #include <cstddef>
@@ -26,8 +31,8 @@
 #include <vector>
 
 #include "serving/mapping_types.h"
+#include "serving/request_scheduler.h"
 #include "serving/session.h"
-#include "util/thread_pool.h"
 
 namespace mapcq::serving {
 
@@ -43,7 +48,13 @@ struct service_options {
   }
 
   core::engine_options engine;  ///< per-session engine tuning
-  std::size_t workers = 2;      ///< async submit() worker threads
+  std::size_t workers = 2;      ///< scheduler dispatch threads serving submit()
+
+  /// Admission/fairness/coalescing knobs of the request scheduler that
+  /// fronts `submit()` (see serving::request_scheduler and docs/SERVING.md).
+  /// The defaults are permissive: unbounded queue, coalescing on, equal
+  /// session weights — production deployments should bound `max_queued`.
+  scheduler_options scheduler;
 
   /// Maximum live sessions; 0 = unbounded. When a new session would exceed
   /// the cap, the least-recently-used session is evicted (its caches and
@@ -96,11 +107,23 @@ class mapping_service {
   /// calls on one session share its memo cache and in-flight runs.
   [[nodiscard]] mapping_report map(const mapping_request& req);
 
-  /// Queues the request on the service worker pool and returns immediately;
-  /// the future resolves to the same report `map()` would produce.
-  /// Exceptions (unknown network, surrogate knob mismatch, ...) surface at
+  /// Admits the request into the service scheduler and returns immediately
+  /// (except under `admission_policy::block` with a full queue, where the
+  /// caller is backpressured until space frees). The future resolves to the
+  /// same report `map()` would produce, stamped with a `scheduler_stats`
+  /// snapshot. A submit identical to a queued or in-flight one joins that
+  /// request's shared_future instead of enqueuing ("coalescing"); requests
+  /// are dispatched highest `req.priority` first, weighted-round-robin
+  /// across sessions within a priority, and dropped if they out-wait
+  /// `req.deadline` in the queue. Exceptions — unknown network, surrogate
+  /// knob mismatch, typed `admission_error` rejections — surface at
   /// future::get().
-  [[nodiscard]] std::future<mapping_report> submit(mapping_request req);
+  [[nodiscard]] std::shared_future<mapping_report> submit(mapping_request req);
+
+  /// Counter/gauge snapshot of the request scheduler (all zero until the
+  /// first submit() creates it). See scheduler_stats for the reconciliation
+  /// invariants.
+  [[nodiscard]] scheduler_stats scheduler() const;
 
   /// The session that serves `req`, created on first use (and counted as a
   /// use for TTL/LRU purposes). Throws std::invalid_argument for an
@@ -123,6 +146,13 @@ class mapping_service {
                                         const std::string& platform_name,
                                         std::uint64_t network_generation,
                                         std::uint64_t platform_generation) const;
+  /// The session key `req` would resolve to, without validating or creating
+  /// anything (unknown names key on generation 0) — the scheduler's
+  /// fairness lane, computable even for requests that will fail in map().
+  [[nodiscard]] std::string fairness_lane(const mapping_request& req) const;
+  /// Lazily constructs the scheduler on first submit(). Caller must NOT
+  /// hold `mu_`.
+  [[nodiscard]] request_scheduler& ensure_scheduler();
   /// Drops idle sessions past the TTL. Caller must hold `mu_`.
   void prune_expired_locked(std::chrono::steady_clock::time_point now);
   /// Refreshes a session's last-used stamp (no-op if already evicted).
@@ -142,7 +172,10 @@ class mapping_service {
   std::string default_platform_;
   std::unordered_map<std::string, session_entry> sessions_;
   std::size_t sessions_evicted_ = 0;
-  std::unique_ptr<util::thread_pool> pool_;  ///< lazily created on first submit()
+  /// Lazily created on first submit(). Declared last so it is destroyed
+  /// first: its destructor joins the dispatch workers, which may be inside
+  /// map() touching the registries above.
+  std::unique_ptr<request_scheduler> scheduler_;
 };
 
 }  // namespace mapcq::serving

@@ -1,8 +1,54 @@
 #include "serving/mapping_types.h"
 
+#include <sstream>
 #include <stdexcept>
 
 namespace mapcq::serving {
+
+std::string request_fingerprint(const mapping_request& req) {
+  // Everything that can change the produced report, spelled out field by
+  // field (floats at full precision). `ga.threads` is excluded (results are
+  // documented thread-count independent) as are priority/deadline.
+  std::ostringstream os;
+  os.precision(17);
+  const core::ga_options& g = req.ga;
+  const core::evaluator_options& e = req.eval;
+  os << "net=" << req.network << "|plat=" << req.platform << "|rank=" << std::hex
+     << req.ranking_seed << std::dec << "|ratios=" << req.ratio_levels;
+  os << "|ga=" << g.generations << "," << g.population << "," << g.elite_fraction << ","
+     << g.crossover_prob << "," << g.ratio_mutation_prob << "," << g.forward_mutation_prob << ","
+     << g.mapping_swap_prob << "," << g.dvfs_mutation_prob << "," << g.accuracy_elites << ","
+     << static_cast<int>(g.selection) << "," << g.seed;
+  os << "|isl=" << g.island.islands << "," << g.island.migration_interval << ","
+     << g.island.migrants << "," << g.island.polish_fraction;
+  // The predictor pointer must key too: a foreign-predictor request is
+  // rejected by map(), and must not coalesce onto a valid request's report.
+  os << "|pred=" << static_cast<const void*>(e.predictor);
+  os << "|eval=" << e.population << "," << e.reorder << "," << e.dynamic_exits << ","
+     << e.count_idle_power << "," << e.model.enable_contention << ","
+     << e.model.bandwidth_contention << "," << e.limits.latency_target_ms << ","
+     << e.limits.energy_target_mj << "," << e.limits.fmap_reuse_cap;
+  os << "|thermal=";
+  if (e.thermal) {
+    os << e.thermal->ambient_c << "," << e.thermal->r_thermal_c_per_w << "," << e.thermal->tau_s
+       << "," << e.thermal->throttle_c;
+  } else {
+    os << "none";
+  }
+  os << "|surr=" << req.use_surrogate;
+  if (req.use_surrogate) {
+    const surrogate::benchmark_options& b = req.bench;
+    const surrogate::gbt_params& t = req.gbt;
+    os << "|bench=" << b.samples << "," << b.noise_stddev << "," << b.seed << ","
+       << b.model.enable_contention << "," << b.model.bandwidth_contention;
+    os << "|gbt=" << t.n_trees << "," << t.learning_rate << "," << t.subsample << "," << t.seed
+       << "," << t.log_target << "," << t.tree.max_depth << "," << t.tree.min_samples_leaf << ","
+       << t.tree.lambda << "," << t.tree.min_gain;
+  }
+  os << "|orient=" << static_cast<int>(req.orientation) << "|slack=" << req.ours_e_accuracy_slack
+     << "," << req.ours_l_accuracy_slack;
+  return os.str();
+}
 
 const core::evaluation& mapping_report::best() const {
   switch (orientation) {
@@ -26,6 +72,17 @@ core::report_summary mapping_report::summary() const {
   s.platform = platform;
   s.ours_latency_index = ours_latency_index;
   s.ours_energy_index = ours_energy_index;
+  if (scheduler) {
+    core::scheduler_note note;
+    note.submitted = scheduler->submitted;
+    note.admitted = scheduler->admitted;
+    note.coalesced = scheduler->coalesced;
+    note.rejected = scheduler->rejected;
+    note.expired = scheduler->expired;
+    note.completed = scheduler->completed;
+    note.failed = scheduler->failed;
+    s.scheduler = note;
+  }
   s.entries.reserve(front.size());
   for (std::size_t i = 0; i < front.size(); ++i) {
     const core::evaluation& e = front[i];

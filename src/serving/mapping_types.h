@@ -6,9 +6,11 @@
 // Table-II picks, the per-phase evaluation-cache deltas and the fidelity of
 // the session surrogate that served the search.
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/evaluation_engine.h"
@@ -62,6 +64,57 @@ struct mapping_request {
   double ours_l_accuracy_slack = 2.50;
 
   std::uint64_t ranking_seed = 0xC0FFEE;  ///< channel-ranking seed (keys the session)
+
+  // --- scheduling-only knobs (submit() path; never keyed, never part of the
+  // --- coalescing fingerprint, ignored by a direct map() call) -------------
+
+  /// Dispatch lane: the scheduler always serves the highest non-empty
+  /// priority before lower ones (fairness applies within a priority).
+  int priority = 0;
+  /// Time the request may spend *queued* before it is dropped with
+  /// `admission_error::reason::deadline_expired`, measured from submit();
+  /// zero = no deadline. Once dispatched a request always runs to
+  /// completion. Coalescing keeps the shared run alive until the *latest*
+  /// deadline of any joined request.
+  std::chrono::milliseconds deadline{0};
+};
+
+/// Canonical identity of a request for service-level coalescing: a string
+/// over every `mapping_request` field that can change the produced
+/// `mapping_report` (network/platform names, GA knobs incl. islands and
+/// seed, evaluator options, surrogate training knobs, orientation, slacks,
+/// ranking seed). Scheduling-only knobs (`priority`, `deadline`) and
+/// `ga.threads` (documented not to affect results) are excluded. Two
+/// submits with equal fingerprints while one is queued or in flight share
+/// one execution and one report.
+///
+/// Maintenance invariant: every new semantic `mapping_request` field must
+/// be added here, or identical-looking requests with different behavior
+/// would coalesce.
+[[nodiscard]] std::string request_fingerprint(const mapping_request& req);
+
+/// Snapshot of the service request scheduler's counters and gauges (see
+/// serving::request_scheduler). Monotonic counters reconcile as
+///   submitted == admitted + coalesced + rejected
+///   admitted  == completed + failed + expired + queued + inflight
+/// where `queued`/`inflight` are point-in-time gauges (both zero once the
+/// scheduler is drained).
+struct scheduler_stats {
+  /// submit() calls whose admission has been decided. A caller currently
+  /// blocked by backpressure is not counted yet — which is what keeps the
+  /// reconciliation exact on *live* snapshots, not just after a drain.
+  std::size_t submitted = 0;
+  std::size_t admitted = 0;   ///< entered the queue as distinct work items
+  std::size_t coalesced = 0;  ///< joined an identical queued/in-flight item
+  std::size_t rejected = 0;   ///< turned away at admission (reject policy)
+  std::size_t expired = 0;    ///< dropped from the queue past their deadline
+  std::size_t completed = 0;  ///< executions that returned a report
+  std::size_t failed = 0;     ///< executions that threw
+  std::size_t queued = 0;     ///< gauge: items waiting for a worker
+  std::size_t inflight = 0;   ///< gauge: items currently executing
+  /// Gauge: executing items per session lane (key = the fairness lane,
+  /// i.e. the session key the request resolves to).
+  std::unordered_map<std::string, std::size_t> inflight_per_session;
 };
 
 /// What a request returns.
@@ -89,6 +142,11 @@ struct mapping_report {
   /// Held-out fidelity of the session surrogate (set when use_surrogate).
   std::optional<surrogate::hw_predictor::fidelity> surrogate_fidelity;
   bool trained_surrogate = false;  ///< true when this request trained the session GBT
+
+  /// Scheduler snapshot taken when this report was produced, set on the
+  /// submit() path only (a direct map() bypasses the scheduler and leaves
+  /// it empty). Coalesced requests share their representative's snapshot.
+  std::optional<scheduler_stats> scheduler;
 
   [[nodiscard]] const core::evaluation& ours_latency() const { return front.at(ours_latency_index); }
   [[nodiscard]] const core::evaluation& ours_energy() const { return front.at(ours_energy_index); }

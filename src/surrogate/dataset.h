@@ -14,7 +14,8 @@
 
 namespace mapcq::surrogate {
 
-/// Supervised regression dataset (row-major features).
+/// Supervised regression dataset (row-major features). Plain value type:
+/// owns its rows, copyable, no thread-affinity — share freely once built.
 struct dataset {
   std::vector<std::vector<double>> x;
   std::vector<double> latency_ms;  ///< measured tau
@@ -29,7 +30,8 @@ struct dataset_split {
   dataset test;
 };
 
-/// Shuffles with `seed` and splits at `train_fraction` in (0,1).
+/// Shuffles with `seed` and splits at `train_fraction` in (0,1). Pure and
+/// deterministic (same seed, same split); copies rows into the result.
 [[nodiscard]] dataset_split split(const dataset& ds, double train_fraction, std::uint64_t seed);
 
 /// Generation options.
@@ -42,6 +44,10 @@ struct benchmark_options {
 
 /// Samples random (layer slice, CU, DVFS, concurrency) combinations from the
 /// networks' layers and labels them with the analytic models + noise.
+/// Deterministic per (nets, plat, opt). Borrows the networks/platform for
+/// the call only. Blocking: runs `opt.samples` analytic evaluations on the
+/// calling thread — this is the expensive half of surrogate training, which
+/// is why serving sessions do it once and reuse the predictor.
 [[nodiscard]] dataset generate_benchmark(const std::vector<const nn::network*>& nets,
                                          const soc::platform& plat,
                                          const benchmark_options& opt = {});

@@ -20,11 +20,15 @@ struct tree_params {
   double min_gain = 1e-9;  ///< minimum split gain
 };
 
-/// A fitted regression tree over fixed-width feature rows.
+/// A fitted regression tree over fixed-width feature rows. Immutable after
+/// construction (thread-safe to share); owns its node array; training
+/// spans are borrowed only inside the constructor, which does all the
+/// work (exact greedy splits over every feature).
 class regression_tree {
  public:
   /// Fits to (x, residuals); every row must have the same width.
-  /// `row_index` selects the subsample of rows to fit on.
+  /// `row_index` selects the subsample of rows to fit on (copied; the
+  /// recursive partitioning permutes its own copy).
   regression_tree(std::span<const std::vector<double>> x, std::span<const double> y,
                   std::span<const std::size_t> row_index, const tree_params& params);
 

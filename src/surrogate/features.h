@@ -38,7 +38,9 @@ inline constexpr std::size_t feature_count = 18;
                                                           std::size_t level,
                                                           std::size_t concurrency);
 
-/// Human-readable feature names (index-aligned with featurize()).
+/// Human-readable feature names (index-aligned with featurize()). Returns
+/// a reference to a function-local static: valid forever, thread-safe to
+/// call (C++ magic-static initialization), never modified after first use.
 [[nodiscard]] const std::vector<std::string>& feature_names();
 
 }  // namespace mapcq::surrogate

@@ -23,13 +23,24 @@ struct gbt_params {
 };
 
 /// A fitted ensemble.
+///
+/// Ownership: owns its trees; training inputs are borrowed only for the
+/// constructor call.
+///
+/// Thread-safety: immutable after construction — all members are const and
+/// callable concurrently.
+///
+/// Blocking: the constructor runs the whole boosting loop (the only
+/// expensive operation); `predict` walks `n_trees` trees and never blocks.
 class gbt_regressor {
  public:
-  /// Fits to rows `x` (equal widths) and targets `y`; throws on empty or
-  /// mismatched input, or non-positive targets with log_target.
+  /// Fits to rows `x` (equal widths) and targets `y`; throws
+  /// std::invalid_argument on empty or mismatched input, or non-positive
+  /// targets with log_target.
   gbt_regressor(std::span<const std::vector<double>> x, std::span<const double> y,
                 const gbt_params& params = {});
 
+  /// Prediction for one feature row (width must match training).
   [[nodiscard]] double predict(std::span<const double> row) const;
 
   /// Batch prediction.

@@ -14,9 +14,23 @@
 namespace mapcq::surrogate {
 
 /// Fitted latency + energy predictor.
+///
+/// Ownership: owns both fitted ensembles outright; the training dataset is
+/// only borrowed during construction. A `core::evaluator_options::predictor`
+/// pointing at an hw_predictor borrows it — the owner (e.g. a serving
+/// session) must keep it alive for the evaluator's lifetime.
+///
+/// Thread-safety: immutable once constructed — every member is const and
+/// safe to call concurrently from any thread (the GA's parallel evaluation
+/// workers all share one predictor).
+///
+/// Blocking: construction trains both GBT ensembles (seconds at paper-scale
+/// benchmark sizes); predictions are tree walks, microseconds, and never
+/// block.
 class hw_predictor {
  public:
-  /// Trains both ensembles on the benchmark dataset.
+  /// Trains both ensembles on the benchmark dataset (blocking; see class
+  /// comment). Throws std::invalid_argument on an empty or ragged dataset.
   hw_predictor(const dataset& train_set, const gbt_params& params = {});
 
   /// Predicted latency (ms) of one sublayer on a CU at a DVFS level.
@@ -27,7 +41,8 @@ class hw_predictor {
   [[nodiscard]] double energy_mj(const perf::sublayer_cost& cost, const soc::compute_unit& cu,
                                  std::size_t level, std::size_t concurrency) const;
 
-  /// Held-out quality metrics.
+  /// Held-out quality metrics (RMSE in target units, MAPE in %, R² in
+  /// [-inf, 1]); see `evaluate`.
   struct fidelity {
     double latency_rmse = 0.0;
     double latency_mape = 0.0;
@@ -36,6 +51,8 @@ class hw_predictor {
     double energy_mape = 0.0;
     double energy_r2 = 0.0;
   };
+  /// Scores both ensembles on a held-out set (pure; `test_set` borrowed
+  /// for the call).
   [[nodiscard]] fidelity evaluate(const dataset& test_set) const;
 
   [[nodiscard]] const gbt_regressor& latency_model() const noexcept { return *latency_; }

@@ -16,22 +16,41 @@ namespace mapcq::util {
 /// escaping a task terminate (tasks are expected to capture their own error
 /// channel). `wait_idle` blocks until the queue is drained and all workers
 /// are idle, which is how a GA generation barrier is implemented.
+///
+/// Ownership: the pool owns its worker threads and the queued tasks; task
+/// closures own (or must outlive-guard) whatever they capture — the pool
+/// never inspects them.
+///
+/// Thread-safety: every public member may be called concurrently from any
+/// thread, including from inside a task (except `wait_idle`, which would
+/// deadlock if a worker waited on itself).
+///
+/// Blocking: `submit` never blocks beyond the queue mutex; `wait_idle` and
+/// `parallel_for` block the caller; the destructor blocks until running
+/// tasks finish (queued-but-unstarted tasks still run first — it drains,
+/// it does not cancel).
 class thread_pool {
  public:
   /// Spawns `threads` workers (at least one).
   explicit thread_pool(std::size_t threads);
+  /// Drains the queue, then joins every worker (see class comment).
   ~thread_pool();
 
   thread_pool(const thread_pool&) = delete;
   thread_pool& operator=(const thread_pool&) = delete;
 
-  /// Enqueues a task for asynchronous execution.
+  /// Enqueues a task for asynchronous execution. Throws
+  /// std::invalid_argument on an empty task and std::runtime_error when the
+  /// pool is already stopping.
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished. Do not call from a
+  /// pool worker (self-deadlock).
   void wait_idle();
 
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// Work-steals via an atomic index, so uneven iteration costs balance
+  /// themselves. Blocks the caller; do not call from a pool worker.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }

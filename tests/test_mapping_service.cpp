@@ -114,12 +114,21 @@ TEST_F(service_fixture, surrogate_trains_once_per_session) {
 }
 
 TEST_F(service_fixture, submit_serves_async_and_propagates_errors) {
-  std::future<mapping_report> pending = service.submit(tiny_request(cnn.name));
+  std::shared_future<mapping_report> pending = service.submit(tiny_request(cnn.name));
   const mapping_report rep = pending.get();
   EXPECT_FALSE(rep.front.empty());
+  // The submit() path rides through the scheduler and says so.
+  ASSERT_TRUE(rep.scheduler.has_value());
+  EXPECT_GE(rep.scheduler->completed, 1u);
 
-  std::future<mapping_report> bogus = service.submit(tiny_request("no-such-network"));
+  // Unknown networks are admitted (the lane is computed leniently) and fail
+  // inside the worker, surfacing at get() like any execution error.
+  std::shared_future<mapping_report> bogus = service.submit(tiny_request("no-such-network"));
   EXPECT_THROW((void)bogus.get(), std::invalid_argument);
+  EXPECT_GE(service.scheduler().failed, 1u);
+
+  // A direct map() bypasses the scheduler and carries no snapshot.
+  EXPECT_FALSE(service.map(tiny_request(cnn.name)).scheduler.has_value());
 }
 
 TEST_F(service_fixture, rejects_unregistered_platform_and_foreign_predictor) {
@@ -138,21 +147,50 @@ TEST_F(service_fixture, concurrent_requests_on_one_session_share_the_cache) {
   const std::size_t solo_misses = solo.session_for(req)->analytic_cache_stats().misses;
   ASSERT_GT(solo_misses, 0u);
 
-  // Two COLD requests race on one fresh session. Thanks to the engine's
+  // Two COLD requests race on one fresh session, with service-level
+  // coalescing disabled so both actually execute. Thanks to the engine's
   // cross-thread in-flight dedup, a candidate the first thread is already
   // evaluating is joined — never re-run — so the combined evaluator-run
   // count across both racing requests is *exactly* one cold run's worth,
   // for any interleaving.
-  std::future<mapping_report> a = service.submit(req);
-  std::future<mapping_report> b = service.submit(req);
+  service_options racing_opt = small_service();
+  racing_opt.scheduler.coalesce = false;
+  mapping_service racing{racing_opt};
+  racing.register_network(cnn);
+  racing.register_platform(plat);
+  std::shared_future<mapping_report> a = racing.submit(req);
+  std::shared_future<mapping_report> b = racing.submit(req);
   const mapping_report ra = a.get();
   const mapping_report rb = b.get();
-  EXPECT_EQ(service.session_count(), 1u);
-  const std::size_t shared_misses = service.session_for(req)->analytic_cache_stats().misses;
+  EXPECT_EQ(racing.session_count(), 1u);
+  EXPECT_EQ(racing.scheduler().coalesced, 0u);
+  EXPECT_EQ(racing.scheduler().completed, 2u);
+  const std::size_t shared_misses = racing.session_for(req)->analytic_cache_stats().misses;
   EXPECT_EQ(shared_misses, solo_misses);
   // Purity: both threads land on the identical result regardless of races.
   expect_same_front(ra, rb);
   expect_same_front(ra, single);
+}
+
+TEST_F(service_fixture, coalesced_submits_share_one_execution) {
+  // Default scheduler: an identical submit joins a queued/in-flight
+  // request. The assertions below hold for any interleaving (even if the
+  // first request finished before the duplicates arrived).
+  const mapping_request req = tiny_request(cnn.name);
+  std::shared_future<mapping_report> a = service.submit(req);
+  std::shared_future<mapping_report> b = service.submit(req);
+  std::shared_future<mapping_report> c = service.submit(req);
+  const mapping_report ra = a.get();
+  const mapping_report rb = b.get();
+  const mapping_report rc = c.get();
+  const serving::scheduler_stats stats = service.scheduler();
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.admitted + stats.coalesced, 3u);
+  EXPECT_EQ(stats.completed, stats.admitted);
+  // However the race went, every future saw the same validated front.
+  expect_same_front(ra, rb);
+  expect_same_front(ra, rc);
+  ASSERT_TRUE(ra.scheduler.has_value());
 }
 
 TEST_F(service_fixture, island_requests_flow_through_the_service) {
@@ -287,6 +325,21 @@ TEST_F(service_fixture, report_summary_roundtrips_through_text) {
   }
 
   EXPECT_THROW((void)core::report_summary_from_text("garbage"), std::runtime_error);
+
+  // The optional scheduler-counter line round-trips too (submit() reports
+  // carry it; the plain map() report above had none).
+  EXPECT_FALSE(summary.scheduler.has_value());
+  core::report_summary with_sched = summary;
+  with_sched.scheduler = core::scheduler_note{7, 4, 2, 1, 1, 3, 0};
+  const core::report_summary back2 = core::report_summary_from_text(core::to_text(with_sched));
+  ASSERT_TRUE(back2.scheduler.has_value());
+  EXPECT_EQ(back2.scheduler->submitted, 7u);
+  EXPECT_EQ(back2.scheduler->admitted, 4u);
+  EXPECT_EQ(back2.scheduler->coalesced, 2u);
+  EXPECT_EQ(back2.scheduler->rejected, 1u);
+  EXPECT_EQ(back2.scheduler->expired, 1u);
+  EXPECT_EQ(back2.scheduler->completed, 3u);
+  EXPECT_EQ(back2.scheduler->failed, 0u);
 }
 
 TEST_F(service_fixture, orientation_selects_the_best_pick) {

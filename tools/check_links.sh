@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# Markdown link check for docs/*.md and README.md (CI docs job).
+# Markdown link check for the documentation pages (CI docs job): README.md
+# plus every *.md under docs/, recursively.
 #
-# Extracts every inline [text](target) link and verifies that relative
-# targets exist in the repository. External links (http/https/mailto),
-# pure in-page anchors (#...) and targets that resolve outside the repo
-# (e.g. the GitHub-relative CI badge ../../actions/...) are skipped.
+# Extracts every inline [text](target) link and every reference-style
+# definition ([label]: target) and verifies that relative targets exist in
+# the repository. External links (http/https/mailto), pure in-page anchors
+# (#...) and targets that resolve outside the repo (e.g. the
+# GitHub-relative CI badge ../../actions/...) are skipped.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -15,10 +17,15 @@ check_file() {
   local md="$1"
   local dir
   dir=$(dirname "$md")
-  # Inline links: capture the (...) target of [...](...) pairs. A file
-  # without links is fine (grep exits 1 on no match).
-  { grep -oE '\[[^]]*\]\([^)]+\)' "$md" || true; } |
-    sed -E 's/^\[[^]]*\]\(([^)]+)\)$/\1/' |
+  # Inline links ([text](target)) and reference-style definitions
+  # ("[label]: target" at line start). A file without links is fine
+  # (grep exits 1 on no match).
+  {
+    { grep -oE '\[[^]]*\]\([^)]+\)' "$md" || true; } |
+      sed -E 's/^\[[^]]*\]\(([^)]+)\)$/\1/'
+    { grep -oE '^\[[^]]+\]:[[:space:]]+[^[:space:]]+' "$md" || true; } |
+      sed -E 's/^\[[^]]+\]:[[:space:]]+//'
+  } |
     while IFS= read -r target; do
       case "$target" in
         http://*|https://*|mailto:*) continue ;;
@@ -42,10 +49,9 @@ check_file() {
 tmp_fail=$(mktemp)
 trap 'rm -f "$tmp_fail"' EXIT
 
-for md in README.md docs/*.md; do
-  [ -e "$md" ] || continue
+while IFS= read -r md; do
   check_file "$md"
-done
+done < <(printf 'README.md\n'; find docs -name '*.md' | sort)
 
 if [ -s "$tmp_fail" ]; then
   echo "link check FAILED"
