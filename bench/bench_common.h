@@ -6,9 +6,13 @@
 // §VI-A). That is the default; override with the environment variables
 // MAPCQ_GENERATIONS / MAPCQ_POPULATION / MAPCQ_THREADS for quick runs.
 
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/baselines.h"
@@ -27,8 +31,10 @@ struct scale {
 
   static scale from_env() {
     scale s;
-    if (const char* g = std::getenv("MAPCQ_GENERATIONS")) s.generations = std::strtoul(g, nullptr, 10);
-    if (const char* p = std::getenv("MAPCQ_POPULATION")) s.population = std::strtoul(p, nullptr, 10);
+    if (const char* g = std::getenv("MAPCQ_GENERATIONS"))
+      s.generations = std::strtoul(g, nullptr, 10);
+    if (const char* p = std::getenv("MAPCQ_POPULATION"))
+      s.population = std::strtoul(p, nullptr, 10);
     if (const char* t = std::getenv("MAPCQ_THREADS")) s.threads = std::strtoul(t, nullptr, 10);
     return s;
   }
@@ -83,5 +89,43 @@ inline std::optional<core::evaluation> pick_constrained(
 }
 
 inline std::string fmt(double v, int d = 2) { return util::table::num(v, d); }
+
+/// Machine-readable metric sink for the CI bench job. When the environment
+/// variable MAPCQ_BENCH_JSON names a file, the destructor appends one
+/// `{"bench": <name>, "metrics": {...}}` object as a single line (JSONL —
+/// tools/compare_bench.py merges the lines into BENCH.json and diffs the
+/// gated metrics against bench/baseline.json). No-op when unset, so
+/// interactive runs never touch the filesystem.
+class json_reporter {
+ public:
+  explicit json_reporter(std::string name) : name_(std::move(name)) {
+    if (const char* p = std::getenv("MAPCQ_BENCH_JSON")) path_ = p;
+  }
+
+  void metric(std::string key, double value) { metrics_.emplace_back(std::move(key), value); }
+
+  ~json_reporter() {
+    if (path_.empty()) return;
+    std::ofstream os{path_, std::ios::app};
+    if (!os) return;
+    os << "{\"bench\":\"" << name_ << "\",\"metrics\":{";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      if (i) os << ',';
+      char buf[64];
+      // Non-finite values have no JSON literal; null keeps the line valid.
+      if (std::isfinite(metrics_[i].second))
+        std::snprintf(buf, sizeof buf, "%.17g", metrics_[i].second);
+      else
+        std::snprintf(buf, sizeof buf, "null");
+      os << '"' << metrics_[i].first << "\":" << buf;
+    }
+    os << "}}\n";
+  }
+
+ private:
+  std::string name_;
+  std::string path_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 }  // namespace mapcq::bench

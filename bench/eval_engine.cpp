@@ -72,6 +72,13 @@ int main() {
           static_cast<double>(std::max<std::size_t>(1, res_memo.cache.misses)),
       identical ? "bit-identical" : "DIVERGED (bug!)");
 
+  bench::json_reporter json{"eval_engine"};
+  json.metric("wall_s_passthrough", bypass_s);
+  json.metric("wall_s_memoizing", memo_s);
+  json.metric("evaluator_runs", static_cast<double>(res_memo.cache.misses));
+  json.metric("cache_hit_rate", res_memo.cache.hit_rate());
+  json.metric("bit_identical", identical ? 1.0 : 0.0);
+
   // Raw batch view: a population where a fraction of the candidates repeat
   // (the steady-state GA shape: elites + recreated offspring).
   std::cout << "--- repeated-population batches (population " << s.population << ") ---\n";

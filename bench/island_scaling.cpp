@@ -197,6 +197,15 @@ int main() {
     }
   }
 
+  bench::json_reporter json{"island_scaling"};
+  for (const run& r : runs) {
+    const std::string prefix = "k" + std::to_string(r.islands) + "_";
+    json.metric(prefix + "evaluator_runs", static_cast<double>(r.evaluator_runs));
+    json.metric(prefix + "wall_s", r.wall_s);
+    json.metric(prefix + "hv_ratio", k1.hv_sum > 0 ? r.hv_sum / k1.hv_sum : 0.0);
+  }
+  json.metric("overall_ok", ok ? 1.0 : 0.0);
+
   std::cout << "\noverall: " << (ok ? "OK" : "FAILED") << "\n";
   return ok ? 0 : 1;
 }

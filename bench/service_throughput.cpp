@@ -15,11 +15,14 @@
 // scheduler_stats snapshot stamped at completion, so `scheduler->completed`
 // is the report's exact 1-based completion position.
 
+#include <chrono>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "bench_common.h"
 #include "nn/models.h"
 #include "serving/mapping_service.h"
 #include "soc/platform.h"
@@ -70,7 +73,8 @@ bool counters_reconcile(const serving::scheduler_stats& s) {
 /// window, and the executions == distinct assertion is deterministic
 /// (without the blocker, a fast machine can finish a request before its
 /// duplicates are even submitted, which is correct but unassertable).
-bool duplicate_heavy(const nn::network& net, const soc::platform& plat, const scale& s) {
+bool duplicate_heavy(const nn::network& net, const soc::platform& plat, const scale& s,
+                     bench::json_reporter& json) {
   std::cout << "--- duplicate-heavy burst (coalescing) ---\n";
   const std::size_t distinct = 6;
   const std::size_t dup = 4;
@@ -126,6 +130,9 @@ bool duplicate_heavy(const nn::network& net, const soc::platform& plat, const sc
       }
     }
   ok &= check(counters_reconcile(st), "counters reconcile");
+  json.metric("dup_executions", static_cast<double>(st.completed - 1));
+  json.metric("dup_coalesced", static_cast<double>(st.coalesced));
+  json.metric("dup_ok", ok ? 1.0 : 0.0);
   std::cout << "\n";
   return ok;
 }
@@ -133,7 +140,8 @@ bool duplicate_heavy(const nn::network& net, const soc::platform& plat, const sc
 /// Scenario (b): one adversarial session floods the queue; three polite
 /// sessions submit a little work each. With a single dispatch worker the
 /// completion ordinals are deterministic, so fairness is a hard assertion.
-bool flood_fairness(const nn::network& net, const soc::platform& plat, const scale& s) {
+bool flood_fairness(const nn::network& net, const soc::platform& plat, const scale& s,
+                    bench::json_reporter& json) {
   std::cout << "--- single-session flood (fairness) ---\n";
   const std::size_t flood_n = 12;
   const std::size_t polite_sessions = 3;
@@ -195,13 +203,17 @@ bool flood_fairness(const nn::network& net, const soc::platform& plat, const sca
   ok &= check(ratio <= 1.5, util::format("per-session completion ratio bounded (%.2f <= 1.5)",
                                          ratio));
   ok &= check(counters_reconcile(service.scheduler()), "counters reconcile");
+  json.metric("flood_polite_worst_completion", static_cast<double>(worst));
+  json.metric("flood_completion_ratio", ratio);
+  json.metric("flood_ok", ok ? 1.0 : 0.0);
   std::cout << "\n";
   return ok;
 }
 
 /// Scenario (c): a bounded queue under the reject policy — overload is
 /// turned away as typed admission_errors instead of piling up.
-bool bounded_rejection(const nn::network& net, const soc::platform& plat, const scale& s) {
+bool bounded_rejection(const nn::network& net, const soc::platform& plat, const scale& s,
+                       bench::json_reporter& json) {
   std::cout << "--- bounded queue (reject policy) ---\n";
   serving::service_options opt;
   opt.engine.threads = s.threads;
@@ -239,6 +251,73 @@ bool bounded_rejection(const nn::network& net, const soc::platform& plat, const 
   ok &= check(served + rejected == burst, "every future resolved");
   ok &= check(st.rejected == rejected && st.completed == served, "stats match observations");
   ok &= check(counters_reconcile(st), "counters reconcile");
+  json.metric("reject_burst_rejected", static_cast<double>(rejected));
+  json.metric("reject_ok", ok ? 1.0 : 0.0);
+  std::cout << "\n";
+  return ok;
+}
+
+/// Nightly soak (MAPCQ_SOAK_REQUESTS > 0): a sustained duplicate-heavy,
+/// multi-priority stream across several session lanes. The point is not a
+/// new scheduling property but *accounting under volume*: every one of the
+/// N futures must resolve with a report and the coalescing/fairness
+/// counters must still reconcile exactly once drained.
+bool soak(const nn::network& net, const soc::platform& plat, const scale& s, std::size_t n,
+          bench::json_reporter& json) {
+  std::cout << "--- soak: " << n << " submits ---\n";
+  serving::service_options opt;
+  opt.engine.threads = s.threads;
+  opt.workers = 4;
+  serving::mapping_service service{opt};
+  service.register_network(net);
+  service.register_platform(plat);
+
+  // Tiny per-request GA: the soak stresses the scheduler and the session
+  // registry, not the search; coalescing and the session caches absorb the
+  // duplicate-heavy stream.
+  scale tiny = s;
+  tiny.generations = std::min<std::size_t>(s.generations, 2);
+  tiny.population = std::min<std::size_t>(s.population, 8);
+
+  const std::size_t sessions = 8;
+  const std::size_t distinct = 24;  // distinct seeds per session lane
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::shared_future<serving::mapping_report>> futures;
+  futures.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t lane = i % sessions;
+    auto req = make_request(net, 1000 + (i / sessions) % distinct, tiny,
+                            1.0 - 0.05 * static_cast<double>(lane));
+    req.priority = static_cast<int>(i % 3);
+    futures.push_back(service.submit(std::move(req)));
+  }
+  std::size_t resolved = 0;
+  std::size_t failed = 0;
+  for (auto& f : futures) {
+    try {
+      (void)f.get();
+      ++resolved;
+    } catch (...) {
+      ++failed;
+    }
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  const serving::scheduler_stats st = service.scheduler();
+  util::table t({"submits", "executions", "coalesced", "failed", "wall (s)"});
+  t.add_row({std::to_string(n), std::to_string(st.completed), std::to_string(st.coalesced),
+             std::to_string(failed), util::format("%.2f", wall_s)});
+  std::cout << t.str();
+
+  bool ok = check(resolved == n && failed == 0, "every soak future resolved with a report");
+  ok &= check(st.submitted == n, "all soak submits counted");
+  ok &= check(counters_reconcile(st), "counters reconcile exactly after the soak");
+  json.metric("soak_requests", static_cast<double>(n));
+  json.metric("soak_executions", static_cast<double>(st.completed));
+  json.metric("soak_coalesced", static_cast<double>(st.coalesced));
+  json.metric("soak_wall_s", wall_s);
+  json.metric("soak_ok", ok ? 1.0 : 0.0);
   std::cout << "\n";
   return ok;
 }
@@ -254,9 +333,12 @@ int main() {
   std::cout << util::format("GA scale: %zu generations x %zu population, %zu engine threads\n\n",
                             s.generations, s.population, s.threads);
 
-  bool ok = duplicate_heavy(net, plat, s);
-  ok &= flood_fairness(net, plat, s);
-  ok &= bounded_rejection(net, plat, s);
+  bench::json_reporter json{"service_throughput"};
+  bool ok = duplicate_heavy(net, plat, s, json);
+  ok &= flood_fairness(net, plat, s, json);
+  ok &= bounded_rejection(net, plat, s, json);
+  if (const std::size_t soak_n = env_or("MAPCQ_SOAK_REQUESTS", 0); soak_n > 0)
+    ok &= soak(net, plat, s, soak_n, json);
 
   std::cout << (ok ? "overall: OK\n" : "overall: FAILED\n");
   return ok ? 0 : 1;

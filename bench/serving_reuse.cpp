@@ -61,6 +61,7 @@ int main() {
                             s.generations, s.population, s.threads);
 
   bool all_ok = true;
+  bench::json_reporter json{"serving_reuse"};
   for (const bool use_surrogate : {false, true}) {
     serving::mapping_request req;
     req.network = tb.visformer.name;
@@ -94,6 +95,13 @@ int main() {
         "evaluator-run reduction: %.1f%% (need >= 50%%) | reports %s\n\n",
         cold_runs == 0 ? 0.0 : 100.0 * (1.0 - static_cast<double>(warm_runs) / cold_runs),
         identical ? "bit-identical" : "DIVERGED (bug!)");
+
+    const std::string prefix = use_surrogate ? "surrogate_" : "analytic_";
+    json.metric(prefix + "cold_runs", static_cast<double>(cold_runs));
+    json.metric(prefix + "warm_runs", static_cast<double>(warm_runs));
+    json.metric(prefix + "cold_wall_s", cold_s);
+    json.metric(prefix + "warm_wall_s", warm_s);
+    json.metric(prefix + "warm_identical", identical ? 1.0 : 0.0);
   }
 
   std::cout << util::format("sessions: %zu | overall: %s\n", service.session_count(),

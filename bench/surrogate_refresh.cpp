@@ -1,0 +1,233 @@
+// Surrogate-refresh acceptance check (the refresh pipeline's bench): a
+// long-lived serving session whose initial GBT was trained on a weak,
+// noisy benchmark accumulates clean analytic ground truth from its own
+// traffic; the refresh pipeline must
+//   (a) DRIFT: retrain and promote a candidate whose held-out Kendall tau
+//       strictly improves on the incumbent's — and keep serving afterwards;
+//   (b) NO-DRIFT: never promote through the gate when the margin is not
+//       genuinely cleared (a strong incumbent plus a steep margin must
+//       yield rejections only);
+//   (c) OFF: with refresh disabled (the default), a warm map() rerun stays
+//       bit-identical to the cold run — the pipeline is invisible until
+//       opted into.
+//
+// Exits non-zero on any failed check. Deterministic: engine threads are
+// pinned to 1 and the pipeline runs synchronously, so log arrival order,
+// reservoir contents and every tau are pure functions of the seeds. Scale
+// via MAPCQ_GENERATIONS / MAPCQ_POPULATION.
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "bench_common.h"
+#include "nn/models.h"
+#include "soc/platform.h"
+
+namespace {
+
+using namespace mapcq;
+
+std::size_t env_or(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::strtoul(v, nullptr, 10) : fallback;
+}
+
+bool check(bool ok, const std::string& what) {
+  std::cout << (ok ? "  [ok]   " : "  [FAIL] ") << what << "\n";
+  return ok;
+}
+
+struct refresh_scale {
+  std::size_t generations = env_or("MAPCQ_GENERATIONS", 4);
+  std::size_t population = env_or("MAPCQ_POPULATION", 12);
+};
+
+serving::mapping_request make_request(const nn::network& net, bool use_surrogate,
+                                      std::uint64_t seed, const refresh_scale& s) {
+  serving::mapping_request req;
+  req.network = net.name;
+  req.use_surrogate = use_surrogate;
+  req.ga.generations = s.generations;
+  req.ga.population = s.population;
+  req.ga.seed = seed;
+  req.gbt.n_trees = 40;
+  return req;
+}
+
+serving::service_options base_options() {
+  serving::service_options opt;
+  opt.engine.threads = 1;  // deterministic log arrival order
+  return opt;
+}
+
+bool drift_scenario(const nn::network& net, const soc::platform& plat, const refresh_scale& s,
+                    bench::json_reporter& json) {
+  std::cout << "--- drift: weak incumbent vs clean ground-truth traffic ---\n";
+  serving::service_options opt = base_options();
+  opt.refresh.enabled = true;
+  opt.refresh.synchronous = true;
+  opt.refresh.min_new_samples = 300;
+  opt.refresh.promotion_margin = 0.0;
+  serving::mapping_service service{opt};
+  service.register_network(net);
+  service.register_platform(plat);
+
+  // Deliberately weak initial surrogate: a tiny benchmark with heavy
+  // measurement noise stands in for a model the workload has drifted away
+  // from.
+  auto train_req = make_request(net, true, 5, s);
+  train_req.bench.samples = 250;
+  train_req.bench.noise_stddev = 0.6;
+  (void)service.map(train_req);
+
+  // Analytic traffic = pure ground truth; every miss feeds the log until
+  // the pipeline promotes.
+  serving::mapping_report last;
+  std::size_t requests = 0;
+  for (std::uint64_t seed = 100; seed < 112; ++seed) {
+    auto analytic = train_req;
+    analytic.use_surrogate = false;
+    analytic.ga.seed = seed;
+    last = service.map(analytic);
+    ++requests;
+    if (last.refresh && last.refresh->promotions > 0) break;
+  }
+
+  bool ok = check(last.refresh.has_value(), "refresh stats present in the report");
+  if (!last.refresh) return false;
+  const auto& rs = *last.refresh;
+  ok &= check(rs.attempts >= 1, "at least one retrain attempt ran");
+  ok &= check(rs.promotions >= 1,
+              util::format("a candidate was promoted (after %zu analytic requests)", requests));
+  ok &= check(rs.promoted_candidate_tau > rs.promoted_incumbent_tau,
+              util::format("held-out Kendall tau strictly improved at promotion (%.4f > %.4f)",
+                           rs.promoted_candidate_tau, rs.promoted_incumbent_tau));
+  ok &= check(rs.epoch == rs.promotions, "predictor epoch tracks promotions");
+
+  // The promoted model keeps serving: the warm surrogate request still
+  // validates a front (its memo cache was epoch-invalidated, not corrupted).
+  const auto after = service.map(train_req);
+  ok &= check(!after.front.empty() && !after.trained_surrogate,
+              "session serves surrogate requests on the promoted model");
+
+  util::table t({"observed rows", "logged", "attempts", "promotions", "tau incumbent",
+                 "tau candidate"});
+  t.add_row({std::to_string(rs.observed), std::to_string(rs.logged),
+             std::to_string(rs.attempts), std::to_string(rs.promotions),
+             util::format("%.4f", rs.promoted_incumbent_tau),
+             util::format("%.4f", rs.promoted_candidate_tau)});
+  std::cout << t.str() << "\n";
+
+  json.metric("drift_incumbent_tau", rs.promoted_incumbent_tau);
+  json.metric("drift_candidate_tau", rs.promoted_candidate_tau);
+  json.metric("drift_promotions", static_cast<double>(rs.promotions));
+  json.metric("drift_attempts", static_cast<double>(rs.attempts));
+  json.metric("drift_ok", ok ? 1.0 : 0.0);
+  return ok;
+}
+
+bool no_drift_scenario(const nn::network& net, const soc::platform& plat,
+                       const refresh_scale& s, bench::json_reporter& json) {
+  std::cout << "--- no drift: strong incumbent, steep gate ---\n";
+  serving::service_options opt = base_options();
+  opt.refresh.enabled = true;
+  opt.refresh.synchronous = true;
+  opt.refresh.min_new_samples = 300;
+  // Taus live in [-1, 1]; with a healthy incumbent a +0.15 held-out gain
+  // is not available from replaying the same distribution, so the gate
+  // must reject every candidate.
+  opt.refresh.promotion_margin = 0.15;
+  serving::mapping_service service{opt};
+  service.register_network(net);
+  service.register_platform(plat);
+
+  auto train_req = make_request(net, true, 5, s);
+  train_req.bench.samples = 2500;
+  train_req.bench.noise_stddev = 0.02;
+  (void)service.map(train_req);
+
+  serving::mapping_report last;
+  for (std::uint64_t seed = 200; seed < 206; ++seed) {
+    auto analytic = train_req;
+    analytic.use_surrogate = false;
+    analytic.ga.seed = seed;
+    last = service.map(analytic);
+  }
+
+  bool ok = check(last.refresh.has_value(), "refresh stats present in the report");
+  if (!last.refresh) return false;
+  const auto& rs = *last.refresh;
+  ok &= check(rs.attempts >= 1, "retrain attempts ran");
+  ok &= check(rs.promotions == 0,
+              util::format("no promotion through the gate (%zu attempts, all rejected)",
+                           rs.attempts));
+  ok &= check(rs.rejections == rs.attempts, "every attempt counted as a rejection");
+  ok &= check(rs.epoch == 0, "predictor generation unchanged");
+  std::cout << "\n";
+
+  json.metric("nodrift_attempts", static_cast<double>(rs.attempts));
+  json.metric("nodrift_promotions", static_cast<double>(rs.promotions));
+  json.metric("nodrift_ok", ok ? 1.0 : 0.0);
+  return ok;
+}
+
+bool disabled_scenario(const nn::network& net, const soc::platform& plat,
+                       const refresh_scale& s, bench::json_reporter& json) {
+  std::cout << "--- refresh disabled (default): warm rerun bit-identical ---\n";
+  serving::mapping_service service{base_options()};  // refresh.enabled = false
+  service.register_network(net);
+  service.register_platform(plat);
+
+  auto req = make_request(net, true, 5, s);
+  req.bench.samples = 400;
+  const auto cold = service.map(req);
+  const auto warm = service.map(req);
+
+  bool identical = cold.front.size() == warm.front.size() &&
+                   cold.ours_latency_index == warm.ours_latency_index &&
+                   cold.ours_energy_index == warm.ours_energy_index;
+  if (identical) {
+    for (std::size_t i = 0; i < cold.front.size(); ++i) {
+      const auto& a = cold.front[i];
+      const auto& b = warm.front[i];
+      identical = identical && a.config == b.config && a.objective == b.objective &&
+                  a.avg_latency_ms == b.avg_latency_ms && a.avg_energy_mj == b.avg_energy_mj &&
+                  a.accuracy_pct == b.accuracy_pct;
+    }
+  }
+  const std::size_t warm_runs = warm.search_cache.misses + warm.validation_cache.misses;
+  bool ok = check(!cold.refresh && !warm.refresh, "no refresh stats surface when disabled");
+  ok &= check(identical, "warm map() report bit-identical to cold");
+  ok &= check(warm_runs == 0, "warm map() cost zero evaluator runs");
+  std::cout << "\n";
+
+  json.metric("disabled_warm_identical", identical ? 1.0 : 0.0);
+  json.metric("disabled_warm_runs", static_cast<double>(warm_runs));
+  json.metric("disabled_ok", ok ? 1.0 : 0.0);
+  return ok;
+}
+
+}  // namespace
+
+int main() {
+  const refresh_scale s;
+  const nn::network net = nn::build_simple_cnn();
+  const soc::platform plat = soc::agx_xavier();
+
+  std::cout << "=== surrogate refresh: online GBT retraining from ground-truth traffic ===\n";
+  std::cout << util::format("GA scale: %zu generations x %zu population, 1 engine thread\n\n",
+                            s.generations, s.population);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  bench::json_reporter json{"surrogate_refresh"};
+  bool ok = drift_scenario(net, plat, s, json);
+  ok &= no_drift_scenario(net, plat, s, json);
+  ok &= disabled_scenario(net, plat, s, json);
+  json.metric("wall_s",
+              std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count());
+
+  std::cout << (ok ? "overall: OK\n" : "overall: FAILED\n");
+  return ok ? 0 : 1;
+}

@@ -19,41 +19,87 @@ std::size_t shard_count(const engine_options& opt) {
 }  // namespace
 
 evaluation_engine::evaluation_engine(const evaluator& eval, engine_options opt)
-    : eval_(&eval), opt_(opt), shard_capacity_(0), shards_(shard_count(opt)) {
+    : opt_(opt), shard_capacity_(0), shards_(shard_count(opt)) {
+  state_ = std::make_shared<const epoch_state>(epoch_state{&eval, 0});
   if (opt_.capacity > 0) shard_capacity_ = opt_.capacity / shards_.size();
   if (opt_.threads > 1) pool_ = std::make_unique<util::thread_pool>(opt_.threads);
 }
 
-bool evaluation_engine::lookup(std::size_t key, const configuration& config, evaluation& out) {
-  shard& s = shard_for(key);
-  const std::lock_guard<std::mutex> lock{s.mu};
-  const auto it = s.map.find(key);
-  if (it == s.map.end()) return false;
-  for (const entry_list::iterator entry : it->second) {
-    if (entry->second.config == config) {
-      if (opt_.eviction == eviction_policy::lru)
-        s.order.splice(s.order.end(), s.order, entry);  // refresh: now hottest
-      out = entry->second;
-      return true;
-    }
-  }
-  return false;
+std::shared_ptr<const evaluation_engine::epoch_state> evaluation_engine::current() const {
+  const std::lock_guard<std::mutex> lock{state_mu_};
+  return state_;
 }
 
-void evaluation_engine::insert(std::size_t key, const evaluation& result) {
+std::uint64_t evaluation_engine::epoch() const { return current()->epoch; }
+
+void evaluation_engine::set_ground_truth_tap(ground_truth_tap tap) {
+  // Unique access excludes every in-flight fire_tap: when this returns, no
+  // thread is inside the previous tap and none can observe it again.
+  const std::unique_lock<std::shared_mutex> lock{tap_mu_};
+  tap_ = std::move(tap);
+}
+
+void evaluation_engine::fire_tap(const configuration& config,
+                                 const evaluation& result) noexcept {
+  const std::shared_lock<std::shared_mutex> lock{tap_mu_};
+  if (!tap_) return;
+  try {
+    tap_(config, result);
+  } catch (...) {
+    // An observer must never fail a successful evaluation; drop it.
+  }
+}
+
+void evaluation_engine::advance_epoch(const evaluator& next) {
+  std::uint64_t fresh = 0;
+  {
+    const std::lock_guard<std::mutex> lock{state_mu_};
+    fresh = state_->epoch + 1;
+    state_ = std::make_shared<const epoch_state>(epoch_state{&next, fresh});
+  }
+  // Purge everything the new epoch can never serve. Old-epoch batches still
+  // in flight may re-insert afterwards; their entries stay tagged stale,
+  // are skipped by every lookup, and fall out on the next advance (or under
+  // capacity eviction). Old in-flight slots are left for their owners to
+  // retire — claim matching is epoch-exact, so nobody new can join them.
+  std::size_t purged = 0;
+  for (shard& s : shards_) {
+    const std::lock_guard<std::mutex> lock{s.mu};
+    for (auto it = s.order.begin(); it != s.order.end();) {
+      if (it->epoch == fresh) {
+        ++it;
+        continue;
+      }
+      auto& bucket = s.map.at(it->key);
+      for (auto e = bucket.begin(); e != bucket.end(); ++e) {
+        if (*e == it) {
+          bucket.erase(e);
+          break;
+        }
+      }
+      if (bucket.empty()) s.map.erase(it->key);
+      it = s.order.erase(it);
+      ++purged;
+    }
+  }
+  invalidated_.fetch_add(purged, std::memory_order_relaxed);
+}
+
+void evaluation_engine::insert(std::size_t key, const evaluation& result,
+                               std::uint64_t epoch) {
   shard& s = shard_for(key);
   const std::lock_guard<std::mutex> lock{s.mu};
   auto& bucket = s.map[key];
   // A concurrent batch may have raced us to the same configuration; keep
   // the first copy so the bucket stays in step with the eviction list.
   for (const entry_list::iterator entry : bucket)
-    if (entry->second.config == result.config) return;
-  s.order.emplace_back(key, result);
+    if (entry->epoch == epoch && entry->value.config == result.config) return;
+  s.order.push_back(cache_entry{key, epoch, result});
   bucket.push_back(std::prev(s.order.end()));
 
   while (shard_capacity_ > 0 && s.order.size() > shard_capacity_) {
     const entry_list::iterator victim = s.order.begin();
-    const auto vit = s.map.find(victim->first);
+    const auto vit = s.map.find(victim->key);
     auto& ventries = vit->second;
     for (auto e = ventries.begin(); e != ventries.end(); ++e) {
       if (*e == victim) {
@@ -68,33 +114,35 @@ void evaluation_engine::insert(std::size_t key, const evaluation& result) {
 }
 
 evaluation_engine::claim evaluation_engine::claim_slot(std::size_t key,
-                                                       const configuration& config) {
+                                                       const configuration& config,
+                                                       std::uint64_t epoch) {
   shard& s = shard_for(key);
   claim c;
   const std::lock_guard<std::mutex> lock{s.mu};
   // 1. Memo table. Holding the shard lock for the whole claim closes the
   // classic stampede window: an owner publishes its result and retires its
   // in-flight slot under this same lock, so "in neither table" can only
-  // mean "never started".
+  // mean "never started". Entries of other epochs are invisible: a
+  // promotion must never serve predictions from a retired model.
   const auto it = s.map.find(key);
   if (it != s.map.end()) {
     for (const entry_list::iterator entry : it->second) {
-      if (entry->second.config == config) {
+      if (entry->epoch == epoch && entry->value.config == config) {
         if (opt_.eviction == eviction_policy::lru)
           s.order.splice(s.order.end(), s.order, entry);
         c.outcome = claim::kind::hit;
-        c.value = entry->second;
+        c.value = entry->value;
         hits_.fetch_add(1, std::memory_order_relaxed);
         return c;
       }
     }
   }
-  // 2. In-flight table: somebody else is evaluating this exact candidate;
-  // join their run instead of starting a second one.
+  // 2. In-flight table: somebody else is evaluating this exact candidate on
+  // this exact model; join their run instead of starting a second one.
   const auto fit = s.inflight.find(key);
   if (fit != s.inflight.end()) {
     for (const inflight_slot& slot : fit->second) {
-      if (slot.config == config) {
+      if (slot.epoch == epoch && slot.config == config) {
         c.outcome = claim::kind::join;
         c.pending = slot.result;
         inflight_.fetch_add(1, std::memory_order_relaxed);
@@ -105,19 +153,20 @@ evaluation_engine::claim evaluation_engine::claim_slot(std::size_t key,
   // 3. Nobody has it: claim ownership and advertise the pending run.
   c.outcome = claim::kind::owner;
   c.pending = c.promise.get_future().share();
-  s.inflight[key].push_back({config, c.pending});
+  s.inflight[key].push_back({config, epoch, c.pending});
   misses_.fetch_add(1, std::memory_order_relaxed);
   return c;
 }
 
-void evaluation_engine::retire_slot(std::size_t key, const configuration& config) {
+void evaluation_engine::retire_slot(std::size_t key, const configuration& config,
+                                    std::uint64_t epoch) {
   shard& s = shard_for(key);
   const std::lock_guard<std::mutex> lock{s.mu};
   const auto fit = s.inflight.find(key);
   if (fit == s.inflight.end()) return;
   auto& slots = fit->second;
   for (auto slot = slots.begin(); slot != slots.end(); ++slot) {
-    if (slot->config == config) {
+    if (slot->epoch == epoch && slot->config == config) {
       slots.erase(slot);
       break;
     }
@@ -126,28 +175,34 @@ void evaluation_engine::retire_slot(std::size_t key, const configuration& config
 }
 
 void evaluation_engine::complete_owner(std::size_t key, const configuration& config,
-                                       std::promise<evaluation>& promise,
+                                       std::uint64_t epoch, std::promise<evaluation>& promise,
                                        const evaluation& result) {
   // Publish before retiring the slot (see claim_slot's invariant: a prober
   // that sees neither table entry knows the run never started).
-  insert(key, result);
-  retire_slot(key, config);
+  insert(key, result, epoch);
+  retire_slot(key, config, epoch);
   promise.set_value(result);
+  // The tap fires after publication, outside every shard lock: joiners are
+  // already unblocked and the observer can take its own locks freely.
+  fire_tap(config, result);
 }
 
 void evaluation_engine::abandon_owner(std::size_t key, const configuration& config,
-                                      std::promise<evaluation>& promise) {
-  retire_slot(key, config);
+                                      std::uint64_t epoch, std::promise<evaluation>& promise) {
+  retire_slot(key, config, epoch);
   promise.set_exception(std::current_exception());
 }
 
 evaluation evaluation_engine::evaluate(const configuration& config) {
+  const std::shared_ptr<const epoch_state> st = current();
   if (!opt_.memoize) {
     misses_.fetch_add(1, std::memory_order_relaxed);
-    return eval_->evaluate(config);
+    const evaluation fresh = st->eval->evaluate(config);
+    fire_tap(config, fresh);
+    return fresh;
   }
   const std::size_t key = config.hash();
-  claim c = claim_slot(key, config);
+  claim c = claim_slot(key, config, st->epoch);
   switch (c.outcome) {
     case claim::kind::hit:
       return c.value;
@@ -157,16 +212,17 @@ evaluation evaluation_engine::evaluate(const configuration& config) {
       break;
   }
   try {
-    const evaluation fresh = eval_->evaluate(config);
-    complete_owner(key, config, c.promise, fresh);
+    const evaluation fresh = st->eval->evaluate(config);
+    complete_owner(key, config, st->epoch, c.promise, fresh);
     return fresh;
   } catch (...) {
-    abandon_owner(key, config, c.promise);
+    abandon_owner(key, config, st->epoch, c.promise);
     throw;
   }
 }
 
 void evaluation_engine::plan_batch(batch_plan& plan) {
+  plan.state = current();
   const std::size_t n = plan.configs.size();
   plan.out.resize(n);
 
@@ -190,7 +246,7 @@ void evaluation_engine::plan_batch(batch_plan& plan) {
     }
     if (merged) continue;
 
-    claim c = claim_slot(key, plan.configs[i]);
+    claim c = claim_slot(key, plan.configs[i], plan.state->epoch);
     if (c.outcome == claim::kind::hit) {
       plan.out[i] = std::move(c.value);
       continue;
@@ -215,14 +271,16 @@ void evaluation_engine::plan_batch(batch_plan& plan) {
 void evaluation_engine::run_owner(batch_plan& plan, std::size_t group_index) {
   batch_plan::group& g = plan.groups[group_index];
   try {
-    const evaluation fresh = eval_->evaluate(plan.configs[g.rep]);
-    complete_owner(g.key, plan.configs[g.rep], g.promise, fresh);
+    // The batch's captured evaluator, not the live one: a concurrent
+    // advance_epoch must not switch models under a half-evaluated batch.
+    const evaluation fresh = plan.state->eval->evaluate(plan.configs[g.rep]);
+    complete_owner(g.key, plan.configs[g.rep], plan.state->epoch, g.promise, fresh);
   } catch (...) {
     // Park the exception in the promise: finish_plan rethrows it on the
     // consuming thread. Unwinding here would escape into a pool worker and
     // std::terminate (thread_pool runs tasks bare), and would leave the
     // remaining owned slots of an inline batch claimed forever.
-    abandon_owner(g.key, plan.configs[g.rep], g.promise);
+    abandon_owner(g.key, plan.configs[g.rep], plan.state->epoch, g.promise);
   }
 }
 
@@ -237,13 +295,15 @@ std::vector<evaluation> evaluation_engine::evaluate_batch(
     std::span<const configuration> configs) {
   const std::size_t n = configs.size();
   if (!opt_.memoize) {
+    const std::shared_ptr<const epoch_state> st = current();
     std::vector<evaluation> out(n);
     misses_.fetch_add(n, std::memory_order_relaxed);
     if (pool_ && n > 1) {
-      pool_->parallel_for(n, [&](std::size_t i) { out[i] = eval_->evaluate(configs[i]); });
+      pool_->parallel_for(n, [&](std::size_t i) { out[i] = st->eval->evaluate(configs[i]); });
     } else {
-      for (std::size_t i = 0; i < n; ++i) out[i] = eval_->evaluate(configs[i]);
+      for (std::size_t i = 0; i < n; ++i) out[i] = st->eval->evaluate(configs[i]);
     }
+    for (std::size_t i = 0; i < n; ++i) fire_tap(configs[i], out[i]);
     return out;
   }
 
@@ -358,6 +418,7 @@ engine_stats evaluation_engine::stats() const noexcept {
   s.dedup = dedup_.load(std::memory_order_relaxed);
   s.inflight = inflight_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.invalidated = invalidated_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -24,10 +24,13 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <future>
 #include <list>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <unordered_map>
 #include <utility>
@@ -69,6 +72,9 @@ struct engine_stats {
   std::size_t dedup = 0;
   std::size_t inflight = 0;
   std::size_t evictions = 0;
+  /// Entries purged because their predictor epoch went stale (see
+  /// `advance_epoch`); distinct from capacity `evictions`.
+  std::size_t invalidated = 0;
 
   [[nodiscard]] std::size_t lookups() const noexcept {
     return hits + misses + dedup + inflight;
@@ -86,14 +92,17 @@ struct engine_stats {
   a.dedup -= b.dedup;
   a.inflight -= b.inflight;
   a.evictions -= b.evictions;
+  a.invalidated -= b.invalidated;
   return a;
 }
 
 /// Thread-safe memoizing front-end of one `evaluator`.
 ///
-/// Ownership: the engine borrows the evaluator (which must outlive it) and
-/// owns its memo table and worker pool. Engines are neither copyable nor
-/// movable; long-lived callers (serving sessions) hold them by reference.
+/// Ownership: the engine borrows the evaluator (and every later one handed
+/// to `advance_epoch`; each must stay alive until no batch planned against
+/// it is in flight — in practice, for the engine's lifetime) and owns its
+/// memo table and worker pool. Engines are neither copyable nor movable;
+/// long-lived callers (serving sessions) hold them by reference.
 ///
 /// Thread-safety: every public member may be called concurrently from any
 /// thread. Results are pure functions of the configuration, so racing
@@ -145,14 +154,49 @@ class evaluation_engine {
   /// Snapshot of the counters (cheap; callers diff snapshots for deltas).
   [[nodiscard]] engine_stats stats() const noexcept;
 
-  /// Number of evaluations currently cached.
+  /// Number of evaluations currently cached (stale-epoch stragglers, which
+  /// can never be served, included until the next advance purges them).
   [[nodiscard]] std::size_t size() const;
 
   /// Drops every cached entry (counters are kept). In-flight evaluations
   /// are unaffected: they complete and re-insert their results.
   void clear();
 
-  [[nodiscard]] const evaluator& base() const noexcept { return *eval_; }
+  /// Observer of every actual evaluator run ("ground truth"): invoked with
+  /// the configuration and its fresh evaluation after the run completes and
+  /// publishes, outside any engine lock. Cache hits, in-batch dedups and
+  /// in-flight joins do NOT fire it — exactly one call per evaluator
+  /// execution. The refresh pipeline hangs off this to learn from
+  /// cache-miss traffic.
+  ///
+  /// The tap must not throw (exceptions are swallowed — an observer must
+  /// never fail a successful evaluation). Passing nullptr uninstalls it and
+  /// BLOCKS until every in-flight invocation has returned, so the owner of
+  /// the tap's captures may destroy them right after.
+  using ground_truth_tap = std::function<void(const configuration&, const evaluation&)>;
+  void set_ground_truth_tap(ground_truth_tap tap);
+
+  /// Atomically swaps the evaluator this engine fronts and bumps the cache
+  /// epoch: entries and in-flight slots of earlier epochs are purged (the
+  /// stragglers that in-flight old-epoch batches re-insert afterwards stay
+  /// tagged stale and are never served — counted in
+  /// `engine_stats::invalidated` when the next advance sweeps them).
+  ///
+  /// Batches already planned keep the evaluator they captured at submit
+  /// time, so in-flight work finishes on the old model while every new
+  /// call sees `next`; this is the predictor-promotion primitive of the
+  /// surrogate refresh pipeline. `next` must outlive every batch planned
+  /// against it — for the old evaluator that means until all in-flight
+  /// batches at swap time have completed (serving sessions retire old
+  /// evaluators into a keep-alive list).
+  void advance_epoch(const evaluator& next);
+
+  /// Current epoch (0 until the first advance). Cached results are only
+  /// served to callers of the same epoch.
+  [[nodiscard]] std::uint64_t epoch() const;
+
+  /// The evaluator behind the *current* epoch.
+  [[nodiscard]] const evaluator& base() const noexcept { return *current()->eval; }
   [[nodiscard]] const engine_options& options() const noexcept { return opt_; }
 
  private:
@@ -160,15 +204,24 @@ class evaluation_engine {
   // the `evaluation::config` stored in each entry. Entries live on the
   // eviction list (coldest at the front); the map indexes them by key. An
   // LRU hit splices its entry to the back, FIFO leaves the order alone.
+  // Every entry and slot is tagged with the epoch that produced it; lookups
+  // and joins only match their caller's epoch, so a promotion can never
+  // serve a stale prediction.
   //
   // The in-flight table shares the shard mutex with the memo table, which
   // gives the dedup protocol its key invariant for free: an owner inserts
   // its result into the cache and retires its in-flight slot under one lock
   // acquisition, so a prober that sees neither (under the same lock) knows
   // the candidate has never been started and can safely claim ownership.
-  using entry_list = std::list<std::pair<std::size_t, evaluation>>;
+  struct cache_entry {
+    std::size_t key = 0;
+    std::uint64_t epoch = 0;
+    evaluation value;
+  };
+  using entry_list = std::list<cache_entry>;
   struct inflight_slot {
     configuration config;
+    std::uint64_t epoch = 0;
     std::shared_future<evaluation> result;
   };
   struct shard {
@@ -188,6 +241,13 @@ class evaluation_engine {
     std::promise<evaluation> promise;  ///< owned by `owner`
   };
 
+  /// Immutable (evaluator, epoch) pair: batches capture one at submit so
+  /// in-flight work keeps its model across an advance_epoch swap.
+  struct epoch_state {
+    const evaluator* eval = nullptr;
+    std::uint64_t epoch = 0;
+  };
+
   /// One batch, planned: every element classified as hit / in-batch dup /
   /// cross-thread join / owned miss, with all counters already bumped.
   struct batch_plan {
@@ -199,6 +259,8 @@ class evaluation_engine {
       std::shared_future<evaluation> pending;  ///< the rep's eventual result
       std::promise<evaluation> promise;        ///< when owner
     };
+    /// The (evaluator, epoch) this whole batch runs against.
+    std::shared_ptr<const epoch_state> state;
     /// Async batches own their configurations here; synchronous batches
     /// leave it empty and `configs` views the caller's span (no copy).
     std::vector<configuration> storage;
@@ -211,20 +273,26 @@ class evaluation_engine {
   [[nodiscard]] shard& shard_for(std::size_t key) noexcept {
     return shards_[key % shards_.size()];
   }
-  bool lookup(std::size_t key, const configuration& config, evaluation& out);
-  void insert(std::size_t key, const evaluation& result);
+  /// The live (evaluator, epoch) snapshot.
+  [[nodiscard]] std::shared_ptr<const epoch_state> current() const;
+  void insert(std::size_t key, const evaluation& result, std::uint64_t epoch);
   /// Cache-or-inflight-or-register, atomically per shard (counters bumped).
-  [[nodiscard]] claim claim_slot(std::size_t key, const configuration& config);
+  /// Only entries/slots of `epoch` match.
+  [[nodiscard]] claim claim_slot(std::size_t key, const configuration& config,
+                                 std::uint64_t epoch);
   /// Removes a claimed in-flight slot (shared by completion and abandon).
-  void retire_slot(std::size_t key, const configuration& config);
+  void retire_slot(std::size_t key, const configuration& config, std::uint64_t epoch);
   /// Owner completion: publishes to the cache, retires the in-flight slot
   /// and fulfills the promise.
-  void complete_owner(std::size_t key, const configuration& config,
+  void complete_owner(std::size_t key, const configuration& config, std::uint64_t epoch,
                       std::promise<evaluation>& promise, const evaluation& result);
   /// Owner failure: retires the slot and propagates the exception to joiners.
-  void abandon_owner(std::size_t key, const configuration& config,
+  void abandon_owner(std::size_t key, const configuration& config, std::uint64_t epoch,
                      std::promise<evaluation>& promise);
-  /// Classifies `plan.configs` (which must already be set) in place.
+  /// Invokes the ground-truth tap, if any (never throws; see the setter).
+  void fire_tap(const configuration& config, const evaluation& result) noexcept;
+  /// Classifies `plan.configs` (which must already be set) in place and
+  /// stamps `plan.state`.
   void plan_batch(batch_plan& plan);
   /// Evaluates one owned group. Never throws: an evaluator exception is
   /// parked in the group's promise (via abandon_owner) so pool workers
@@ -234,10 +302,20 @@ class evaluation_engine {
   /// copies duplicates into place; rethrows the first failed run.
   void finish_plan(batch_plan& plan);
 
-  const evaluator* eval_;
   engine_options opt_;
   std::size_t shard_capacity_;  ///< per-shard entry cap (0 = unbounded)
   std::vector<shard> shards_;
+
+  mutable std::mutex state_mu_;  ///< guards `state_`
+  std::shared_ptr<const epoch_state> state_;
+  /// Tap invocations hold this shared; set_ground_truth_tap takes it
+  /// unique, so uninstalling waits out in-flight observer calls.
+  mutable std::shared_mutex tap_mu_;
+  ground_truth_tap tap_;
+
+  /// Declared after every member its drained tasks touch (shards_, the
+  /// epoch state, the tap): the pool's destructor runs queued evaluations
+  /// to completion, and those publish to the cache and fire the tap.
   std::unique_ptr<util::thread_pool> pool_;  ///< null when threads <= 1
 
   std::atomic<std::size_t> hits_{0};
@@ -245,6 +323,7 @@ class evaluation_engine {
   std::atomic<std::size_t> dedup_{0};
   std::atomic<std::size_t> inflight_{0};
   std::atomic<std::size_t> evictions_{0};
+  std::atomic<std::size_t> invalidated_{0};
 };
 
 }  // namespace mapcq::core

@@ -18,24 +18,10 @@ std::vector<std::int64_t> widths_of(const std::vector<nn::partition_group>& grou
   return w;
 }
 
-/// Number of stages owning any work (must match the executor's notion of
-/// concurrency so surrogate features line up with analytic ones).
-std::size_t active_stages(const perf::stage_plan& plan) {
-  std::size_t n = 0;
-  for (const auto& stage : plan.steps) {
-    for (const auto& step : stage)
-      if (!step.cost.empty()) {
-        ++n;
-        break;
-      }
-  }
-  return std::max<std::size_t>(n, 1);
-}
-
 /// Builds the per-step cost grid from the GBT surrogate.
 perf::step_costs predict_costs(const perf::stage_plan& plan, const soc::platform& plat,
                                const surrogate::hw_predictor& predictor) {
-  const std::size_t concurrency = active_stages(plan);
+  const std::size_t concurrency = plan.active_stages();
   perf::step_costs costs;
   costs.tau_ms.assign(plan.stages(), std::vector<double>(plan.groups(), 0.0));
   costs.energy_mj.assign(plan.stages(), std::vector<double>(plan.groups(), 0.0));
@@ -96,7 +82,8 @@ evaluation evaluator::evaluate(const configuration& config) const {
   // --- hardware simulation (analytic or surrogate) ------------------------
   const perf::execution_result exec =
       opt_.predictor != nullptr
-          ? perf::simulate_costed(*plat_, dyn.plan, predict_costs(dyn.plan, *plat_, *opt_.predictor))
+          ? perf::simulate_costed(*plat_, dyn.plan,
+                                  predict_costs(dyn.plan, *plat_, *opt_.predictor))
           : perf::simulate(*plat_, dyn.plan, opt_.model);
   ev.fmap_traffic_bytes = exec.fmap_traffic_bytes;
 

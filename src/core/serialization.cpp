@@ -183,6 +183,12 @@ std::string to_text(const report_summary& summary) {
     os << "scheduler " << n.submitted << ' ' << n.admitted << ' ' << n.coalesced << ' '
        << n.rejected << ' ' << n.expired << ' ' << n.completed << ' ' << n.failed << "\n";
   }
+  if (summary.refresh) {
+    const refresh_note& n = *summary.refresh;
+    os << "refresh " << n.observed << ' ' << n.logged << ' ' << n.attempts << ' '
+       << n.promotions << ' ' << n.rejections << ' ' << n.epoch << ' ' << n.last_candidate_tau
+       << ' ' << n.last_incumbent_tau << "\n";
+  }
   os << "entries " << summary.entries.size() << "\n";
   for (const summary_entry& e : summary.entries) {
     os << "entry " << e.label << "\n";
@@ -208,8 +214,9 @@ report_summary report_summary_from_text(const std::string& text) {
   s.ours_latency_index = read_sized(is, "ours_latency");
   s.ours_energy_index = read_sized(is, "ours_energy");
 
-  // The scheduler line is optional: direct-map() artifacts (and files from
-  // before the scheduler existed) go straight to the entries section.
+  // The scheduler and refresh lines are optional: direct-map() artifacts
+  // (and files from before either existed) go straight to the entries
+  // section. When both are present the order is scheduler, then refresh.
   std::string line = next_line(is, "entries");
   if (line.rfind("scheduler ", 0) == 0) {
     std::istringstream ls{line};
@@ -219,6 +226,16 @@ report_summary report_summary_from_text(const std::string& text) {
           note.expired >> note.completed >> note.failed))
       throw std::runtime_error("report_summary_from_text: bad scheduler line");
     s.scheduler = note;
+    line = next_line(is, "entries");
+  }
+  if (line.rfind("refresh ", 0) == 0) {
+    std::istringstream ls{line};
+    std::string k;
+    refresh_note note;
+    if (!(ls >> k >> note.observed >> note.logged >> note.attempts >> note.promotions >>
+          note.rejections >> note.epoch >> note.last_candidate_tau >> note.last_incumbent_tau))
+      throw std::runtime_error("report_summary_from_text: bad refresh line");
+    s.refresh = note;
     line = next_line(is, "entries");
   }
   std::size_t n = 0;

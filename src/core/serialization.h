@@ -58,6 +58,22 @@ struct scheduler_note {
   std::uint64_t failed = 0;
 };
 
+/// Surrogate-refresh pipeline counters captured with a shipped report (the
+/// plain-counter mirror of surrogate::refresh_stats, kept here so core
+/// serialization does not depend on the surrogate pipeline). Present only
+/// for sessions running with refresh enabled; see
+/// serving::mapping_report::refresh.
+struct refresh_note {
+  std::uint64_t observed = 0;
+  std::uint64_t logged = 0;
+  std::uint64_t attempts = 0;
+  std::uint64_t promotions = 0;
+  std::uint64_t rejections = 0;
+  std::uint64_t epoch = 0;
+  double last_candidate_tau = 0.0;
+  double last_incumbent_tau = 0.0;
+};
+
 /// Shippable summary of a serving::mapping_report (see
 /// serving::mapping_report::summary()).
 struct report_summary {
@@ -69,6 +85,10 @@ struct report_summary {
   /// (and for artifacts written before the scheduler existed — the text
   /// format keeps the line optional for exactly that back-compat).
   std::optional<scheduler_note> scheduler;
+  /// Refresh-pipeline counters at report time; absent unless the serving
+  /// session runs with surrogate refresh enabled (same optional-line
+  /// back-compat as `scheduler`).
+  std::optional<refresh_note> refresh;
   std::vector<summary_entry> entries;
 };
 

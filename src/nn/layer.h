@@ -85,7 +85,8 @@ struct layer {
 
   /// Arithmetic intensity (FLOPs per byte moved) of the fractional view;
   /// used by the roofline latency model.
-  [[nodiscard]] double arithmetic_intensity(double in_frac = 1.0, double out_frac = 1.0) const noexcept;
+  [[nodiscard]] double arithmetic_intensity(double in_frac = 1.0,
+                                            double out_frac = 1.0) const noexcept;
 };
 
 // --- factories (validate and derive geometry) ----------------------------
@@ -96,7 +97,8 @@ struct layer {
 [[nodiscard]] layer make_depthwise_conv2d(std::string name, tensor_shape input,
                                           std::int64_t kernel, std::int64_t stride,
                                           std::int64_t padding);
-[[nodiscard]] layer make_linear(std::string name, std::int64_t in_features, std::int64_t out_features);
+[[nodiscard]] layer make_linear(std::string name, std::int64_t in_features,
+                                std::int64_t out_features);
 /// Attention over a CHW feature map: embed dim = channels, tokens = H*W.
 [[nodiscard]] layer make_attention(std::string name, tensor_shape input, std::int64_t heads);
 /// Transformer MLP block over a CHW feature map (tokens = H*W).
@@ -105,9 +107,10 @@ struct layer {
 [[nodiscard]] layer make_activation(std::string name, tensor_shape input);
 [[nodiscard]] layer make_pool(std::string name, tensor_shape input, std::int64_t kernel,
                               std::int64_t stride);
-[[nodiscard]] layer make_patch_embed(std::string name, tensor_shape input, std::int64_t out_channels,
-                                     std::int64_t patch);
+[[nodiscard]] layer make_patch_embed(std::string name, tensor_shape input,
+                                     std::int64_t out_channels, std::int64_t patch);
 [[nodiscard]] layer make_global_pool(std::string name, tensor_shape input);
-[[nodiscard]] layer make_classifier(std::string name, std::int64_t in_features, std::int64_t classes);
+[[nodiscard]] layer make_classifier(std::string name, std::int64_t in_features,
+                                    std::int64_t classes);
 
 }  // namespace mapcq::nn

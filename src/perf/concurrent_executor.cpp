@@ -23,20 +23,6 @@ double execution_result::energy_mj(std::size_t instantiated) const {
 
 namespace {
 
-/// Number of stages that execute any work at all (idle stages do not
-/// contend for DRAM).
-std::size_t active_stages(const stage_plan& plan) {
-  std::size_t n = 0;
-  for (const auto& stage : plan.steps) {
-    for (const auto& step : stage)
-      if (!step.cost.empty()) {
-        ++n;
-        break;
-      }
-  }
-  return std::max<std::size_t>(n, 1);
-}
-
 }  // namespace
 
 namespace {
@@ -95,7 +81,9 @@ execution_result run_recurrence(const soc::platform& plat, const stage_plan& pla
 execution_result simulate(const soc::platform& plat, const stage_plan& plan,
                           const model_options& opt) {
   plan.validate(plat.size());
-  const std::size_t concurrency = active_stages(plan);
+  // Idle stages do not contend for DRAM; shared definition so surrogate
+  // query/logged features always agree with the analytic models.
+  const std::size_t concurrency = plan.active_stages();
 
   const auto cu_and_level = [&](std::size_t i) {
     const std::size_t cu_idx = plan.cu_of_stage[i];

@@ -13,6 +13,18 @@ double stage_plan::fmap_traffic_bytes() const noexcept {
   return total;
 }
 
+std::size_t stage_plan::active_stages() const noexcept {
+  std::size_t n = 0;
+  for (const auto& stage : steps) {
+    for (const auto& step : stage)
+      if (!step.cost.empty()) {
+        ++n;
+        break;
+      }
+  }
+  return n == 0 ? 1 : n;
+}
+
 void stage_plan::validate(std::size_t platform_units) const {
   if (steps.empty()) throw std::logic_error("stage_plan: no stages");
   const std::size_t n_groups = steps.front().size();

@@ -64,6 +64,12 @@ struct stage_plan {
   /// Total inter-stage feature traffic in bytes.
   [[nodiscard]] double fmap_traffic_bytes() const noexcept;
 
+  /// Number of stages owning any work, floored at 1: the "concurrency"
+  /// every consumer of per-sublayer costs must agree on (the executor, the
+  /// surrogate's query features and the refresh pipeline's logged features
+  /// all call this — one definition, so they can never diverge).
+  [[nodiscard]] std::size_t active_stages() const noexcept;
+
   /// Throws std::logic_error on ragged steps, duplicate CUs or bad indices.
   void validate(std::size_t platform_units) const;
 };

@@ -153,7 +153,8 @@ std::shared_ptr<mapping_session> mapping_service::session_for(const mapping_requ
     return it->second.session;
   }
   auto session = std::make_shared<mapping_session>(key, net_it->second, plat_it->second, req.eval,
-                                                   req.ratio_levels, req.ranking_seed, opt_.engine);
+                                                   req.ratio_levels, req.ranking_seed, opt_.engine,
+                                                   opt_.refresh);
   sessions_.emplace(key, session_entry{session, now});
   enforce_capacity_locked(key);
   return session;
@@ -191,6 +192,10 @@ mapping_report mapping_service::map(const mapping_request& req) {
   rep.front = validator.evaluate_batch(picks);
   rep.validation_cache = validator.stats() - validation_start;
   if (rep.front.empty()) throw std::runtime_error("mapping_service: empty Pareto set");
+  // Snapshot after validation so the report sees any refresh the request's
+  // own ground-truth traffic just triggered (nullopt unless the session
+  // runs a pipeline).
+  rep.refresh = session->refresh_stats();
 
   rep.ours_energy_index = pick_within_slack(
       rep.front, req.ours_e_accuracy_slack,

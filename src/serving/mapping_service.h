@@ -50,6 +50,13 @@ struct service_options {
   core::engine_options engine;  ///< per-session engine tuning
   std::size_t workers = 2;      ///< scheduler dispatch threads serving submit()
 
+  /// Online surrogate-refresh knobs, applied to every session (see
+  /// surrogate::refresh_options and docs/SERVING.md). Default-off: with
+  /// `refresh.enabled == false` the service is bit-identical to the
+  /// pre-refresh behavior — no ground-truth tap, no background refits, no
+  /// predictor swaps.
+  surrogate::refresh_options refresh;
+
   /// Admission/fairness/coalescing knobs of the request scheduler that
   /// fronts `submit()` (see serving::request_scheduler and docs/SERVING.md).
   /// The defaults are permissive: unbounded queue, coalescing on, equal

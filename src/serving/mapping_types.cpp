@@ -83,6 +83,18 @@ core::report_summary mapping_report::summary() const {
     note.failed = scheduler->failed;
     s.scheduler = note;
   }
+  if (refresh) {
+    core::refresh_note note;
+    note.observed = refresh->observed;
+    note.logged = refresh->logged;
+    note.attempts = refresh->attempts;
+    note.promotions = refresh->promotions;
+    note.rejections = refresh->rejections;
+    note.epoch = refresh->epoch;
+    note.last_candidate_tau = refresh->last_candidate_tau;
+    note.last_incumbent_tau = refresh->last_incumbent_tau;
+    s.refresh = note;
+  }
   s.entries.reserve(front.size());
   for (std::size_t i = 0; i < front.size(); ++i) {
     const core::evaluation& e = front[i];

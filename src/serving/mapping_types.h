@@ -20,6 +20,7 @@
 #include "surrogate/dataset.h"
 #include "surrogate/gbt.h"
 #include "surrogate/predictor.h"
+#include "surrogate/refresh.h"
 
 namespace mapcq::serving {
 
@@ -143,12 +144,19 @@ struct mapping_report {
   std::optional<surrogate::hw_predictor::fidelity> surrogate_fidelity;
   bool trained_surrogate = false;  ///< true when this request trained the session GBT
 
+  /// Refresh-pipeline snapshot of the serving session, present only when
+  /// the session runs with `service_options::refresh.enabled` and its
+  /// surrogate has been trained (the pipeline exists from then on).
+  std::optional<surrogate::refresh_stats> refresh;
+
   /// Scheduler snapshot taken when this report was produced, set on the
   /// submit() path only (a direct map() bypasses the scheduler and leaves
   /// it empty). Coalesced requests share their representative's snapshot.
   std::optional<scheduler_stats> scheduler;
 
-  [[nodiscard]] const core::evaluation& ours_latency() const { return front.at(ours_latency_index); }
+  [[nodiscard]] const core::evaluation& ours_latency() const {
+    return front.at(ours_latency_index);
+  }
   [[nodiscard]] const core::evaluation& ours_energy() const { return front.at(ours_energy_index); }
   /// The single pick selected by `orientation`.
   [[nodiscard]] const core::evaluation& best() const;

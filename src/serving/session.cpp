@@ -1,8 +1,14 @@
 #include "serving/session.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 #include <vector>
+
+#include "core/dynamic_transform.h"
+#include "perf/energy_model.h"
+#include "perf/latency_model.h"
+#include "surrogate/features.h"
 
 namespace mapcq::serving {
 
@@ -32,16 +38,73 @@ bool same_gbt(const surrogate::gbt_params& a, const surrogate::gbt_params& b) {
 mapping_session::mapping_session(std::string key, std::shared_ptr<const nn::network> net,
                                  std::shared_ptr<const soc::platform> plat,
                                  core::evaluator_options eval_opt, int ratio_levels,
-                                 std::uint64_t ranking_seed, core::engine_options engine_opt)
+                                 std::uint64_t ranking_seed, core::engine_options engine_opt,
+                                 surrogate::refresh_options refresh_opt)
     : key_(std::move(key)),
       net_(std::move(net)),
       plat_(std::move(plat)),
       eval_opt_(strip_predictor(std::move(eval_opt))),
       ranking_seed_(ranking_seed),
       engine_opt_(engine_opt),
+      refresh_opt_(refresh_opt),
       space_(*net_, *plat_, ratio_levels),
       analytic_eval_(*net_, *plat_, eval_opt_, ranking_seed_),
       analytic_engine_(analytic_eval_, engine_opt_) {}
+
+mapping_session::~mapping_session() {
+  // Quiesce the ground-truth tap before members destruct: the setter
+  // blocks until in-flight tap invocations return, so after this line no
+  // engine worker can call into the refresh pipeline (whose destructor —
+  // refresh_ is declared last — then drains any pending refit while the
+  // predictors and engines are all still alive).
+  if (refresh_) analytic_engine_.set_ground_truth_tap(nullptr);
+}
+
+surrogate::dataset mapping_session::ground_truth_rows(const core::configuration& config) const {
+  // Re-derive the plan the analytic evaluator just executed and label every
+  // scheduled sublayer with the analytic models directly — no measurement
+  // noise: these are the exact (features -> cost) pairs the surrogate
+  // should have predicted for this candidate. The repeated transform
+  // roughly doubles the cost of an analytic miss while refresh is enabled;
+  // the alternative — carrying the stage_plan inside every `evaluation` —
+  // would bloat each memo-cache entry for a default-off feature, so the
+  // recompute is the deliberate trade (refresh is off by default).
+  const core::dynamic_network dyn =
+      core::transform(*net_, analytic_eval_.groups(), analytic_eval_.ranking(), config, *plat_,
+                      eval_opt_.reorder);
+  const perf::stage_plan& plan = dyn.plan;
+  // Shared definition with the evaluator's surrogate query path, so logged
+  // features line up with the ones the predictor is queried with.
+  const std::size_t concurrency = plan.active_stages();
+  surrogate::dataset rows;
+  for (std::size_t i = 0; i < plan.stages(); ++i) {
+    const soc::compute_unit& cu = plat_->unit(plan.cu_of_stage[i]);
+    const std::size_t level = plan.dvfs_level[plan.cu_of_stage[i]];
+    for (std::size_t j = 0; j < plan.groups(); ++j) {
+      const auto& cost = plan.steps[i][j].cost;
+      if (cost.empty()) continue;
+      const auto feats = surrogate::featurize(cost, cu, level, concurrency);
+      rows.add_row({feats.begin(), feats.end()},
+                   perf::sublayer_latency_ms(cost, cu, level, concurrency, eval_opt_.model),
+                   perf::sublayer_energy_mj(cost, cu, level, concurrency, eval_opt_.model));
+    }
+  }
+  return rows;
+}
+
+void mapping_session::promote(std::shared_ptr<const surrogate::hw_predictor> next) {
+  const std::lock_guard<std::mutex> lock{surrogate_mu_};
+  if (!surrogate_engine_) return;  // cannot happen: the pipeline requires a trained session
+  // Keep the outgoing generation alive: batches planned before the epoch
+  // swap still hold raw pointers into it (engine contract).
+  retired_predictors_.push_back(std::move(predictor_));
+  retired_evals_.push_back(std::move(surrogate_eval_));
+  predictor_ = std::move(next);
+  core::evaluator_options opt = eval_opt_;
+  opt.predictor = predictor_.get();
+  surrogate_eval_ = std::make_unique<core::evaluator>(*net_, *plat_, opt, ranking_seed_);
+  surrogate_engine_->advance_epoch(*surrogate_eval_);
+}
 
 core::evaluation_engine& mapping_session::surrogate_engine(
     const surrogate::benchmark_options& bench, const surrogate::gbt_params& gbt,
@@ -53,8 +116,8 @@ core::evaluation_engine& mapping_session::surrogate_engine(
     // the model and the memo cache.
     const std::vector<const nn::network*> nets = {net_.get()};
     const surrogate::dataset data = surrogate::generate_benchmark(nets, *plat_, bench);
-    const surrogate::dataset_split parts = surrogate::split(data, 0.8, bench.seed ^ 0x5eed);
-    predictor_ = std::make_unique<surrogate::hw_predictor>(parts.train, gbt);
+    surrogate::dataset_split parts = surrogate::split(data, 0.8, bench.seed ^ 0x5eed);
+    predictor_ = std::make_shared<const surrogate::hw_predictor>(parts.train, gbt);
     fidelity_ = predictor_->evaluate(parts.test);
     bench_ = bench;
     gbt_ = gbt;
@@ -62,6 +125,21 @@ core::evaluation_engine& mapping_session::surrogate_engine(
     opt.predictor = predictor_.get();
     surrogate_eval_ = std::make_unique<core::evaluator>(*net_, *plat_, opt, ranking_seed_);
     surrogate_engine_ = std::make_unique<core::evaluation_engine>(*surrogate_eval_, engine_opt_);
+    if (refresh_opt_.enabled) {
+      // The pipeline learns from the *analytic* engine's ground-truth
+      // traffic (cache misses during analytic searches and validation).
+      // Building it before installing the tap, inside this locked section,
+      // is what lets the tap use `refresh_` without taking surrogate_mu_.
+      refresh_ = std::make_unique<surrogate::refresh_pipeline>(
+          refresh_opt_, gbt, std::move(parts.train), predictor_,
+          [this](std::shared_ptr<const surrogate::hw_predictor> cand) {
+            promote(std::move(cand));
+          });
+      analytic_engine_.set_ground_truth_tap(
+          [this](const core::configuration& config, const core::evaluation&) {
+            refresh_->observe(ground_truth_rows(config));
+          });
+    }
     if (trained_now) *trained_now = true;
     return *surrogate_engine_;
   }
@@ -81,6 +159,22 @@ bool mapping_session::surrogate_trained() const {
 std::optional<surrogate::hw_predictor::fidelity> mapping_session::surrogate_fidelity() const {
   const std::lock_guard<std::mutex> lock{surrogate_mu_};
   return fidelity_;
+}
+
+std::optional<surrogate::refresh_stats> mapping_session::refresh_stats() const {
+  const std::lock_guard<std::mutex> lock{surrogate_mu_};
+  if (!refresh_) return std::nullopt;
+  return refresh_->stats();
+}
+
+bool mapping_session::refresh_now() {
+  surrogate::refresh_pipeline* pipeline = nullptr;
+  {
+    // Drop surrogate_mu_ before the attempt: a promotion re-takes it.
+    const std::lock_guard<std::mutex> lock{surrogate_mu_};
+    pipeline = refresh_.get();
+  }
+  return pipeline ? pipeline->refresh_now() : false;
 }
 
 core::engine_stats mapping_session::surrogate_cache_stats() const {

@@ -31,6 +31,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/evaluation_engine.h"
 #include "core/evaluator.h"
@@ -40,16 +41,25 @@
 #include "surrogate/dataset.h"
 #include "surrogate/gbt.h"
 #include "surrogate/predictor.h"
+#include "surrogate/refresh.h"
 
 namespace mapcq::serving {
 
 class mapping_session {
  public:
   /// `eval_opt.predictor` is ignored (forced null); the session installs its
-  /// own predictor into the surrogate evaluator.
+  /// own predictor into the surrogate evaluator. `refresh_opt.enabled`
+  /// turns on the online surrogate-refresh pipeline for this session (see
+  /// surrogate::refresh_pipeline); disabled, the session behaves exactly
+  /// as before the pipeline existed.
   mapping_session(std::string key, std::shared_ptr<const nn::network> net,
                   std::shared_ptr<const soc::platform> plat, core::evaluator_options eval_opt,
-                  int ratio_levels, std::uint64_t ranking_seed, core::engine_options engine_opt);
+                  int ratio_levels, std::uint64_t ranking_seed, core::engine_options engine_opt,
+                  surrogate::refresh_options refresh_opt = {});
+
+  /// Quiesces the ground-truth tap and drains any in-flight refit before
+  /// the engines and predictors tear down.
+  ~mapping_session();
 
   mapping_session(const mapping_session&) = delete;
   mapping_session& operator=(const mapping_session&) = delete;
@@ -75,8 +85,18 @@ class mapping_session {
       bool* trained_now = nullptr);
 
   [[nodiscard]] bool surrogate_trained() const;
-  /// Held-out fidelity of the session GBT; nullopt until trained.
+  /// Held-out fidelity of the *initial* session GBT (the refresh pipeline
+  /// reports promoted models through `refresh_stats`); nullopt until
+  /// trained.
   [[nodiscard]] std::optional<surrogate::hw_predictor::fidelity> surrogate_fidelity() const;
+
+  /// Refresh-pipeline counters; nullopt while no pipeline exists (refresh
+  /// disabled, or the surrogate has not been trained yet).
+  [[nodiscard]] std::optional<surrogate::refresh_stats> refresh_stats() const;
+  /// Forces one refresh attempt now (deterministic driver for tests and
+  /// benches); false when no pipeline exists or the log is empty, else
+  /// whether a candidate was promoted.
+  bool refresh_now();
 
   /// Whole-lifetime counters across every request served by this session.
   [[nodiscard]] core::engine_stats analytic_cache_stats() const noexcept {
@@ -85,12 +105,21 @@ class mapping_session {
   [[nodiscard]] core::engine_stats surrogate_cache_stats() const;
 
  private:
+  /// Refresh promotion target: retires the current predictor/evaluator
+  /// (kept alive for in-flight batches), binds a fresh surrogate evaluator
+  /// to `next` and advances the surrogate engine's cache epoch.
+  void promote(std::shared_ptr<const surrogate::hw_predictor> next);
+  /// Expands one analytically evaluated configuration into per-sublayer
+  /// (features, latency, energy) ground-truth rows for the refresh log.
+  [[nodiscard]] surrogate::dataset ground_truth_rows(const core::configuration& config) const;
+
   std::string key_;
   std::shared_ptr<const nn::network> net_;
   std::shared_ptr<const soc::platform> plat_;
   core::evaluator_options eval_opt_;  ///< predictor forced to nullptr
   std::uint64_t ranking_seed_;
   core::engine_options engine_opt_;
+  surrogate::refresh_options refresh_opt_;
   core::search_space space_;
   core::evaluator analytic_eval_;
   core::evaluation_engine analytic_engine_;
@@ -98,10 +127,24 @@ class mapping_session {
   mutable std::mutex surrogate_mu_;  ///< guards the lazy surrogate members
   surrogate::benchmark_options bench_;
   surrogate::gbt_params gbt_;
-  std::unique_ptr<surrogate::hw_predictor> predictor_;
+  std::shared_ptr<const surrogate::hw_predictor> predictor_;
   std::optional<surrogate::hw_predictor::fidelity> fidelity_;
+  // Retired predictor generations and their evaluators outlive promotion:
+  // batches planned before an epoch swap finish on the old model. Declared
+  // before the engine so they are destroyed after it drains. Memory grows
+  // linearly with promotion count — acceptable because promotions are
+  // gated on genuine held-out improvement (drift events, not a steady
+  // drip); letting engine epoch_states share ownership so a generation
+  // dies with its last in-flight batch is the queued refinement (ROADMAP).
+  std::vector<std::shared_ptr<const surrogate::hw_predictor>> retired_predictors_;
+  std::vector<std::unique_ptr<core::evaluator>> retired_evals_;
   std::unique_ptr<core::evaluator> surrogate_eval_;
   std::unique_ptr<core::evaluation_engine> surrogate_engine_;
+  /// Declared last: destroyed first, draining any in-flight refit while
+  /// the predictors/evaluators/engines above are still alive. Created at
+  /// most once (first surrogate training), before the tap is installed,
+  /// and never reassigned — so the tap may use it without surrogate_mu_.
+  std::unique_ptr<surrogate::refresh_pipeline> refresh_;
 };
 
 }  // namespace mapcq::serving

@@ -1,11 +1,24 @@
 #include "surrogate/dataset.h"
 
 #include <stdexcept>
+#include <utility>
 
 #include "perf/energy_model.h"
 #include "util/rng.h"
 
 namespace mapcq::surrogate {
+
+void dataset::add_row(std::vector<double> row, double lat_ms, double en_mj) {
+  x.push_back(std::move(row));
+  latency_ms.push_back(lat_ms);
+  energy_mj.push_back(en_mj);
+}
+
+void dataset::append(const dataset& other) {
+  x.insert(x.end(), other.x.begin(), other.x.end());
+  latency_ms.insert(latency_ms.end(), other.latency_ms.begin(), other.latency_ms.end());
+  energy_mj.insert(energy_mj.end(), other.energy_mj.begin(), other.energy_mj.end());
+}
 
 dataset_split split(const dataset& ds, double train_fraction, std::uint64_t seed) {
   if (train_fraction <= 0.0 || train_fraction >= 1.0)
@@ -43,8 +56,8 @@ dataset generate_benchmark(const std::vector<const nn::network*>& nets,
   static constexpr double fracs[] = {0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0};
 
   for (std::size_t s = 0; s < opt.samples; ++s) {
-    const nn::network& net =
-        *nets[static_cast<std::size_t>(gen.uniform_int(0, static_cast<std::int64_t>(nets.size()) - 1))];
+    const nn::network& net = *nets[static_cast<std::size_t>(
+        gen.uniform_int(0, static_cast<std::int64_t>(nets.size()) - 1))];
     const nn::layer& l = net.layers[static_cast<std::size_t>(
         gen.uniform_int(0, static_cast<std::int64_t>(net.layers.size()) - 1))];
     const std::size_t cu_idx =

@@ -22,6 +22,13 @@ struct dataset {
   std::vector<double> energy_mj;   ///< measured e
 
   [[nodiscard]] std::size_t size() const noexcept { return x.size(); }
+
+  /// Appends one labeled row.
+  void add_row(std::vector<double> row, double lat_ms, double en_mj);
+
+  /// Appends every row of `other` (copied). The refresh pipeline uses this
+  /// to fold logged ground-truth traffic into the original training set.
+  void append(const dataset& other);
 };
 
 /// Deterministic train/test partition of a dataset.

@@ -1,69 +1,21 @@
 #include "surrogate/gbt.h"
 
 #include <cmath>
-#include <stdexcept>
+#include <utility>
 
-#include "util/rng.h"
-#include "util/stats.h"
+#include "surrogate/trainer.h"
 
 namespace mapcq::surrogate {
 
 gbt_regressor::gbt_regressor(std::span<const std::vector<double>> x, std::span<const double> y,
                              const gbt_params& params)
     : learning_rate_(params.learning_rate), log_target_(params.log_target) {
-  if (x.size() != y.size() || x.empty())
-    throw std::invalid_argument("gbt_regressor: bad training data");
-  if (params.n_trees == 0) throw std::invalid_argument("gbt_regressor: n_trees must be > 0");
-  if (params.subsample <= 0.0 || params.subsample > 1.0)
-    throw std::invalid_argument("gbt_regressor: subsample out of (0,1]");
-
-  const std::size_t n = x.size();
-  std::vector<double> target(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    if (log_target_) {
-      if (y[i] <= 0.0)
-        throw std::invalid_argument("gbt_regressor: non-positive target with log_target");
-      target[i] = std::log(y[i]);
-    } else {
-      target[i] = y[i];
-    }
-  }
-
-  base_ = util::mean(target);
-  std::vector<double> pred(n, base_);
-  std::vector<double> residual(n);
-
-  util::rng gen{params.seed};
-  std::vector<std::size_t> all_rows(n);
-  for (std::size_t i = 0; i < n; ++i) all_rows[i] = i;
-
-  trees_.reserve(params.n_trees);
-  for (std::size_t t = 0; t < params.n_trees; ++t) {
-    for (std::size_t i = 0; i < n; ++i) residual[i] = target[i] - pred[i];
-
-    std::vector<std::size_t> rows;
-    if (params.subsample < 1.0) {
-      rows.reserve(static_cast<std::size_t>(params.subsample * static_cast<double>(n)) + 1);
-      for (std::size_t i = 0; i < n; ++i)
-        if (gen.bernoulli(params.subsample)) rows.push_back(i);
-      if (rows.size() < 2 * params.tree.min_samples_leaf) rows = all_rows;
-    } else {
-      rows = all_rows;
-    }
-
-    trees_.emplace_back(x, residual, rows, params.tree);
-    for (std::size_t i = 0; i < n; ++i)
-      pred[i] += learning_rate_ * trees_.back().predict(x[i]);
-  }
-
-  // Final training error in the original target space.
-  std::vector<double> final_pred(n);
-  std::vector<double> final_truth(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    final_pred[i] = log_target_ ? std::exp(pred[i]) : pred[i];
-    final_truth[i] = y[i];
-  }
-  train_rmse_ = util::rmse(final_pred, final_truth);
+  // The loop itself lives in gbt_trainer (shared with the online refresh
+  // pipeline's candidate refits); this class wraps the fitted parts.
+  fitted_ensemble fitted = gbt_trainer{params}.fit(x, y);
+  trees_ = std::move(fitted.trees);
+  base_ = fitted.base;
+  train_rmse_ = fitted.train_rmse;
 }
 
 double gbt_regressor::predict(std::span<const double> row) const {

@@ -8,10 +8,11 @@ namespace mapcq::surrogate {
 
 hw_predictor::hw_predictor(const dataset& train_set, const gbt_params& params) {
   if (train_set.size() == 0) throw std::invalid_argument("hw_predictor: empty training set");
-  latency_ = std::make_unique<gbt_regressor>(
-      std::span<const std::vector<double>>(train_set.x), std::span<const double>(train_set.latency_ms), params);
-  energy_ = std::make_unique<gbt_regressor>(
-      std::span<const std::vector<double>>(train_set.x), std::span<const double>(train_set.energy_mj), params);
+  latency_ = std::make_unique<gbt_regressor>(std::span<const std::vector<double>>(train_set.x),
+                                             std::span<const double>(train_set.latency_ms),
+                                             params);
+  energy_ = std::make_unique<gbt_regressor>(std::span<const std::vector<double>>(train_set.x),
+                                            std::span<const double>(train_set.energy_mj), params);
 }
 
 double hw_predictor::latency_ms(const perf::sublayer_cost& cost, const soc::compute_unit& cu,

@@ -1,0 +1,194 @@
+#include "surrogate/refresh.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "surrogate/predictor.h"
+
+namespace mapcq::surrogate {
+
+training_log::training_log(std::size_t capacity, std::uint64_t seed)
+    : capacity_(std::max<std::size_t>(1, capacity)), gen_(seed) {}
+
+void training_log::add(std::vector<double> x, double latency_ms, double energy_mj) {
+  ++seen_;
+  if (rows_.size() < capacity_) {
+    rows_.add_row(std::move(x), latency_ms, energy_mj);
+    return;
+  }
+  // Algorithm R: the i-th offered row replaces a uniformly chosen retained
+  // one with probability capacity/i, which keeps the reservoir a uniform
+  // sample of everything seen so far.
+  const auto j = static_cast<std::size_t>(
+      gen_.uniform_int(0, static_cast<std::int64_t>(seen_) - 1));
+  if (j < capacity_) {
+    rows_.x[j] = std::move(x);
+    rows_.latency_ms[j] = latency_ms;
+    rows_.energy_mj[j] = energy_mj;
+  }
+}
+
+refresh_pipeline::refresh_pipeline(refresh_options opt, gbt_params params, dataset base_train,
+                                   std::shared_ptr<const hw_predictor> incumbent,
+                                   promote_callback on_promote)
+    : opt_(opt),
+      params_(params),
+      base_train_(std::move(base_train)),
+      on_promote_(std::move(on_promote)),
+      log_(opt.log_capacity, opt.seed),
+      incumbent_(std::move(incumbent)),
+      last_attempt_(std::chrono::steady_clock::now()) {
+  if (!incumbent_) throw std::invalid_argument("refresh_pipeline: null incumbent");
+  if (base_train_.size() == 0)
+    throw std::invalid_argument("refresh_pipeline: empty base training set");
+  if (opt_.holdout_fraction <= 0.0 || opt_.holdout_fraction >= 1.0)
+    throw std::invalid_argument("refresh_pipeline: holdout_fraction out of (0,1)");
+  if (opt_.promotion_margin < 0.0)
+    throw std::invalid_argument("refresh_pipeline: negative promotion_margin");
+  if (opt_.min_new_samples == 0)
+    throw std::invalid_argument("refresh_pipeline: min_new_samples must be > 0");
+  if (!opt_.synchronous) worker_ = std::make_unique<util::thread_pool>(1);
+}
+
+refresh_pipeline::~refresh_pipeline() {
+  // The worker's destructor drains the queue; a promotion fired from here
+  // still sees every other member alive (worker_ is declared last).
+  worker_.reset();
+}
+
+void refresh_pipeline::observe(const dataset& rows) {
+  if (rows.size() == 0) return;
+  bool trigger = false;
+  dataset snapshot;
+  std::uint64_t index = 0;
+  {
+    const std::lock_guard<std::mutex> lock{mu_};
+    for (std::size_t i = 0; i < rows.size(); ++i)
+      log_.add(rows.x[i], rows.latency_ms[i], rows.energy_mj[i]);
+    new_since_attempt_ += rows.size();
+    const bool interval_open =
+        opt_.interval.count() <= 0 ||
+        std::chrono::steady_clock::now() - last_attempt_ >= opt_.interval;
+    if (!retrain_inflight_ && interval_open && new_since_attempt_ >= opt_.min_new_samples) {
+      trigger = true;
+      retrain_inflight_ = true;
+      new_since_attempt_ = 0;
+      index = ++attempt_counter_;
+      snapshot = log_.rows();  // copy: the refit must not race later adds
+    }
+  }
+  if (!trigger) return;
+  if (!worker_) {
+    attempt(std::move(snapshot), index);
+    return;
+  }
+  // One triggered attempt at a time (retrain_inflight_), so the single
+  // worker never queues more than one refit.
+  auto shared = std::make_shared<dataset>(std::move(snapshot));
+  worker_->submit([this, shared, index] { attempt(std::move(*shared), index); });
+}
+
+bool refresh_pipeline::refresh_now() {
+  drain();
+  dataset snapshot;
+  std::uint64_t index = 0;
+  {
+    const std::lock_guard<std::mutex> lock{mu_};
+    if (retrain_inflight_ || log_.size() == 0) return false;
+    retrain_inflight_ = true;
+    new_since_attempt_ = 0;
+    index = ++attempt_counter_;
+    snapshot = log_.rows();
+  }
+  return attempt(std::move(snapshot), index);
+}
+
+void refresh_pipeline::drain() {
+  if (worker_) worker_->wait_idle();
+}
+
+bool refresh_pipeline::attempt(dataset logged, std::uint64_t attempt_index) {
+  // The held-out slice comes from the *logged* traffic only: rows neither
+  // model has trained on (the incumbent predates them, the candidate fits
+  // on the other side of the split), drawn from the distribution the
+  // session actually serves. Holding out from base+log instead would leak
+  // the incumbent's own training rows into its score and bias the gate
+  // toward keeping it.
+  std::shared_ptr<const hw_predictor> candidate;
+  rank_fidelity cand_fid;
+  rank_fidelity inc_fid;
+  bool promote = false;
+  try {
+    const dataset_split parts =
+        split(logged, 1.0 - opt_.holdout_fraction, opt_.seed ^ (0x9e37 + attempt_index));
+    dataset train = base_train_;
+    train.append(parts.train);
+    candidate = std::make_shared<const hw_predictor>(train, params_);
+    cand_fid = score_predictor(*candidate, parts.test);
+    std::shared_ptr<const hw_predictor> incumbent;
+    {
+      const std::lock_guard<std::mutex> lock{mu_};
+      incumbent = incumbent_;
+    }
+    inc_fid = score_predictor(*incumbent, parts.test);
+    promote = should_promote(cand_fid, inc_fid, opt_.promotion_margin);
+  } catch (...) {
+    // A degenerate refit (e.g. a holdout slice the split could not fill)
+    // counts as a rejected attempt; the incumbent keeps serving.
+    const std::lock_guard<std::mutex> lock{mu_};
+    ++attempts_;
+    ++rejections_;
+    retrain_inflight_ = false;
+    last_attempt_ = std::chrono::steady_clock::now();
+    return false;
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock{mu_};
+    ++attempts_;
+    last_candidate_tau_ = cand_fid.score();
+    last_incumbent_tau_ = inc_fid.score();
+    if (promote) {
+      ++promotions_;
+      incumbent_ = candidate;
+      promoted_candidate_tau_ = cand_fid.score();
+      promoted_incumbent_tau_ = inc_fid.score();
+    } else {
+      ++rejections_;
+      // Rejections release the gate here; promotions hold it through the
+      // owner's install below, so a concurrently triggered attempt can
+      // never race a newer candidate past an older one's pending install.
+      retrain_inflight_ = false;
+    }
+    last_attempt_ = std::chrono::steady_clock::now();
+  }
+  // The owner's swap runs outside `mu_` so it may take its own locks (the
+  // serving session takes its surrogate mutex and the engine's epoch swap)
+  // without ordering against pipeline calls made under those locks.
+  if (promote) {
+    if (on_promote_) on_promote_(candidate);
+    const std::lock_guard<std::mutex> lock{mu_};
+    retrain_inflight_ = false;
+  }
+  return promote;
+}
+
+refresh_stats refresh_pipeline::stats() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  refresh_stats s;
+  s.observed = log_.seen();
+  s.logged = log_.size();
+  s.discarded = log_.discarded();
+  s.attempts = attempts_;
+  s.promotions = promotions_;
+  s.rejections = rejections_;
+  s.epoch = promotions_;
+  s.last_candidate_tau = last_candidate_tau_;
+  s.last_incumbent_tau = last_incumbent_tau_;
+  s.promoted_candidate_tau = promoted_candidate_tau_;
+  s.promoted_incumbent_tau = promoted_incumbent_tau_;
+  return s;
+}
+
+}  // namespace mapcq::surrogate

@@ -1,0 +1,209 @@
+#pragma once
+// Online surrogate-refresh pipeline (ROADMAP: "surrogate-refresh pipeline
+// that retrains the GBT from cache-miss traffic").
+//
+// The paper trains the GBT once and searches against it, but a long-lived
+// serving session sees a stream of analytic ground-truth results — cache
+// misses, validation runs — that the original benchmark never covered. This
+// pipeline accumulates those (features → measured cost) rows in a bounded
+// reservoir log, periodically refits a candidate ensemble on
+// original + logged samples with the same gbt_trainer machinery, scores
+// candidate and incumbent on a held-out slice of the logged traffic (rows
+// neither model trained on), and promotes the candidate only when its
+// held-out rank fidelity (Kendall tau) beats the incumbent by a
+// configurable margin. Promotion is delegated to the owner
+// (a serving session) through a callback, which swaps the predictor under
+// the surrogate engine via the engine's epoch scheme — in-flight batches
+// finish on the old model, new batches see the new one, and epoch-tagged
+// cache entries can never serve stale predictions.
+//
+// cf. ChamNet's predictor refinement and once-for-all-style accuracy
+// predictor training (PAPERS.md): refining a cheap proxy from accumulated
+// true evaluations is the standard accuracy-recovery move in HW-aware NAS.
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "surrogate/dataset.h"
+#include "surrogate/trainer.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace mapcq::surrogate {
+
+/// Refresh tuning knobs (service-wide; see serving::service_options).
+struct refresh_options {
+  /// Master switch. Off (the default) keeps PR 2–4 behavior bit-identical:
+  /// no ground-truth tap, no background work, no predictor swaps.
+  bool enabled = false;
+  /// Maximum rows held in the training log. The log fills to capacity,
+  /// then reservoir-samples (Algorithm R): every ground-truth row ever
+  /// observed has equal probability of being retained, deterministic in
+  /// (seed, arrival order).
+  std::size_t log_capacity = 4096;
+  /// New ground-truth rows that must arrive since the last retrain attempt
+  /// before the next one triggers.
+  std::size_t min_new_samples = 512;
+  /// Minimum spacing between retrain attempts; 0 = count-gated only.
+  std::chrono::milliseconds interval{0};
+  /// Fraction of the *logged* rows held out to score candidate vs
+  /// incumbent (rows neither model trained on, from the distribution the
+  /// session actually serves); in (0, 1).
+  double holdout_fraction = 0.25;
+  /// A candidate is promoted only when its held-out score (mean Kendall
+  /// tau) exceeds the incumbent's by MORE than this. 0 still requires
+  /// strict improvement; negative margins are rejected at construction.
+  double promotion_margin = 0.0;
+  /// Seeds the reservoir and the per-attempt train/holdout shuffles.
+  std::uint64_t seed = 0x5eedf00dULL;
+  /// true = retrain inline inside the observe() call that triggered it
+  /// (deterministic; tests and benches). false = retrain on the pipeline's
+  /// own background worker so serving traffic never waits on a refit.
+  bool synchronous = false;
+};
+
+/// Monotonic pipeline counters (one struct per session; snapshot with
+/// refresh_pipeline::stats()).
+struct refresh_stats {
+  std::size_t observed = 0;   ///< ground-truth rows ever offered to the log
+  std::size_t logged = 0;     ///< rows currently held in the reservoir
+  std::size_t discarded = 0;  ///< rows the full reservoir sampled away
+  std::size_t attempts = 0;   ///< candidate refits completed
+  std::size_t promotions = 0; ///< candidates that beat the gate
+  std::size_t rejections = 0; ///< candidates dropped by the gate
+  /// Predictor generation: 0 = the initial per-session model, +1 per
+  /// promotion (mirrors the surrogate engine's cache epoch).
+  std::uint64_t epoch = 0;
+  /// Held-out mean Kendall tau of the last completed attempt's candidate
+  /// and incumbent (0 until the first attempt). Note the last attempt may
+  /// be a rejection that ran after a promotion — use the promoted_* pair
+  /// to reason about the model actually serving.
+  double last_candidate_tau = 0.0;
+  double last_incumbent_tau = 0.0;
+  /// The same pair captured at the last *promotion* (0 until one happens):
+  /// by the gate's construction, promoted_candidate_tau strictly exceeds
+  /// promoted_incumbent_tau + promotion_margin.
+  double promoted_candidate_tau = 0.0;
+  double promoted_incumbent_tau = 0.0;
+};
+
+/// Bounded ground-truth log: appends until `capacity`, then keeps a
+/// uniform reservoir sample (Algorithm R) of everything ever offered.
+///
+/// Ownership: owns its rows. Thread-safety: NONE — the refresh_pipeline
+/// serializes access under its own mutex; standalone users must do the
+/// same. Determinism: contents are a pure function of (capacity, seed,
+/// arrival order).
+class training_log {
+ public:
+  training_log(std::size_t capacity, std::uint64_t seed);
+
+  /// Offers one labeled row; beyond capacity it replaces a random retained
+  /// row with probability capacity/seen (classic reservoir step).
+  void add(std::vector<double> x, double latency_ms, double energy_mj);
+
+  [[nodiscard]] std::size_t size() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t seen() const noexcept { return seen_; }
+  /// Rows offered but not retained (0 until the reservoir overflows).
+  [[nodiscard]] std::size_t discarded() const noexcept {
+    return seen_ <= rows_.size() ? 0 : seen_ - rows_.size();
+  }
+  [[nodiscard]] const dataset& rows() const noexcept { return rows_; }
+
+ private:
+  std::size_t capacity_;
+  util::rng gen_;
+  std::size_t seen_ = 0;
+  dataset rows_;
+};
+
+/// Per-session refresh driver. See the file comment for the data flow.
+///
+/// Ownership: owns the training log, the base training set copy, every
+/// candidate it fits, and (when asynchronous) a single background worker.
+/// The incumbent is shared (shared_ptr), so the owner and in-flight
+/// scoring can both hold it across a promotion.
+///
+/// Thread-safety: every public member may be called concurrently; the
+/// promotion callback is invoked OUTSIDE the pipeline mutex (owners may
+/// take their own locks in it), from the observe() caller in synchronous
+/// mode or from the background worker otherwise.
+///
+/// Blocking: observe() is O(rows) bookkeeping unless it triggers a
+/// synchronous retrain; refresh_now() and the destructor block through any
+/// in-flight refit.
+class refresh_pipeline {
+ public:
+  /// Invoked on promotion with the new predictor; the owner must install
+  /// it (serving: rebuild the surrogate evaluator + advance_epoch on the
+  /// engine) before returning. Must not call back into the pipeline.
+  using promote_callback = std::function<void(std::shared_ptr<const hw_predictor>)>;
+
+  /// `base_train` is the original benchmark training slice; candidates fit
+  /// on base_train + logged rows. `incumbent` is the session's current
+  /// model. Throws std::invalid_argument on a null incumbent, an empty
+  /// base set, holdout_fraction outside (0,1) or a negative margin.
+  refresh_pipeline(refresh_options opt, gbt_params params, dataset base_train,
+                   std::shared_ptr<const hw_predictor> incumbent,
+                   promote_callback on_promote);
+
+  /// Blocks through any in-flight background refit.
+  ~refresh_pipeline();
+
+  refresh_pipeline(const refresh_pipeline&) = delete;
+  refresh_pipeline& operator=(const refresh_pipeline&) = delete;
+
+  /// Feeds ground-truth rows into the reservoir and, when
+  /// {min_new_samples, interval} gate opens, kicks off one retrain attempt
+  /// (inline when `synchronous`, else on the background worker).
+  void observe(const dataset& rows);
+
+  /// Forces one retrain attempt now, ignoring the trigger gate (any
+  /// background attempt is drained first). Returns true when the candidate
+  /// was promoted; false when the log is still empty, the candidate was
+  /// rejected, or — in synchronous mode — another thread's inline attempt
+  /// is currently running (this call never doubles up on it).
+  bool refresh_now();
+
+  /// Blocks until no retrain attempt is in flight.
+  void drain();
+
+  [[nodiscard]] refresh_stats stats() const;
+  [[nodiscard]] const refresh_options& options() const noexcept { return opt_; }
+
+ private:
+  /// One refit: fit candidate on base+snapshot, score both sides on the
+  /// held-out slice, gate, maybe promote. Runs without holding `mu_`
+  /// except for the bookkeeping sections. Returns true on promotion.
+  bool attempt(dataset logged, std::uint64_t attempt_index);
+
+  refresh_options opt_;
+  gbt_params params_;
+  dataset base_train_;
+  promote_callback on_promote_;
+
+  mutable std::mutex mu_;  ///< guards everything below
+  training_log log_;  ///< also the `observed` counter (log_.seen())
+  std::shared_ptr<const hw_predictor> incumbent_;
+  std::size_t new_since_attempt_ = 0;
+  std::uint64_t attempt_counter_ = 0;  ///< claimed at trigger time (seeds the split)
+  bool retrain_inflight_ = false;
+  std::chrono::steady_clock::time_point last_attempt_;
+  std::size_t attempts_ = 0;
+  std::size_t promotions_ = 0;
+  std::size_t rejections_ = 0;
+  double last_candidate_tau_ = 0.0;
+  double last_incumbent_tau_ = 0.0;
+  double promoted_candidate_tau_ = 0.0;
+  double promoted_incumbent_tau_ = 0.0;
+
+  /// Background worker (null in synchronous mode). Declared last: drained
+  /// first on destruction, while every field above is still alive.
+  std::unique_ptr<util::thread_pool> worker_;
+};
+
+}  // namespace mapcq::surrogate

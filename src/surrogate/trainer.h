@@ -1,0 +1,77 @@
+#pragma once
+// The boosting loop, split out of gbt_regressor so it can be driven by more
+// than the one-shot constructor path: the online refresh pipeline refits
+// candidate ensembles from accumulated ground-truth traffic (see refresh.h)
+// with exactly the machinery the initial per-session training used.
+
+#include <span>
+#include <vector>
+
+#include "surrogate/dataset.h"
+#include "surrogate/decision_tree.h"
+#include "surrogate/gbt.h"
+
+namespace mapcq::surrogate {
+
+class hw_predictor;  // predictor.h; scored, never constructed, here
+
+/// One trained ensemble, as raw parts: what the boosting loop produces and
+/// gbt_regressor wraps. Plain value type; movable, no thread-affinity.
+struct fitted_ensemble {
+  std::vector<regression_tree> trees;
+  double base = 0.0;        ///< initial prediction (mean target)
+  double train_rmse = 0.0;  ///< final training RMSE in the original target space
+};
+
+/// Stateless gradient-boosting trainer over squared loss.
+///
+/// Ownership: borrows the training rows for the duration of `fit` only.
+/// Thread-safety: `fit` is const and reentrant — concurrent fits (e.g. a
+/// background candidate retrain racing a first-time session training) are
+/// safe. Blocking: `fit` runs the whole boosting loop on the calling thread.
+class gbt_trainer {
+ public:
+  explicit gbt_trainer(gbt_params params) : params_(params) {}
+
+  /// Fits one ensemble to rows `x` (equal widths) and targets `y`. Throws
+  /// std::invalid_argument on empty/mismatched input, zero trees, a
+  /// subsample outside (0,1], or non-positive targets under log_target.
+  [[nodiscard]] fitted_ensemble fit(std::span<const std::vector<double>> x,
+                                    std::span<const double> y) const;
+
+  [[nodiscard]] const gbt_params& params() const noexcept { return params_; }
+
+ private:
+  gbt_params params_;
+};
+
+/// Held-out *ranking* fidelity of a predictor — the promotion currency of
+/// the refresh pipeline. The GA consumes the surrogate through selection
+/// and Pareto ranking, so rank correlation (Kendall tau) is what decides
+/// whether a candidate model actually steers the search better; MAE is the
+/// absolute-error tiebreak reported alongside.
+struct rank_fidelity {
+  double latency_tau = 0.0;
+  double energy_tau = 0.0;
+  double latency_mae = 0.0;
+  double energy_mae = 0.0;
+
+  /// Scalar promotion score: mean of the two taus.
+  [[nodiscard]] double score() const noexcept { return 0.5 * (latency_tau + energy_tau); }
+};
+
+/// Scores a predictor's latency/energy heads on a held-out set (pure;
+/// borrows both arguments for the call). Throws on an empty holdout.
+[[nodiscard]] rank_fidelity score_predictor(const hw_predictor& predictor,
+                                            const dataset& holdout);
+
+/// The refresh promotion gate: a candidate replaces the incumbent only when
+/// its held-out score beats the incumbent's by more than `margin` (strict,
+/// so margin 0 still demands genuine improvement). Pure.
+[[nodiscard]] inline bool should_promote(const rank_fidelity& candidate,
+                                         const rank_fidelity& incumbent,
+                                         double margin) noexcept {
+  return candidate.score() > incumbent.score() + margin;
+}
+
+}  // namespace mapcq::surrogate

@@ -82,6 +82,43 @@ double r_squared(std::span<const double> pred, std::span<const double> truth) {
   return 1.0 - ss_res / ss_tot;
 }
 
+double mae(std::span<const double> pred, std::span<const double> truth) {
+  require_paired(pred, truth);
+  double s = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) s += std::abs(pred[i] - truth[i]);
+  return s / static_cast<double>(pred.size());
+}
+
+double kendall_tau(std::span<const double> pred, std::span<const double> truth) {
+  require_paired(pred, truth);
+  const std::size_t n = pred.size();
+  if (n < 2) return 0.0;
+  std::int64_t concordant = 0;
+  std::int64_t discordant = 0;
+  std::int64_t ties_pred = 0;   // tied in pred only
+  std::int64_t ties_truth = 0;  // tied in truth only
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dp = pred[i] - pred[j];
+      const double dt = truth[i] - truth[j];
+      if (dp == 0.0 && dt == 0.0) continue;  // tied in both: dropped entirely
+      if (dp == 0.0) {
+        ++ties_pred;
+      } else if (dt == 0.0) {
+        ++ties_truth;
+      } else if ((dp > 0.0) == (dt > 0.0)) {
+        ++concordant;
+      } else {
+        ++discordant;
+      }
+    }
+  }
+  const double np = static_cast<double>(concordant + discordant + ties_pred);
+  const double nt = static_cast<double>(concordant + discordant + ties_truth);
+  if (np == 0.0 || nt == 0.0) return 0.0;
+  return static_cast<double>(concordant - discordant) / std::sqrt(np * nt);
+}
+
 double pearson(std::span<const double> xs, std::span<const double> ys) {
   require_paired(xs, ys);
   const double mx = mean(xs);

@@ -30,6 +30,16 @@ namespace mapcq::util {
 /// Coefficient of determination R^2.
 [[nodiscard]] double r_squared(std::span<const double> pred, std::span<const double> truth);
 
+/// Mean absolute error (equal, nonzero sizes).
+[[nodiscard]] double mae(std::span<const double> pred, std::span<const double> truth);
+
+/// Kendall rank correlation coefficient (tau-b: ties contribute to neither
+/// side and shrink the normalizer). In [-1, 1]; 1 means `pred` ranks every
+/// pair exactly as `truth` does — the metric that matters for a surrogate
+/// steering a selection-based search. Returns 0 when either side is all
+/// ties. O(n^2); fine at holdout sizes.
+[[nodiscard]] double kendall_tau(std::span<const double> pred, std::span<const double> truth);
+
 /// Pearson correlation coefficient; 0 when either side has zero variance.
 [[nodiscard]] double pearson(std::span<const double> xs, std::span<const double> ys);
 
@@ -38,7 +48,9 @@ class running_stats {
  public:
   void add(double x) noexcept;
   [[nodiscard]] std::size_t count() const noexcept { return n_; }
-  [[nodiscard]] double mean() const noexcept { return n_ == 0 ? 0.0 : sum_ / static_cast<double>(n_); }
+  [[nodiscard]] double mean() const noexcept {
+    return n_ == 0 ? 0.0 : sum_ / static_cast<double>(n_);
+  }
   [[nodiscard]] double min() const noexcept { return min_; }
   [[nodiscard]] double max() const noexcept { return max_; }
   [[nodiscard]] double sum() const noexcept { return sum_; }

@@ -133,7 +133,8 @@ TEST(serialization, rejects_malformed_input) {
   EXPECT_THROW((void)core::load_configuration("/nonexistent/path.txt"), std::runtime_error);
   // Bad forward bit.
   const std::string bad =
-      "mapcq-config-v1\ngroups 1\nstages 2\npartition\n0.5 0.5\nforward\n2 0\nmapping 0 1\ndvfs 0 0 0\n";
+      "mapcq-config-v1\ngroups 1\nstages 2\npartition\n0.5 0.5\nforward\n2 0\nmapping 0 1\ndvfs 0 "
+      "0 0\n";
   EXPECT_THROW((void)core::configuration_from_text(bad), std::runtime_error);
 }
 

@@ -3,15 +3,39 @@
 # plus every *.md under docs/, recursively.
 #
 # Extracts every inline [text](target) link and every reference-style
-# definition ([label]: target) and verifies that relative targets exist in
-# the repository. External links (http/https/mailto), pure in-page anchors
-# (#...) and targets that resolve outside the repo (e.g. the
-# GitHub-relative CI badge ../../actions/...) are skipped.
+# definition ([label]: target) and verifies that
+#   * relative targets exist in the repository, and
+#   * anchor fragments (in-page "#section" links and "file.md#section"
+#     links) match a heading in the target markdown file — a missing
+#     anchor FAILS the check, it is never silently skipped.
+# External links (http/https/mailto) and targets that resolve outside the
+# repo (e.g. the GitHub-relative CI badge ../../actions/...) are skipped.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 repo_root=$(pwd)
-fail=0
+
+# GitHub-style anchor slugs of a markdown file's headings, one per line:
+# lowercase, markdown links unwrapped, punctuation stripped (keeping
+# alphanumerics, hyphens, underscores), spaces to hyphens; duplicate
+# headings get -1, -2, ... suffixes exactly as GitHub assigns them.
+anchors_of() {
+  grep -E '^#{1,6} ' "$1" |
+    sed -E 's/^#{1,6} +//' |
+    sed -E 's/\[([^]]*)\]\([^)]*\)/\1/g' |
+    tr '[:upper:]' '[:lower:]' |
+    sed -E 's/[^a-z0-9 _-]//g; s/ /-/g' |
+    awk '{ n = seen[$0]++; if (n) print $0 "-" n; else print $0 }'
+}
+
+check_anchor() {
+  local md="$1" target="$2" anchor_file="$3" frag="$4"
+  frag=$(printf '%s' "$frag" | tr '[:upper:]' '[:lower:]')
+  if ! anchors_of "$anchor_file" | grep -qxF "$frag"; then
+    echo "BROKEN ANCHOR: $md -> $target (no heading '#$frag' in $anchor_file)"
+    echo 1 > "$tmp_fail"
+  fi
+}
 
 check_file() {
   local md="$1"
@@ -29,10 +53,17 @@ check_file() {
     while IFS= read -r target; do
       case "$target" in
         http://*|https://*|mailto:*) continue ;;
-        '#'*) continue ;;  # in-page anchor
       esac
-      local path="${target%%#*}"  # strip a trailing anchor
-      [ -z "$path" ] && continue
+      local path="${target%%#*}"
+      local frag=""
+      case "$target" in
+        *'#'*) frag="${target#*#}" ;;
+      esac
+      if [ -z "$path" ]; then
+        # Pure in-page anchor: the heading must exist in this file.
+        [ -n "$frag" ] && check_anchor "$md" "$target" "$md" "$frag"
+        continue
+      fi
       local resolved
       resolved=$(realpath -m "$dir/$path")
       case "$resolved" in
@@ -42,6 +73,13 @@ check_file() {
       if [ ! -e "$resolved" ]; then
         echo "BROKEN: $md -> $target"
         echo 1 > "$tmp_fail"
+        continue
+      fi
+      # Cross-file anchor: only meaningful into another markdown file.
+      if [ -n "$frag" ]; then
+        case "$resolved" in
+          *.md) check_anchor "$md" "$target" "$resolved" "$frag" ;;
+        esac
       fi
     done
 }

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Merge bench JSONL emissions into BENCH.json and gate against a baseline.
+
+The benches append one {"bench": ..., "metrics": {...}} line each to the
+file named by MAPCQ_BENCH_JSON (see bench::json_reporter). This tool merges
+those lines into one BENCH.json artifact and, when --baseline is given,
+fails (exit 1) if any gated metric regresses beyond its tolerance.
+
+Baseline format (bench/baseline.json):
+    {
+      "tolerance_pct": 20,              # default tolerance
+      "benches": {
+        "<bench>": {
+          "<metric>": {"value": <ref>, "direction": "lower"|"higher",
+                       "tolerance_pct": <override, optional>},
+          ...
+        }
+      }
+    }
+
+"lower" means lower is better (wall-clock, evaluator runs): the check
+fails when current > ref * (1 + tol). "higher" means higher is better
+(hit rates, taus, ok-flags): fails when current < ref * (1 - tol). Only
+metrics listed in the baseline are gated; everything else in BENCH.json is
+informational. Timing metrics should stay out of the baseline — CI runner
+noise would flap the gate — which is why the checked-in baseline gates
+deterministic counters and fidelity numbers only.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("jsonl", help="JSONL file the benches appended to")
+    parser.add_argument("--out", default="BENCH.json", help="merged artifact path")
+    parser.add_argument("--baseline", help="baseline to gate against (optional)")
+    args = parser.parse_args()
+
+    benches: dict[str, dict[str, float]] = {}
+    with open(args.jsonl) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            benches.setdefault(obj["bench"], {}).update(obj["metrics"])
+
+    with open(args.out, "w") as f:
+        json.dump({"benches": benches}, f, indent=2, sort_keys=True)
+        f.write("\n")
+    total = sum(len(m) for m in benches.values())
+    print(f"wrote {args.out}: {total} metrics from {len(benches)} benches")
+
+    if not args.baseline:
+        return 0
+
+    with open(args.baseline) as f:
+        base = json.load(f)
+    default_tol = base.get("tolerance_pct", 20)
+    failures = []
+    for bench, metrics in sorted(base["benches"].items()):
+        for name, spec in sorted(metrics.items()):
+            current = benches.get(bench, {}).get(name)
+            if current is None:
+                failures.append(f"{bench}.{name}: missing from {args.out}")
+                print(f"  [MISSING] {bench}.{name}")
+                continue
+            ref = spec["value"]
+            tol = spec.get("tolerance_pct", default_tol) / 100.0
+            direction = spec.get("direction", "lower")
+            if direction == "lower":
+                limit = ref * (1.0 + tol)
+                ok = current <= limit
+            else:
+                limit = ref * (1.0 - tol)
+                ok = current >= limit
+            marker = "ok" if ok else "REGRESSION"
+            print(
+                f"  [{marker}] {bench}.{name}: {current:g} vs baseline {ref:g}"
+                f" ({direction} is better, tol {tol * 100:g}%)"
+            )
+            if not ok:
+                failures.append(
+                    f"{bench}.{name}: {current:g} beyond limit {limit:g}"
+                    f" (baseline {ref:g}, {direction} is better)"
+                )
+
+    if failures:
+        print("bench regression check FAILED:")
+        for f_ in failures:
+            print(f"  {f_}")
+        return 1
+    print("bench regression check OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

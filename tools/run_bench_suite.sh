@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Runs the CI bench suite (the five acceptance benches), merges their JSON
+# metric emissions into one BENCH.json artifact, and — when BENCH_BASELINE
+# is set — fails on any gated regression (see tools/compare_bench.py).
+#
+#   BUILD_DIR        build tree holding bench/ binaries   (default: build)
+#   BENCH_OUT        merged artifact path                 (default: BENCH.json)
+#   BENCH_BASELINE   baseline to gate against             (default: none)
+#   MAPCQ_GENERATIONS / MAPCQ_POPULATION / MAPCQ_THREADS  scale, as usual
+#
+# Every bench is also a pass/fail check in its own right: a non-zero exit
+# from any of them fails the suite before the comparison runs.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build_dir=${BUILD_DIR:-build}
+out=${BENCH_OUT:-BENCH.json}
+baseline=${BENCH_BASELINE:-}
+
+jsonl=$(mktemp)
+trap 'rm -f "$jsonl"' EXIT
+
+benches=(eval_engine serving_reuse island_scaling service_throughput surrogate_refresh)
+for b in "${benches[@]}"; do
+  echo "=== bench: $b ==="
+  MAPCQ_BENCH_JSON=$jsonl "$build_dir/bench/$b"
+  echo
+done
+
+args=("$jsonl" --out "$out")
+if [ -n "$baseline" ]; then
+  args+=(--baseline "$baseline")
+fi
+python3 tools/compare_bench.py "${args[@]}"
