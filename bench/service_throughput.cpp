@@ -25,7 +25,9 @@
 #include "bench_common.h"
 #include "nn/models.h"
 #include "serving/mapping_service.h"
+#include "serving/request_trace.h"
 #include "soc/platform.h"
+#include "util/stats.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -284,13 +286,18 @@ bool soak(const nn::network& net, const soc::platform& plat, const scale& s, std
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::shared_future<serving::mapping_report>> futures;
   futures.reserve(n);
+  serving::latency_watch watch;
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t lane = i % sessions;
     auto req = make_request(net, 1000 + (i / sessions) % distinct, tiny,
                             1.0 - 0.05 * static_cast<double>(lane));
     req.priority = static_cast<int>(i % 3);
     futures.push_back(service.submit(std::move(req)));
+    watch.add(futures.back(), std::chrono::steady_clock::now());
   }
+  // Sweep to completion first so every sojourn is stamped as its future
+  // turns ready; the get() drain below then resolves instantly.
+  const std::vector<double> latencies = watch.wait_all();
   std::size_t resolved = 0;
   std::size_t failed = 0;
   for (auto& f : futures) {
@@ -303,11 +310,16 @@ bool soak(const nn::network& net, const soc::platform& plat, const scale& s, std
   }
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  const double p50 = util::percentile(latencies, 50.0);
+  const double p95 = util::percentile(latencies, 95.0);
+  const double p99 = util::percentile(latencies, 99.0);
 
   const serving::scheduler_stats st = service.scheduler();
-  util::table t({"submits", "executions", "coalesced", "failed", "wall (s)"});
+  util::table t({"submits", "executions", "coalesced", "failed", "p50 (ms)", "p95 (ms)", "p99 (ms)",
+                 "wall (s)"});
   t.add_row({std::to_string(n), std::to_string(st.completed), std::to_string(st.coalesced),
-             std::to_string(failed), util::format("%.2f", wall_s)});
+             std::to_string(failed), bench::fmt(p50), bench::fmt(p95), bench::fmt(p99),
+             util::format("%.2f", wall_s)});
   std::cout << t.str();
 
   bool ok = check(resolved == n && failed == 0, "every soak future resolved with a report");
@@ -316,6 +328,9 @@ bool soak(const nn::network& net, const soc::platform& plat, const scale& s, std
   json.metric("soak_requests", static_cast<double>(n));
   json.metric("soak_executions", static_cast<double>(st.completed));
   json.metric("soak_coalesced", static_cast<double>(st.coalesced));
+  json.metric("soak_p50_ms", p50);
+  json.metric("soak_p95_ms", p95);
+  json.metric("soak_p99_ms", p99);
   json.metric("soak_wall_s", wall_s);
   json.metric("soak_ok", ok ? 1.0 : 0.0);
   std::cout << "\n";

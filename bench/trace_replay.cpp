@@ -1,0 +1,206 @@
+// Trace-replay driver: re-runs a captured mapcq-trace-v1 request stream
+// (serving/request_trace.h) against this build and reports latency
+// percentiles plus exactly-reconciling scheduler counters — the
+// "distribution shape" half of the CI bench gate (tools/compare_bench.py
+// gates p99 with an explicit tolerance; the counter totals gate at zero
+// tolerance because synchronous replay makes them a pure function of the
+// trace).
+//
+// Environment:
+//   MAPCQ_TRACE          path to a trace file (e.g. bench/traces/
+//                        smoke.trace, captured by `search_and_ship
+//                        --capture-trace`); unset = a built-in synthetic
+//                        duplicate-heavy trace
+//   MAPCQ_TRACE_REPEAT   replicate the trace N times back to back (arrival
+//                        offsets shifted); duplicates coalesce, so distinct
+//                        work stays constant while offered load scales —
+//                        how the nightly turns the smoke trace into a
+//                        1k-request replay. Default 1.
+//   MAPCQ_TRACE_REQUESTS truncate to the first N records (0 = all)
+//   MAPCQ_TRACE_SPEED    > 0 adds a second, paced replay at Nx captured
+//                        speed (informational latencies); default off
+//   MAPCQ_GENERATIONS / MAPCQ_POPULATION / MAPCQ_THREADS
+//                        GA budget of each replayed (distinct) request
+//
+// Exits non-zero when the counters fail to reconcile.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/serialization.h"
+#include "nn/models.h"
+#include "serving/request_trace.h"
+#include "soc/platform.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace mapcq;
+
+std::size_t env_or(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::strtoul(v, nullptr, 10) : fallback;
+}
+
+bool check(bool ok, const std::string& what) {
+  std::cout << (ok ? "  [ok]   " : "  [FAIL] ") << what << "\n";
+  return ok;
+}
+
+/// Fallback traffic when no MAPCQ_TRACE is given: three session lanes, a
+/// duplicate-heavy mix (each distinct fingerprint submitted three times),
+/// arrivals 500us apart — enough structure to exercise lane mapping,
+/// coalescing and pacing.
+std::vector<core::trace_record> synthetic_trace() {
+  std::vector<core::trace_record> trace;
+  const std::size_t lanes = 3;
+  const std::size_t distinct_per_lane = 2;
+  const std::size_t dup = 3;
+  std::uint64_t at = 0;
+  for (std::size_t round = 0; round < dup; ++round) {
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      for (std::size_t d = 0; d < distinct_per_lane; ++d) {
+        core::trace_record r;
+        r.arrival_us = at;
+        at += 500;
+        r.lane = "lane-" + std::to_string(lane);
+        r.fingerprint = "fp-" + std::to_string(lane) + "-" + std::to_string(d);
+        trace.push_back(std::move(r));
+      }
+    }
+  }
+  return trace;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t generations = env_or("MAPCQ_GENERATIONS", 4);
+  const std::size_t population = env_or("MAPCQ_POPULATION", 12);
+  const std::size_t threads = env_or("MAPCQ_THREADS", 2);
+  const std::size_t repeat = std::max<std::size_t>(1, env_or("MAPCQ_TRACE_REPEAT", 1));
+  const std::size_t max_requests = env_or("MAPCQ_TRACE_REQUESTS", 0);
+  const double speed = [] {
+    const char* v = std::getenv("MAPCQ_TRACE_SPEED");
+    return v ? std::strtod(v, nullptr) : 0.0;
+  }();
+
+  // --- the trace ------------------------------------------------------------
+  std::vector<core::trace_record> trace;
+  if (const char* path = std::getenv("MAPCQ_TRACE")) {
+    trace = core::load_trace(path);
+    std::cout << "trace: " << path << " (" << trace.size() << " records)\n";
+  } else {
+    trace = synthetic_trace();
+    std::cout << "trace: built-in synthetic (" << trace.size() << " records)\n";
+  }
+  if (repeat > 1) {
+    const std::size_t base_n = trace.size();
+    const std::uint64_t span = trace.back().arrival_us + 1000;
+    trace.reserve(base_n * repeat);
+    for (std::size_t rep = 1; rep < repeat; ++rep)
+      for (std::size_t i = 0; i < base_n; ++i) {
+        core::trace_record r = trace[i];
+        r.arrival_us += span * rep;
+        trace.push_back(std::move(r));
+      }
+    std::cout << "repeated x" << repeat << " -> " << trace.size() << " records\n";
+  }
+
+  // --- the candidate build under test --------------------------------------
+  // Two cheap networks so distinct captured lanes land on distinct
+  // sessions; the analytic model keeps each distinct request fast.
+  nn::network net_a = nn::build_simple_cnn();
+  net_a.name = "replay-net-0";
+  nn::network net_b = nn::build_simple_cnn();
+  net_b.name = "replay-net-1";
+  const soc::platform plat = soc::agx_xavier();
+
+  serving::service_options opt;
+  opt.engine.threads = threads;
+  opt.workers = 4;
+  serving::mapping_service service{opt};
+  service.register_network(net_a);
+  service.register_network(net_b);
+  service.register_platform(plat);
+
+  serving::mapping_request base;
+  base.network = net_a.name;
+  base.use_surrogate = false;
+  base.ga.generations = generations;
+  base.ga.population = population;
+
+  std::cout << "=== trace replay: captured traffic vs this build ===\n";
+  std::cout << util::format("GA scale per distinct request: %zu x %zu, %zu engine threads\n\n",
+                            generations, population, threads);
+  bench::json_reporter json{"trace_replay"};
+
+  // --- synchronous replay: deterministic counter totals ---------------------
+  std::cout << "--- synchronous replay (deterministic totals) ---\n";
+  serving::replay_options sync_opt;
+  sync_opt.synchronous = true;
+  sync_opt.max_requests = max_requests;
+  const serving::replay_result sync =
+      serving::replay_trace(service, trace, base, {net_a.name, net_b.name}, sync_opt);
+
+  util::table t({"requests", "distinct", "coalesced", "executions", "p50 (ms)", "p95 (ms)",
+                 "p99 (ms)", "wall (ms)"});
+  t.add_row({std::to_string(sync.requests), std::to_string(sync.distinct),
+             std::to_string(sync.stats.coalesced), std::to_string(sync.stats.completed),
+             bench::fmt(sync.p50_ms), bench::fmt(sync.p95_ms), bench::fmt(sync.p99_ms),
+             bench::fmt(sync.wall_ms)});
+  std::cout << t.str();
+
+  const serving::scheduler_stats& st = sync.stats;
+  bool ok = check(st.submitted == sync.requests, "all replayed submits counted");
+  ok &= check(st.rejected == 0, "nothing rejected (unbounded replay queue)");
+  ok &= check(st.admitted == sync.distinct,
+              util::format("admitted == distinct pairs (%zu == %zu)", st.admitted, sync.distinct));
+  ok &= check(st.coalesced == sync.requests - sync.distinct,
+              util::format("coalesced == duplicates (%zu == %zu)", st.coalesced,
+                           sync.requests - sync.distinct));
+  ok &= check(st.completed + st.failed + st.expired == st.admitted,
+              "every admitted request accounted for");
+  ok &= check(st.failed == 0, "no execution failed");
+
+  json.metric("requests", static_cast<double>(sync.requests));
+  json.metric("distinct", static_cast<double>(sync.distinct));
+  json.metric("coalesced", static_cast<double>(st.coalesced));
+  json.metric("executions", static_cast<double>(st.completed));
+  json.metric("reconcile_ok", ok ? 1.0 : 0.0);
+  json.metric("p50_ms", sync.p50_ms);
+  json.metric("p95_ms", sync.p95_ms);
+  json.metric("p99_ms", sync.p99_ms);
+  json.metric("max_ms", sync.max_ms);
+  json.metric("wall_ms", sync.wall_ms);
+
+  // --- optional paced replay: latency under captured arrival pacing ---------
+  if (speed > 0.0) {
+    std::cout << "\n--- paced replay at " << speed << "x captured speed ---\n";
+    serving::replay_options paced_opt;
+    paced_opt.speed = speed;
+    paced_opt.max_requests = max_requests;
+    const serving::replay_result paced =
+        serving::replay_trace(service, trace, base, {net_a.name, net_b.name}, paced_opt);
+    util::table p({"requests", "executions", "coalesced", "p50 (ms)", "p99 (ms)", "wall (ms)"});
+    p.add_row({std::to_string(paced.requests), std::to_string(paced.stats.completed),
+               std::to_string(paced.stats.coalesced), bench::fmt(paced.p50_ms),
+               bench::fmt(paced.p99_ms), bench::fmt(paced.wall_ms)});
+    std::cout << p.str();
+    // Informational only: paced coalescing depends on machine speed (a
+    // fast build finishes a request before its duplicate arrives — that is
+    // the point of replaying at captured pacing).
+    json.metric("paced_p50_ms", paced.p50_ms);
+    json.metric("paced_p99_ms", paced.p99_ms);
+    json.metric("paced_coalesced", static_cast<double>(paced.stats.coalesced));
+    json.metric("paced_wall_ms", paced.wall_ms);
+  }
+
+  std::cout << (ok ? "\noverall: OK\n" : "\noverall: FAILED\n");
+  return ok ? 0 : 1;
+}

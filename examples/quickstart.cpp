@@ -2,23 +2,59 @@
 // through the serving front-end, compare the single-CU baselines against a
 // searched dynamic mapping, and print the winning configuration.
 //
-// Build & run:  ./build/examples/quickstart [generations] [population]
+// Build & run:  ./build/examples/quickstart [--config file.json]
+//                                           [--set dotted.key=value ...]
+//                                           [--dump-config]
+// The whole deployment is driven by one serving::service_config JSON
+// document (docs/SERVING.md has the reference): --config boots from a
+// file, --set applies individual overrides on top ("--set
+// ga.generations=60"), and --dump-config prints the effective config with
+// every default filled in, then exits.
 
-#include <cstdlib>
 #include <iostream>
+#include <string_view>
 
 #include "core/baselines.h"
 #include "nn/models.h"
 #include "perf/calibration.h"
 #include "serving/mapping_service.h"
+#include "serving/service_config.h"
 #include "util/strings.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
   using namespace mapcq;
 
-  const std::size_t generations = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 40;
-  const std::size_t population = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 30;
+  // Example preset: a quick interactive budget; a --config file replaces
+  // it wholesale (files start from the library defaults, 200 x 60).
+  serving::service_config cfg;
+  cfg.ga.generations = 40;
+  cfg.ga.population = 30;
+
+  bool dump_config = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    try {
+      if (arg == "--config" && i + 1 < argc) {
+        cfg = serving::load_config(argv[++i]);
+      } else if (arg == "--set" && i + 1 < argc) {
+        serving::apply_override(cfg, argv[++i]);
+      } else if (arg == "--dump-config") {
+        dump_config = true;
+      } else {
+        std::cerr << "usage: quickstart [--config file.json] [--set dotted.key=value ...] "
+                     "[--dump-config]\n";
+        return 2;
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "quickstart: " << e.what() << "\n";
+      return 2;
+    }
+  }
+  if (dump_config) {
+    std::cout << serving::dump_config(cfg);
+    return 0;
+  }
 
   // 1. Networks (CIFAR-100 variants used in the paper).
   const nn::network visformer = nn::build_visformer();
@@ -39,17 +75,17 @@ int main(int argc, char** argv) {
   t.add_row({dla.name, util::table::num(dla.latency_ms), util::table::num(dla.energy_mj),
              util::table::num(dla.accuracy_pct)});
 
-  // 4. Map-and-Conquer search through the serving front-end: register the
-  // network/platform once, then issue a structured request. Repeated
-  // requests against the same session reuse its memo cache and surrogate.
-  serving::mapping_service service;
+  // 4. Map-and-Conquer search through the serving front-end, booted from
+  // the effective config: register the network/platform once, then issue a
+  // structured request. Repeated requests against the same session reuse
+  // its memo cache and surrogate.
+  serving::mapping_service service{cfg.service};
   service.register_network(visformer);
   service.register_platform(xavier);
 
   serving::mapping_request req;
   req.network = visformer.name;
-  req.ga.generations = generations;
-  req.ga.population = population;
+  req.ga = cfg.ga;
   const serving::mapping_report result = service.map(req);
 
   const core::evaluation& ours_e = result.ours_energy();

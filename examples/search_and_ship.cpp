@@ -6,16 +6,25 @@
 // the same warm session shows the memo cache persisting across runs.
 //
 // Build & run:
-//   ./build/examples/search_and_ship [generations] [population] [islands] [clients]
-// `islands` > 1 shards the population into an island-model search
-// (ga_options::island) — same serving API, same shippable artifact.
-// `clients` > 0 adds a multi-client demo: that many concurrent submitters
-// hammer the warm service with duplicate-heavy traffic and the request
-// scheduler coalesces them (see docs/SERVING.md).
+//   ./build/examples/search_and_ship [--config file.json]
+//                                    [--set dotted.key=value ...]
+//                                    [--dump-config]
+//                                    [--clients N]
+//                                    [--capture-trace out.trace]
+// The deployment is driven by one serving::service_config JSON document
+// (docs/SERVING.md has the reference); e.g. "--set ga.island.islands=2"
+// shards the population into an island-model search — same serving API,
+// same shippable artifact. --clients N adds a multi-client demo: N
+// concurrent submitters hammer the warm service with duplicate-heavy
+// traffic and the request scheduler coalesces them. --capture-trace
+// installs a trace tap and writes every submit() of the run as a
+// mapcq-trace-v1 file replayable with bench/trace_replay.
 
 #include <cstdio>
-#include <cstdlib>
 #include <iostream>
+#include <memory>
+#include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -25,32 +34,72 @@
 #include "nn/models.h"
 #include "perf/calibration.h"
 #include "serving/mapping_service.h"
+#include "serving/request_trace.h"
+#include "serving/service_config.h"
 #include "util/strings.h"
 
 int main(int argc, char** argv) {
   using namespace mapcq;
-  const std::size_t generations = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 30;
-  const std::size_t population = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 30;
-  const std::size_t islands = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 1;
-  const std::size_t clients = argc > 4 ? std::strtoul(argv[4], nullptr, 10) : 0;
+
+  // Example preset: a quick interactive budget; a --config file replaces
+  // it wholesale (files start from the library defaults, 200 x 60).
+  serving::service_config cfg;
+  cfg.ga.generations = 30;
+  cfg.ga.population = 30;
+
+  bool dump_config = false;
+  std::size_t clients = 0;
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    try {
+      if (arg == "--config" && i + 1 < argc) {
+        cfg = serving::load_config(argv[++i]);
+      } else if (arg == "--set" && i + 1 < argc) {
+        serving::apply_override(cfg, argv[++i]);
+      } else if (arg == "--dump-config") {
+        dump_config = true;
+      } else if (arg == "--clients" && i + 1 < argc) {
+        clients = std::stoul(argv[++i]);
+      } else if (arg == "--capture-trace" && i + 1 < argc) {
+        trace_path = argv[++i];
+      } else {
+        std::cerr << "usage: search_and_ship [--config file.json] [--set dotted.key=value ...] "
+                     "[--dump-config] [--clients N] [--capture-trace out.trace]\n";
+        return 2;
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "search_and_ship: " << e.what() << "\n";
+      return 2;
+    }
+  }
+  if (dump_config) {
+    std::cout << serving::dump_config(cfg);
+    return 0;
+  }
 
   const nn::network vis = nn::build_visformer();
   const nn::network vgg = nn::build_vgg19();
   const soc::platform xavier = perf::calibrated_xavier(vis, vgg).plat;
 
-  // 1. Search: async submission against the serving front-end.
-  serving::mapping_service service;
+  // 1. Search: async submission against the serving front-end, booted from
+  // the effective config. With --capture-trace every submit() of this run
+  // (the search below and the multi-client traffic) lands in the tap.
+  serving::mapping_service service{cfg.service};
   service.register_network(vis);
   service.register_platform(xavier);
+  std::shared_ptr<serving::trace_log> trace;
+  if (!trace_path.empty()) {
+    trace = std::make_shared<serving::trace_log>();
+    service.capture_trace(trace);
+  }
 
   serving::mapping_request req;
   req.network = vis.name;
   req.orientation = serving::objective_orientation::energy;
-  req.ga.generations = generations;
-  req.ga.population = population;
-  req.ga.island.islands = islands;
+  req.ga = cfg.ga;
   auto pending = service.submit(req);
-  std::cout << "request submitted (" << islands
+  std::cout << "request submitted (" << (cfg.ga.island.islands ? cfg.ga.island.islands : 1)
             << " island(s)); waiting for the mapping report...\n";
   const serving::mapping_report report = pending.get();
   const core::evaluation& winner = report.best();
@@ -121,6 +170,13 @@ int main(int argc, char** argv) {
         "(plus warm-session cache under the executions)\n",
         clients, per_client, stats.completed - before.completed,
         stats.coalesced - before.coalesced);
+  }
+
+  // 6. Persist the captured traffic for offline replay (bench/trace_replay
+  // re-runs it against a candidate build and reports p50/p95/p99).
+  if (trace) {
+    core::save_trace(trace_path, trace->snapshot());
+    std::cout << "\ncaptured " << trace->size() << " submit(s) to " << trace_path << "\n";
   }
 
   const bool identical = replay.avg_energy_mj == winner.avg_energy_mj &&

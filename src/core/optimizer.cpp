@@ -67,7 +67,15 @@ optimizer::optimizer(const nn::network& net, const soc::platform& plat, optimize
 }
 
 optimize_result optimizer::run() {
-  if (opt_.eval.predictor != nullptr) return run_with_foreign_predictor();
+  if (opt_.eval.predictor != nullptr) {
+    // The one sanctioned caller of the deprecated path: run() itself keeps
+    // the pre-PR-2 contract alive for legacy callers without letting the
+    // deprecation warning fire on this internal dispatch.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    return run_with_foreign_predictor();
+#pragma GCC diagnostic pop
+  }
 
   serving::mapping_request req;
   req.network = network_name_;

@@ -105,8 +105,15 @@ class optimizer {
  private:
   /// LEGACY pre-serving flow for the one knob the service refuses: a
   /// caller-supplied eval.predictor (sessions own their predictors).
-  /// Fresh engines per phase; no session, no cross-run reuse.
-  [[nodiscard]] optimize_result run_with_foreign_predictor();
+  /// Fresh engines per phase; no session, no cross-run reuse. Deprecated:
+  /// train per-session predictors through serving::mapping_service (boot
+  /// one from a serving::service_config) instead of injecting a foreign
+  /// one here; this path will be removed with the last pre-PR-2 caller.
+  [[deprecated(
+      "legacy foreign-predictor flow; use serving::mapping_service (see "
+      "serving/service_config.h) instead of a caller-supplied "
+      "eval.predictor")]] [[nodiscard]] optimize_result
+  run_with_foreign_predictor();
 
   const nn::network* net_;
   const soc::platform* plat_;

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <type_traits>
 
 #include "util/strings.h"
 
@@ -12,12 +13,66 @@ namespace {
 
 constexpr const char* config_tag = "mapcq-config-v1";
 constexpr const char* report_tag = "mapcq-report-v1";
+constexpr const char* trace_tag = "mapcq-trace-v1";
 
 std::string next_line(std::istream& is, const char* what) {
   std::string line;
   if (!std::getline(is, line))
     throw std::runtime_error(std::string("serialization: missing ") + what);
   return line;
+}
+
+// --- shared key/value row writer/reader ------------------------------------
+// One writer for every `key v1 v2 ...` row in the formats (report entry
+// scalars, scheduler/refresh counter lines, trace records) instead of the
+// three hand-rolled emitters this file used to carry. Values parse
+// token-wise through std::sto* so the non-finite scalars the report format
+// legitimately contains ("inf" objectives of infeasible picks) round-trip —
+// stream extraction refuses the "inf"/"nan" it itself printed.
+
+template <class... Ts>
+void write_row(std::ostream& os, const char* key, const Ts&... values) {
+  os << key;
+  ((os << ' ' << values), ...);
+  os << '\n';
+}
+
+template <class T>
+void parse_token(const std::string& token, T& out) {
+  if constexpr (std::is_floating_point_v<T>)
+    out = static_cast<T>(std::stod(token));
+  else if constexpr (std::is_signed_v<T>)
+    out = static_cast<T>(std::stoll(token));
+  else
+    out = static_cast<T>(std::stoull(token));
+}
+
+/// Parses `line` as a `key v1 v2 ...` row into `values`. Returns false on a
+/// key mismatch (the caller may treat the row as optional); throws on a row
+/// that matches the key but is short or non-numeric.
+template <class... Ts>
+bool try_parse_row(const std::string& line, const char* key, Ts&... values) {
+  std::istringstream ls{line};
+  std::string k;
+  if (!(ls >> k) || k != key) return false;
+  const auto next = [&](auto& out) {
+    std::string token;
+    if (!(ls >> token)) throw std::runtime_error(std::string("serialization: short row for ") + key);
+    try {
+      parse_token(token, out);
+    } catch (const std::exception&) {
+      throw std::runtime_error(std::string("serialization: bad value for ") + key);
+    }
+  };
+  (next(values), ...);
+  return true;
+}
+
+/// Reads the next line and parses it as a mandatory `key ...` row.
+template <class... Ts>
+void read_row(std::istream& is, const char* key, Ts&... values) {
+  if (!try_parse_row(next_line(is, key), key, values...))
+    throw std::runtime_error(std::string("serialization: expected ") + key);
 }
 
 /// Reads a `key value...` line and returns everything after "key " verbatim
@@ -33,27 +88,15 @@ std::string read_tail(std::istream& is, const char* key) {
 }
 
 std::size_t read_sized(std::istream& is, const char* key) {
-  std::istringstream ls{next_line(is, key)};
-  std::string k;
   std::size_t v = 0;
-  if (!(ls >> k >> v) || k != key)
-    throw std::runtime_error(std::string("serialization: expected ") + key);
+  read_row(is, key, v);
   return v;
 }
 
-// std::stod rather than stream extraction: validated fronts can carry
-// non-finite scalars (an infeasible pick has objective = inf) and streams
-// refuse to parse the "inf"/"nan" they themselves printed.
 double read_scalar(std::istream& is, const char* key) {
-  std::istringstream ls{next_line(is, key)};
-  std::string k, token;
-  if (!(ls >> k >> token) || k != key)
-    throw std::runtime_error(std::string("serialization: expected ") + key);
-  try {
-    return std::stod(token);
-  } catch (const std::exception&) {
-    throw std::runtime_error(std::string("serialization: bad value for ") + key);
-  }
+  double v = 0.0;
+  read_row(is, key, v);
+  return v;
 }
 
 void write_configuration(std::ostream& os, const configuration& config) {
@@ -180,24 +223,23 @@ std::string to_text(const report_summary& summary) {
   os << "ours_energy " << summary.ours_energy_index << "\n";
   if (summary.scheduler) {
     const scheduler_note& n = *summary.scheduler;
-    os << "scheduler " << n.submitted << ' ' << n.admitted << ' ' << n.coalesced << ' '
-       << n.rejected << ' ' << n.expired << ' ' << n.completed << ' ' << n.failed << "\n";
+    write_row(os, "scheduler", n.submitted, n.admitted, n.coalesced, n.rejected, n.expired,
+              n.completed, n.failed);
   }
   if (summary.refresh) {
     const refresh_note& n = *summary.refresh;
-    os << "refresh " << n.observed << ' ' << n.logged << ' ' << n.attempts << ' '
-       << n.promotions << ' ' << n.rejections << ' ' << n.epoch << ' ' << n.last_candidate_tau
-       << ' ' << n.last_incumbent_tau << "\n";
+    write_row(os, "refresh", n.observed, n.logged, n.attempts, n.promotions, n.rejections, n.epoch,
+              n.last_candidate_tau, n.last_incumbent_tau);
   }
-  os << "entries " << summary.entries.size() << "\n";
+  write_row(os, "entries", summary.entries.size());
   for (const summary_entry& e : summary.entries) {
     os << "entry " << e.label << "\n";
-    os << "feasible " << (e.feasible ? 1 : 0) << "\n";
-    os << "objective " << e.objective << "\n";
-    os << "avg_latency_ms " << e.avg_latency_ms << "\n";
-    os << "avg_energy_mj " << e.avg_energy_mj << "\n";
-    os << "accuracy_pct " << e.accuracy_pct << "\n";
-    os << "fmap_reuse_pct " << e.fmap_reuse_pct << "\n";
+    write_row(os, "feasible", e.feasible ? 1 : 0);
+    write_row(os, "objective", e.objective);
+    write_row(os, "avg_latency_ms", e.avg_latency_ms);
+    write_row(os, "avg_energy_mj", e.avg_energy_mj);
+    write_row(os, "accuracy_pct", e.accuracy_pct);
+    write_row(os, "fmap_reuse_pct", e.fmap_reuse_pct);
     write_configuration(os, e.config);
   }
   return os.str();
@@ -218,33 +260,26 @@ report_summary report_summary_from_text(const std::string& text) {
   // (and files from before either existed) go straight to the entries
   // section. When both are present the order is scheduler, then refresh.
   std::string line = next_line(is, "entries");
-  if (line.rfind("scheduler ", 0) == 0) {
-    std::istringstream ls{line};
-    std::string k;
+  {
     scheduler_note note;
-    if (!(ls >> k >> note.submitted >> note.admitted >> note.coalesced >> note.rejected >>
-          note.expired >> note.completed >> note.failed))
-      throw std::runtime_error("report_summary_from_text: bad scheduler line");
-    s.scheduler = note;
-    line = next_line(is, "entries");
+    if (try_parse_row(line, "scheduler", note.submitted, note.admitted, note.coalesced,
+                      note.rejected, note.expired, note.completed, note.failed)) {
+      s.scheduler = note;
+      line = next_line(is, "entries");
+    }
   }
-  if (line.rfind("refresh ", 0) == 0) {
-    std::istringstream ls{line};
-    std::string k;
+  {
     refresh_note note;
-    if (!(ls >> k >> note.observed >> note.logged >> note.attempts >> note.promotions >>
-          note.rejections >> note.epoch >> note.last_candidate_tau >> note.last_incumbent_tau))
-      throw std::runtime_error("report_summary_from_text: bad refresh line");
-    s.refresh = note;
-    line = next_line(is, "entries");
+    if (try_parse_row(line, "refresh", note.observed, note.logged, note.attempts, note.promotions,
+                      note.rejections, note.epoch, note.last_candidate_tau,
+                      note.last_incumbent_tau)) {
+      s.refresh = note;
+      line = next_line(is, "entries");
+    }
   }
   std::size_t n = 0;
-  {
-    std::istringstream ls{line};
-    std::string k;
-    if (!(ls >> k >> n) || k != "entries")
-      throw std::runtime_error("serialization: expected entries");
-  }
+  if (!try_parse_row(line, "entries", n))
+    throw std::runtime_error("serialization: expected entries");
   if (n == 0) throw std::runtime_error("report_summary_from_text: empty report");
   if (s.ours_latency_index >= n || s.ours_energy_index >= n)
     throw std::runtime_error("report_summary_from_text: pick index out of range");
@@ -271,6 +306,45 @@ void save_report_summary(const std::string& path, const report_summary& summary)
 
 report_summary load_report_summary(const std::string& path) {
   return report_summary_from_text(slurp(path, "load_report_summary"));
+}
+
+std::string to_text(const std::vector<trace_record>& trace) {
+  std::ostringstream os;
+  os << trace_tag << "\n";
+  write_row(os, "records", trace.size());
+  for (const trace_record& r : trace) {
+    write_row(os, "record", r.arrival_us, r.priority, r.deadline_ms);
+    // Lanes and fingerprints may contain spaces (never newlines — both are
+    // single-line by construction), so each gets its own tail-form line.
+    os << "lane " << r.lane << "\n";
+    os << "fingerprint " << r.fingerprint << "\n";
+  }
+  return os.str();
+}
+
+std::vector<trace_record> trace_from_text(const std::string& text) {
+  std::istringstream is{text};
+  if (next_line(is, "header") != trace_tag)
+    throw std::runtime_error("trace_from_text: bad header");
+  const std::size_t n = read_sized(is, "records");
+  std::vector<trace_record> trace;
+  trace.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    trace_record r;
+    read_row(is, "record", r.arrival_us, r.priority, r.deadline_ms);
+    r.lane = read_tail(is, "lane");
+    r.fingerprint = read_tail(is, "fingerprint");
+    trace.push_back(std::move(r));
+  }
+  return trace;
+}
+
+void save_trace(const std::string& path, const std::vector<trace_record>& trace) {
+  spill(path, to_text(trace), "save_trace");
+}
+
+std::vector<trace_record> load_trace(const std::string& path) {
+  return trace_from_text(slurp(path, "load_trace"));
 }
 
 }  // namespace mapcq::core

@@ -7,6 +7,9 @@
 //   * mapcq-report-v1: a serving::mapping_report summary -- the validated
 //     Pareto front's configurations with their headline evaluation scalars
 //     and the Ours-L / Ours-E pick indices.
+//   * mapcq-trace-v1: a captured stream of serving submit()s (arrival
+//     offsets, priorities, deadlines, lanes, fingerprints) for offline
+//     replay (see serving/request_trace.h).
 
 #include <cstddef>
 #include <cstdint>
@@ -104,5 +107,30 @@ struct report_summary {
 /// File convenience wrappers. save throws std::runtime_error on I/O failure.
 void save_report_summary(const std::string& path, const report_summary& summary);
 [[nodiscard]] report_summary load_report_summary(const std::string& path);
+
+/// One captured serving submit() in a mapcq-trace-v1 stream: when it
+/// arrived (relative to the capture start), its scheduling knobs, and the
+/// identity pair the scheduler coalesces on. Enough to replay the *shape*
+/// of the traffic — duplicates, session lanes, priorities, pacing —
+/// without persisting full request payloads (see serving/request_trace.h
+/// for capture and replay).
+struct trace_record {
+  std::uint64_t arrival_us = 0;   ///< microseconds since the first capture
+  int priority = 0;               ///< mapping_request::priority
+  std::uint64_t deadline_ms = 0;  ///< mapping_request::deadline; 0 = none
+  std::string lane;               ///< fairness lane (the session key)
+  std::string fingerprint;        ///< request_fingerprint of the submit
+};
+
+/// Serializes a trace (records in capture order).
+[[nodiscard]] std::string to_text(const std::vector<trace_record>& trace);
+
+/// Parses a trace back; exact round-trip of to_text. Throws
+/// std::runtime_error on malformed input.
+[[nodiscard]] std::vector<trace_record> trace_from_text(const std::string& text);
+
+/// File convenience wrappers. save throws std::runtime_error on I/O failure.
+void save_trace(const std::string& path, const std::vector<trace_record>& trace);
+[[nodiscard]] std::vector<trace_record> load_trace(const std::string& path);
 
 }  // namespace mapcq::core

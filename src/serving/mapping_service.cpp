@@ -1,6 +1,9 @@
 #include "serving/mapping_service.h"
 
 #include <algorithm>
+
+#include "serving/request_trace.h"
+#include "serving/service_config.h"
 #include <limits>
 #include <sstream>
 #include <stdexcept>
@@ -168,6 +171,10 @@ mapping_report mapping_service::map(const mapping_request& req) {
   rep.platform = session->plat().name;
   rep.session_key = session->key();
   rep.orientation = req.orientation;
+  // The exact config this report was produced under: the (normalized)
+  // service options plus the request's GA knobs. Compact form — one line
+  // inside the report, still parse_config-able.
+  rep.effective_config = dump_config(service_config{opt_, req.ga}, 0);
 
   // --- search, on the session engine matching the requested predictor -----
   core::evaluation_engine* search_engine = &session->analytic_engine();
@@ -242,8 +249,26 @@ std::shared_future<mapping_report> mapping_service::submit(mapping_request req) 
   // requests share one execution while one is queued or in flight.
   const std::string lane = fairness_lane(req);
   const std::string fingerprint = request_fingerprint(req);
+  // Tap before admission so the capture sees every submit, including ones
+  // the scheduler will coalesce or reject — a replay must reproduce the
+  // offered load, not the admitted subset.
+  std::shared_ptr<trace_log> tap;
+  {
+    const std::lock_guard<std::mutex> lock{mu_};
+    tap = trace_;
+  }
+  if (tap) tap->record(lane, fingerprint, req.priority, req.deadline);
   return sched.submit(lane, fingerprint, std::move(req));
 }
+
+void mapping_service::capture_trace(std::shared_ptr<trace_log> log) {
+  const std::lock_guard<std::mutex> lock{mu_};
+  trace_ = std::move(log);
+}
+
+void mapping_service::pause_scheduler() { ensure_scheduler().pause(); }
+
+void mapping_service::resume_scheduler() { ensure_scheduler().resume(); }
 
 scheduler_stats mapping_service::scheduler() const {
   {

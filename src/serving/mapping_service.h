@@ -36,6 +36,8 @@
 
 namespace mapcq::serving {
 
+class trace_log;  // serving/request_trace.h
+
 /// Service tuning knobs.
 struct service_options {
   service_options() {
@@ -132,6 +134,19 @@ class mapping_service {
   /// invariants.
   [[nodiscard]] scheduler_stats scheduler() const;
 
+  /// Installs a capture tap: every subsequent submit() appends one
+  /// trace_record (arrival offset, priority, deadline, fairness lane,
+  /// fingerprint) to `log` before admission — coalesced and rejected
+  /// submits included, so a replay reproduces the traffic's full shape.
+  /// Null removes the tap. See serving/request_trace.h.
+  void capture_trace(std::shared_ptr<trace_log> log);
+
+  /// Pauses/resumes the request scheduler's dispatch (creating it on first
+  /// use). While paused, submit() still admits and coalesces — the
+  /// deterministic-replay primitive (see request_scheduler::pause).
+  void pause_scheduler();
+  void resume_scheduler();
+
   /// The session that serves `req`, created on first use (and counted as a
   /// use for TTL/LRU purposes). Throws std::invalid_argument for an
   /// unregistered network/platform.
@@ -179,6 +194,8 @@ class mapping_service {
   std::string default_platform_;
   std::unordered_map<std::string, session_entry> sessions_;
   std::size_t sessions_evicted_ = 0;
+  /// Capture tap; null when no capture is active (the common case).
+  std::shared_ptr<trace_log> trace_;
   /// Lazily created on first submit(). Declared last so it is destroyed
   /// first: its destructor joins the dispatch workers, which may be inside
   /// map() touching the registries above.

@@ -154,6 +154,13 @@ struct mapping_report {
   /// it empty). Coalesced requests share their representative's snapshot.
   std::optional<scheduler_stats> scheduler;
 
+  /// The effective configuration that produced this report: the serving
+  /// options of the service (post-normalization) plus the request's GA
+  /// knobs, as one compact serving::service_config JSON document. Two
+  /// reports from equally-configured deployments carry byte-identical
+  /// stamps (the config bit-identity tests gate on this).
+  std::string effective_config;
+
   [[nodiscard]] const core::evaluation& ours_latency() const {
     return front.at(ours_latency_index);
   }

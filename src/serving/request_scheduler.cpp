@@ -135,7 +135,7 @@ void request_scheduler::worker_loop() {
   std::unique_lock<std::mutex> lock{mu_};
   for (;;) {
     if (stopping_) return;
-    item_ptr item = pick_next_locked();
+    item_ptr item = paused_ ? nullptr : pick_next_locked();
     if (!item) {
       cv_work_.wait(lock);
       continue;
@@ -191,6 +191,19 @@ void request_scheduler::worker_loop() {
     if (opt_.max_inflight_per_session != 0) cv_work_.notify_all();
     if (queued_count_ == 0 && inflight_count_ == 0) cv_idle_.notify_all();
   }
+}
+
+void request_scheduler::pause() {
+  const std::lock_guard<std::mutex> lock{mu_};
+  paused_ = true;
+}
+
+void request_scheduler::resume() {
+  {
+    const std::lock_guard<std::mutex> lock{mu_};
+    paused_ = false;
+  }
+  cv_work_.notify_all();
 }
 
 scheduler_stats request_scheduler::stats_locked() const {

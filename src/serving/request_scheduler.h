@@ -126,6 +126,16 @@ class request_scheduler {
                                                           const std::string& fingerprint,
                                                           mapping_request req);
 
+  /// Stops dispatching new work; items already executing run to
+  /// completion. Submissions are still admitted and coalesced while
+  /// paused — which is what makes paused bulk submission deterministic:
+  /// every duplicate joins its queued representative before any of them
+  /// can start executing (see serving/request_trace.h, synchronous
+  /// replay). Queued deadlines keep ticking while paused.
+  void pause();
+  /// Resumes dispatch after pause(). Idempotent.
+  void resume();
+
   /// Counter/gauge snapshot (cheap: one lock, one map copy).
   [[nodiscard]] scheduler_stats stats() const;
 
@@ -162,6 +172,7 @@ class request_scheduler {
   std::condition_variable cv_space_;  ///< blocked submitters wait for queue space
   mutable std::condition_variable cv_idle_;
   bool stopping_ = false;
+  bool paused_ = false;  ///< workers idle (admission continues) until resume()
 
   /// Priority lanes, highest served first; each holds a WRR rotation over
   /// session lanes. Node-based on purpose: wrr_queue is not movable.

@@ -1,0 +1,153 @@
+#include "serving/request_trace.h"
+
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "util/stats.h"
+
+namespace mapcq::serving {
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+double ms_between(clock::time_point from, clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+/// Monotonic-counter delta (gauges recomputed by the caller's snapshot).
+scheduler_stats operator-(scheduler_stats after, const scheduler_stats& before) {
+  after.submitted -= before.submitted;
+  after.admitted -= before.admitted;
+  after.coalesced -= before.coalesced;
+  after.rejected -= before.rejected;
+  after.expired -= before.expired;
+  after.completed -= before.completed;
+  after.failed -= before.failed;
+  return after;
+}
+
+}  // namespace
+
+void trace_log::record(const std::string& lane, const std::string& fingerprint, int priority,
+                       std::chrono::milliseconds deadline) {
+  const auto now = clock::now();
+  const std::lock_guard<std::mutex> lock{mu_};
+  if (!anchored_) {
+    origin_ = now;
+    anchored_ = true;
+  }
+  core::trace_record r;
+  r.arrival_us =
+      static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(now - origin_).count());
+  r.priority = priority;
+  r.deadline_ms = static_cast<std::uint64_t>(deadline.count() > 0 ? deadline.count() : 0);
+  r.lane = lane;
+  r.fingerprint = fingerprint;
+  records_.push_back(std::move(r));
+}
+
+std::size_t trace_log::size() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  return records_.size();
+}
+
+std::vector<core::trace_record> trace_log::snapshot() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  return records_;
+}
+
+void latency_watch::add(std::shared_future<mapping_report> future, clock::time_point submitted) {
+  entries_.push_back(entry{std::move(future), submitted});
+}
+
+void latency_watch::rebase(clock::time_point at) {
+  for (entry& e : entries_)
+    if (e.origin < at) e.origin = at;
+}
+
+std::vector<double> latency_watch::wait_all(std::chrono::microseconds poll) {
+  std::vector<double> latencies(entries_.size(), -1.0);
+  std::size_t remaining = entries_.size();
+  while (remaining > 0) {
+    bool progressed = false;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (latencies[i] >= 0.0) continue;
+      // wait_for(0) is ready for values *and* exceptions (failed or
+      // expired requests measure their sojourn too, without get()).
+      if (entries_[i].future.wait_for(std::chrono::seconds{0}) == std::future_status::ready) {
+        latencies[i] = ms_between(entries_[i].origin, clock::now());
+        --remaining;
+        progressed = true;
+      }
+    }
+    if (remaining > 0 && !progressed) std::this_thread::sleep_for(poll);
+  }
+  return latencies;
+}
+
+replay_result replay_trace(mapping_service& service, const std::vector<core::trace_record>& trace,
+                           const mapping_request& base, const std::vector<std::string>& networks,
+                           const replay_options& opt) {
+  if (trace.empty()) throw std::invalid_argument("replay_trace: empty trace");
+  if (networks.empty()) throw std::invalid_argument("replay_trace: no networks to replay onto");
+
+  const std::size_t count =
+      opt.max_requests > 0 && opt.max_requests < trace.size() ? opt.max_requests : trace.size();
+
+  // First-appearance numbering reconstructs the capture's identity
+  // structure: lanes pick the target network, (lane, fingerprint) pairs
+  // pick the seed — see the header's file comment.
+  std::unordered_map<std::string, std::size_t> lane_slot;
+  std::unordered_map<std::string, std::uint64_t> pair_slot;
+
+  const scheduler_stats before = service.scheduler();
+  if (opt.synchronous) service.pause_scheduler();
+
+  latency_watch watch;
+  const clock::time_point start = clock::now();
+  for (std::size_t i = 0; i < count; ++i) {
+    const core::trace_record& r = trace[i];
+    mapping_request req = base;
+    const std::size_t lane_idx = lane_slot.emplace(r.lane, lane_slot.size()).first->second;
+    req.network = networks[lane_idx % networks.size()];
+    // '\n' appears in neither part, so the concatenation is injective
+    // (mirrors the scheduler's own pending-key construction).
+    const std::uint64_t pair_idx =
+        pair_slot.emplace(r.lane + '\n' + r.fingerprint, pair_slot.size()).first->second;
+    req.ga.seed = base.ga.seed + pair_idx;
+    req.priority = r.priority;
+    req.deadline = std::chrono::milliseconds{r.deadline_ms};
+    if (!opt.synchronous && opt.speed > 0.0) {
+      const auto offset = std::chrono::microseconds{
+          static_cast<std::int64_t>(static_cast<double>(r.arrival_us) / opt.speed)};
+      std::this_thread::sleep_until(start + offset);
+    }
+    watch.add(service.submit(std::move(req)), clock::now());
+  }
+
+  if (opt.synchronous) {
+    // Everything is queued (duplicates already coalesced); latency is
+    // meaningful only from the release.
+    watch.rebase(clock::now());
+    service.resume_scheduler();
+  }
+
+  std::vector<double> latencies = watch.wait_all();
+  const clock::time_point end = clock::now();
+
+  replay_result result;
+  result.requests = count;
+  result.distinct = pair_slot.size();
+  result.stats = service.scheduler() - before;
+  result.p50_ms = util::percentile(latencies, 50.0);
+  result.p95_ms = util::percentile(latencies, 95.0);
+  result.p99_ms = util::percentile(latencies, 99.0);
+  result.max_ms = util::max_of(latencies);
+  result.wall_ms = ms_between(start, end);
+  return result;
+}
+
+}  // namespace mapcq::serving

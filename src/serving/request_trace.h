@@ -1,0 +1,136 @@
+#pragma once
+// Request trace capture and replay — the ops half of the config+replay
+// surface (the other half is serving/service_config.h). A production
+// deployment installs a `trace_log` tap on its `mapping_service`; every
+// submit() appends one `core::trace_record` (arrival offset, priority,
+// deadline, fairness lane, fingerprint) *before* admission, so the capture
+// holds the offered load: duplicates the scheduler coalesced and requests
+// it rejected included. The log serializes to the mapcq-trace-v1 text
+// format (core/serialization.h) and `replay_trace` re-runs it against a
+// candidate build at 1x/Nx speed, reporting p50/p95/p99 latency plus the
+// scheduler-counter delta the replayed traffic produced.
+//
+// What a replay reproduces: the *shape* of the traffic, not its payloads.
+// A fingerprint cannot be inverted into a full request, so the driver
+// synthesizes each submit from a caller-provided base request — distinct
+// captured lanes map onto the given registered network names (round-robin
+// by first appearance) and every distinct (lane, fingerprint) pair gets a
+// distinct `ga.seed` (base seed + first-appearance index). Two replayed
+// submits therefore coalesce exactly when the captured pair did, which
+// keeps the coalescing/counter totals of the capture: under
+// `replay_options::synchronous` they are bit-identical, a pure function of
+// the trace (the replay tests gate on this).
+
+#include <chrono>
+#include <cstddef>
+#include <future>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/serialization.h"
+#include "serving/mapping_service.h"
+
+namespace mapcq::serving {
+
+/// Append-only, thread-safe log of submit() arrivals. The first record
+/// anchors t = 0; arrival offsets are measured from it, so a saved trace
+/// always starts at offset zero regardless of when the capture began.
+class trace_log {
+ public:
+  /// Appends one record stamped with the current arrival offset. Called by
+  /// the `mapping_service` tap; safe from any thread.
+  void record(const std::string& lane, const std::string& fingerprint, int priority,
+              std::chrono::milliseconds deadline);
+
+  /// Records captured so far.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Copy of the records in capture order (serialize with
+  /// core::to_text / core::save_trace).
+  [[nodiscard]] std::vector<core::trace_record> snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  bool anchored_ = false;
+  std::chrono::steady_clock::time_point origin_;
+  std::vector<core::trace_record> records_;
+};
+
+/// Completion watcher for a batch of submitted futures: one polling sweep
+/// (`wait_for(0)`) over the outstanding set instead of a thread per
+/// request, recording each request's sojourn — submit (or release, see
+/// rebase()) to observed-ready — with the poll interval as measurement
+/// granularity. Not thread-safe; one driver owns it.
+class latency_watch {
+ public:
+  /// Tracks one future, with its submit time as the latency origin.
+  void add(std::shared_future<mapping_report> future,
+           std::chrono::steady_clock::time_point submitted);
+
+  /// Moves every origin forward to at least `at` — used by synchronous
+  /// replay, where requests are queued while the scheduler is paused and
+  /// latency is meaningful only from the resume.
+  void rebase(std::chrono::steady_clock::time_point at);
+
+  /// Blocks until every tracked future is ready (value or exception) and
+  /// returns the latencies in milliseconds, unsorted, in add() order.
+  [[nodiscard]] std::vector<double> wait_all(
+      std::chrono::microseconds poll = std::chrono::microseconds{200});
+
+ private:
+  struct entry {
+    std::shared_future<mapping_report> future;
+    std::chrono::steady_clock::time_point origin;
+  };
+  std::vector<entry> entries_;
+};
+
+/// Replay knobs.
+struct replay_options {
+  /// Arrival-time divisor: 1 = captured pacing, 4 = four times faster,
+  /// <= 0 = no pacing (submit as fast as possible).
+  double speed = 1.0;
+  /// Pause the scheduler, submit the whole trace, resume, then wait: the
+  /// counter totals become a pure function of the trace (every duplicate
+  /// coalesces against its queued representative) and latency is measured
+  /// from the resume. Pacing is skipped (arrival offsets don't matter when
+  /// nothing dispatches until the end).
+  bool synchronous = false;
+  /// Replay only the first N records; 0 = the whole trace.
+  std::size_t max_requests = 0;
+};
+
+/// What a replay measured.
+struct replay_result {
+  std::size_t requests = 0;  ///< submits issued (after max_requests)
+  std::size_t distinct = 0;  ///< distinct (lane, fingerprint) pairs among them
+  /// Scheduler-counter delta over the replay (monotonic fields only;
+  /// gauges are zero after the drain). Under synchronous replay the totals
+  /// are a pure function of the trace: submitted == requests, admitted ==
+  /// distinct, coalesced == requests - distinct, and completed + failed +
+  /// expired == distinct.
+  scheduler_stats stats;
+  double p50_ms = 0.0;   ///< median request sojourn
+  double p95_ms = 0.0;   ///< 95th-percentile sojourn
+  double p99_ms = 0.0;   ///< 99th-percentile sojourn
+  double max_ms = 0.0;   ///< slowest request
+  double wall_ms = 0.0;  ///< first submit to last completion
+};
+
+/// Re-runs `trace` against `service`. Each record becomes a copy of `base`
+/// with the captured priority/deadline, its lane mapped onto one of
+/// `networks` (round-robin over distinct lanes in first-appearance order;
+/// every name must be registered on the service) and `ga.seed` set to
+/// `base.ga.seed + index` of its distinct (lane, fingerprint) pair — see
+/// the file comment for why this preserves the capture's coalescing
+/// structure. Blocks until every replayed request completed (failures and
+/// expiries count in `stats`, their sojourn still measured). Throws
+/// std::invalid_argument on an empty trace or empty `networks`.
+[[nodiscard]] replay_result replay_trace(mapping_service& service,
+                                         const std::vector<core::trace_record>& trace,
+                                         const mapping_request& base,
+                                         const std::vector<std::string>& networks,
+                                         const replay_options& opt = {});
+
+}  // namespace mapcq::serving

@@ -1,0 +1,467 @@
+#include "serving/service_config.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace mapcq::serving {
+
+namespace {
+
+using util::json::value;
+
+[[noreturn]] void fail(const std::string& path, const std::string& message) {
+  throw config_error(path, message);
+}
+
+std::string join(const std::string& path, std::string_view key) {
+  return path.empty() ? std::string(key) : path + "." + std::string(key);
+}
+
+/// Tracks which members of a JSON object a from_json body consumed, so
+/// finish() can reject the leftovers (typo'd keys) by path.
+class object_reader {
+ public:
+  object_reader(const value& v, std::string path) : path_(std::move(path)) {
+    if (!v.is_object()) fail(path_.empty() ? "<config>" : path_, "expected a JSON object");
+    obj_ = &v.as_object();
+    consumed_.assign(obj_->size(), false);
+  }
+
+  [[nodiscard]] std::string member_path(std::string_view key) const { return join(path_, key); }
+
+  /// The member named `key`, marked consumed; null when absent.
+  const value* take(std::string_view key) {
+    for (std::size_t i = 0; i < obj_->size(); ++i) {
+      if ((*obj_)[i].first == key) {
+        consumed_[i] = true;
+        return &(*obj_)[i].second;
+      }
+    }
+    return nullptr;
+  }
+
+  void get(std::string_view key, bool& out) {
+    if (const value* v = take(key)) {
+      if (!v->is_bool()) fail(member_path(key), "expected a boolean");
+      out = v->as_bool();
+    }
+  }
+
+  void get(std::string_view key, double& out) {
+    if (const value* v = take(key)) {
+      if (!v->is_number()) fail(member_path(key), "expected a number");
+      out = v->as_number();
+    }
+  }
+
+  template <class UInt>
+  void get_uint(std::string_view key, UInt& out) {
+    if (const value* v = take(key)) {
+      if (!v->is_number()) fail(member_path(key), "expected a non-negative integer");
+      const double d = v->as_number();
+      constexpr double exact = 9007199254740992.0;  // 2^53
+      if (d < 0.0 || d != std::floor(d) || d > exact)
+        fail(member_path(key), "expected a non-negative integer");
+      out = static_cast<UInt>(d);
+    }
+  }
+
+  void get_ms(std::string_view key, std::chrono::milliseconds& out) {
+    std::uint64_t ms = static_cast<std::uint64_t>(out.count());
+    get_uint(key, ms);
+    out = std::chrono::milliseconds(ms);
+  }
+
+  template <class Enum, std::size_t N>
+  void get_enum(std::string_view key, Enum& out, const std::pair<const char*, Enum> (&names)[N]) {
+    if (const value* v = take(key)) {
+      if (!v->is_string()) fail(member_path(key), "expected a string");
+      for (const auto& [name, val] : names) {
+        if (v->as_string() == name) {
+          out = val;
+          return;
+        }
+      }
+      std::string expected;
+      for (const auto& [name, val] : names) {
+        if (!expected.empty()) expected += " | ";
+        expected += '"';
+        expected += name;
+        expected += '"';
+      }
+      fail(member_path(key), "unknown value \"" + v->as_string() + "\" (expected " + expected + ")");
+    }
+  }
+
+  /// Every key not consumed by a get above is a typo — reject by path.
+  void finish() const {
+    for (std::size_t i = 0; i < obj_->size(); ++i)
+      if (!consumed_[i]) fail(member_path((*obj_)[i].first), "unknown key");
+  }
+
+ private:
+  const util::json::object* obj_ = nullptr;
+  std::string path_;
+  std::vector<bool> consumed_;
+};
+
+constexpr std::pair<const char*, core::eviction_policy> eviction_names[] = {
+    {"fifo", core::eviction_policy::fifo},
+    {"lru", core::eviction_policy::lru},
+};
+constexpr std::pair<const char*, admission_policy> policy_names[] = {
+    {"block", admission_policy::block},
+    {"reject", admission_policy::reject},
+};
+constexpr std::pair<const char*, core::selection_mode> selection_names[] = {
+    {"hybrid_nsga", core::selection_mode::hybrid_nsga},
+    {"objective_only", core::selection_mode::objective_only},
+};
+
+template <class Enum, std::size_t N>
+const char* enum_to_string(Enum e, const std::pair<const char*, Enum> (&names)[N]) {
+  for (const auto& [name, val] : names)
+    if (val == e) return name;
+  return "?";
+}
+
+/// Shared by from_json(service_options) and from_json(service_config): the
+/// latter reads the same members at the top level, plus a "ga" block.
+void read_service_fields(object_reader& r, service_options& out) {
+  r.get_uint("workers", out.workers);
+  r.get_uint("max_sessions", out.max_sessions);
+  r.get_ms("session_ttl_ms", out.session_ttl);
+  if (const value* v = r.take("engine")) from_json(*v, out.engine, r.member_path("engine"));
+  if (const value* v = r.take("scheduler"))
+    from_json(*v, out.scheduler, r.member_path("scheduler"));
+  if (const value* v = r.take("refresh")) from_json(*v, out.refresh, r.member_path("refresh"));
+}
+
+/// Service fields in declaration order; service_config appends "ga".
+void push_service_fields(value& obj, const service_options& opt) {
+  obj.push_member("workers", opt.workers);
+  obj.push_member("max_sessions", opt.max_sessions);
+  obj.push_member("session_ttl_ms", static_cast<std::uint64_t>(opt.session_ttl.count()));
+  obj.push_member("engine", to_json(opt.engine));
+  obj.push_member("scheduler", to_json(opt.scheduler));
+  obj.push_member("refresh", to_json(opt.refresh));
+}
+
+void check_fraction_open(double v, const std::string& path) {
+  if (!(v > 0.0 && v < 1.0)) fail(path, "must be strictly between 0 and 1");
+}
+
+void check_probability(double v, const std::string& path) {
+  if (!(v >= 0.0 && v <= 1.0)) fail(path, "must be between 0 and 1");
+}
+
+}  // namespace
+
+config_error::config_error(std::string path, const std::string& message)
+    : std::runtime_error("config error at " + (path.empty() ? std::string("<config>") : path) +
+                         ": " + message),
+      path_(std::move(path)) {}
+
+// ---------------------------------------------------------------- engine --
+
+value to_json(const core::engine_options& opt) {
+  value obj{util::json::object{}};
+  obj.push_member("shards", opt.shards);
+  obj.push_member("capacity", opt.capacity);
+  obj.push_member("threads", opt.threads);
+  obj.push_member("memoize", opt.memoize);
+  obj.push_member("eviction", enum_to_string(opt.eviction, eviction_names));
+  return obj;
+}
+
+void from_json(const value& v, core::engine_options& out, const std::string& path) {
+  object_reader r{v, path};
+  r.get_uint("shards", out.shards);
+  r.get_uint("capacity", out.capacity);
+  r.get_uint("threads", out.threads);
+  r.get("memoize", out.memoize);
+  r.get_enum("eviction", out.eviction, eviction_names);
+  r.finish();
+  validate(out, path);
+}
+
+void validate(const core::engine_options& opt, const std::string& path) {
+  if (opt.shards == 0) fail(join(path, "shards"), "must be at least 1");
+}
+
+// -------------------------------------------------------------------- ga --
+
+value to_json(const core::ga_options& opt) {
+  value obj{util::json::object{}};
+  obj.push_member("generations", opt.generations);
+  obj.push_member("population", opt.population);
+  obj.push_member("elite_fraction", opt.elite_fraction);
+  obj.push_member("crossover_prob", opt.crossover_prob);
+  obj.push_member("ratio_mutation_prob", opt.ratio_mutation_prob);
+  obj.push_member("forward_mutation_prob", opt.forward_mutation_prob);
+  obj.push_member("mapping_swap_prob", opt.mapping_swap_prob);
+  obj.push_member("dvfs_mutation_prob", opt.dvfs_mutation_prob);
+  obj.push_member("accuracy_elites", opt.accuracy_elites);
+  obj.push_member("selection", enum_to_string(opt.selection, selection_names));
+  value island{util::json::object{}};
+  island.push_member("islands", opt.island.islands);
+  island.push_member("migration_interval", opt.island.migration_interval);
+  island.push_member("migrants", opt.island.migrants);
+  island.push_member("polish_fraction", opt.island.polish_fraction);
+  obj.push_member("island", std::move(island));
+  obj.push_member("seed", opt.seed);
+  obj.push_member("threads", opt.threads);
+  return obj;
+}
+
+void from_json(const value& v, core::ga_options& out, const std::string& path) {
+  object_reader r{v, path};
+  r.get_uint("generations", out.generations);
+  r.get_uint("population", out.population);
+  r.get("elite_fraction", out.elite_fraction);
+  r.get("crossover_prob", out.crossover_prob);
+  r.get("ratio_mutation_prob", out.ratio_mutation_prob);
+  r.get("forward_mutation_prob", out.forward_mutation_prob);
+  r.get("mapping_swap_prob", out.mapping_swap_prob);
+  r.get("dvfs_mutation_prob", out.dvfs_mutation_prob);
+  r.get_uint("accuracy_elites", out.accuracy_elites);
+  r.get_enum("selection", out.selection, selection_names);
+  if (const value* isl = r.take("island")) {
+    object_reader ri{*isl, r.member_path("island")};
+    ri.get_uint("islands", out.island.islands);
+    ri.get_uint("migration_interval", out.island.migration_interval);
+    ri.get_uint("migrants", out.island.migrants);
+    ri.get("polish_fraction", out.island.polish_fraction);
+    ri.finish();
+  }
+  r.get_uint("seed", out.seed);
+  r.get_uint("threads", out.threads);
+  r.finish();
+  validate(out, path);
+}
+
+void validate(const core::ga_options& opt, const std::string& path) {
+  if (opt.generations == 0) fail(join(path, "generations"), "must be at least 1");
+  if (opt.population < 4) fail(join(path, "population"), "must be at least 4");
+  check_fraction_open(opt.elite_fraction, join(path, "elite_fraction"));
+  check_probability(opt.crossover_prob, join(path, "crossover_prob"));
+  check_probability(opt.ratio_mutation_prob, join(path, "ratio_mutation_prob"));
+  check_probability(opt.forward_mutation_prob, join(path, "forward_mutation_prob"));
+  check_probability(opt.mapping_swap_prob, join(path, "mapping_swap_prob"));
+  check_probability(opt.dvfs_mutation_prob, join(path, "dvfs_mutation_prob"));
+  if (opt.island.islands > 0 && opt.island.islands * 4 > opt.population)
+    fail(join(path, "island.islands"),
+         "would leave an island under 4 members (islands * 4 must not exceed population)");
+  check_probability(opt.island.polish_fraction, join(path, "island.polish_fraction"));
+}
+
+// ------------------------------------------------------------- scheduler --
+
+value to_json(const scheduler_options& opt) {
+  value obj{util::json::object{}};
+  obj.push_member("max_queued", opt.max_queued);
+  obj.push_member("max_inflight_per_session", opt.max_inflight_per_session);
+  obj.push_member("policy", enum_to_string(opt.policy, policy_names));
+  obj.push_member("coalesce", opt.coalesce);
+  obj.push_member("default_weight", opt.default_weight);
+  // weights live in an unordered_map: emit sorted so dumps stay
+  // deterministic (equal configs => byte-identical text).
+  std::vector<std::pair<std::string, std::size_t>> sorted{opt.weights.begin(), opt.weights.end()};
+  std::sort(sorted.begin(), sorted.end());
+  value weights{util::json::object{}};
+  for (auto& [lane, w] : sorted) weights.push_member(lane, w);
+  obj.push_member("weights", std::move(weights));
+  return obj;
+}
+
+void from_json(const value& v, scheduler_options& out, const std::string& path) {
+  object_reader r{v, path};
+  r.get_uint("max_queued", out.max_queued);
+  r.get_uint("max_inflight_per_session", out.max_inflight_per_session);
+  r.get_enum("policy", out.policy, policy_names);
+  r.get("coalesce", out.coalesce);
+  r.get_uint("default_weight", out.default_weight);
+  if (const value* w = r.take("weights")) {
+    const std::string wpath = r.member_path("weights");
+    if (!w->is_object()) fail(wpath, "expected an object of session-key -> weight");
+    out.weights.clear();
+    for (const auto& [lane, weight] : w->as_object()) {
+      const std::string lpath = join(wpath, lane);
+      if (!weight.is_number() || weight.as_number() != std::floor(weight.as_number()) ||
+          weight.as_number() < 0.0)
+        fail(lpath, "expected a non-negative integer");
+      out.weights[lane] = static_cast<std::size_t>(weight.as_number());
+    }
+  }
+  r.finish();
+  validate(out, path);
+}
+
+void validate(const scheduler_options& opt, const std::string& path) {
+  if (opt.default_weight == 0) fail(join(path, "default_weight"), "must be at least 1");
+  for (const auto& [lane, weight] : opt.weights)
+    if (weight == 0) fail(join(path, "weights." + lane), "must be at least 1");
+}
+
+// --------------------------------------------------------------- refresh --
+
+value to_json(const surrogate::refresh_options& opt) {
+  value obj{util::json::object{}};
+  obj.push_member("enabled", opt.enabled);
+  obj.push_member("log_capacity", opt.log_capacity);
+  obj.push_member("min_new_samples", opt.min_new_samples);
+  obj.push_member("interval_ms", static_cast<std::uint64_t>(opt.interval.count()));
+  obj.push_member("holdout_fraction", opt.holdout_fraction);
+  obj.push_member("promotion_margin", opt.promotion_margin);
+  obj.push_member("seed", opt.seed);
+  obj.push_member("synchronous", opt.synchronous);
+  return obj;
+}
+
+void from_json(const value& v, surrogate::refresh_options& out, const std::string& path) {
+  object_reader r{v, path};
+  r.get("enabled", out.enabled);
+  r.get_uint("log_capacity", out.log_capacity);
+  r.get_uint("min_new_samples", out.min_new_samples);
+  r.get_ms("interval_ms", out.interval);
+  r.get("holdout_fraction", out.holdout_fraction);
+  r.get("promotion_margin", out.promotion_margin);
+  r.get_uint("seed", out.seed);
+  r.get("synchronous", out.synchronous);
+  r.finish();
+  validate(out, path);
+}
+
+void validate(const surrogate::refresh_options& opt, const std::string& path) {
+  if (opt.log_capacity == 0) fail(join(path, "log_capacity"), "must be at least 1");
+  if (opt.min_new_samples == 0) fail(join(path, "min_new_samples"), "must be at least 1");
+  check_fraction_open(opt.holdout_fraction, join(path, "holdout_fraction"));
+  if (opt.promotion_margin < 0.0) fail(join(path, "promotion_margin"), "must not be negative");
+}
+
+// --------------------------------------------------------------- service --
+
+value to_json(const service_options& opt) {
+  value obj{util::json::object{}};
+  push_service_fields(obj, opt);
+  return obj;
+}
+
+void from_json(const value& v, service_options& out, const std::string& path) {
+  object_reader r{v, path};
+  read_service_fields(r, out);
+  r.finish();
+  validate(out, path);
+}
+
+void validate(const service_options& opt, const std::string& path) {
+  if (opt.workers == 0) fail(join(path, "workers"), "must be at least 1");
+  validate(opt.engine, join(path, "engine"));
+  validate(opt.scheduler, join(path, "scheduler"));
+  validate(opt.refresh, join(path, "refresh"));
+}
+
+value to_json(const service_config& cfg) {
+  value obj{util::json::object{}};
+  push_service_fields(obj, cfg.service);
+  obj.push_member("ga", to_json(cfg.ga));
+  return obj;
+}
+
+void from_json(const value& v, service_config& out, const std::string& path) {
+  object_reader r{v, path};
+  read_service_fields(r, out.service);
+  if (const value* ga = r.take("ga")) from_json(*ga, out.ga, r.member_path("ga"));
+  r.finish();
+  validate(out, path);
+}
+
+void validate(const service_config& cfg, const std::string& path) {
+  if (cfg.service.workers == 0) fail(join(path, "workers"), "must be at least 1");
+  validate(cfg.service.engine, join(path, "engine"));
+  validate(cfg.service.scheduler, join(path, "scheduler"));
+  validate(cfg.service.refresh, join(path, "refresh"));
+  validate(cfg.ga, join(path, "ga"));
+}
+
+// ------------------------------------------------------------- top level --
+
+service_config parse_config(std::string_view text) {
+  value doc;
+  try {
+    doc = util::json::parse(text);
+  } catch (const util::json::parse_error& e) {
+    throw config_error("<json>", e.what());
+  }
+  service_config cfg;
+  from_json(doc, cfg);
+  return cfg;
+}
+
+service_config load_config(const std::string& file_path) {
+  std::ifstream in{file_path};
+  if (!in) throw std::runtime_error("load_config: cannot open " + file_path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return parse_config(buf.str());
+}
+
+std::string dump_config(const service_config& cfg, int indent) {
+  std::string text = util::json::dump(to_json(cfg), indent);
+  if (indent > 0) text += '\n';
+  return text;
+}
+
+void save_config(const service_config& cfg, const std::string& file_path) {
+  std::ofstream out{file_path};
+  if (!out) throw std::runtime_error("save_config: cannot open " + file_path);
+  out << dump_config(cfg);
+  if (!out) throw std::runtime_error("save_config: write failed for " + file_path);
+}
+
+void apply_override(service_config& cfg, std::string_view assignment) {
+  const std::size_t eq = assignment.find('=');
+  if (eq == std::string_view::npos || eq == 0)
+    fail("<override>", "expected dotted.key=value, got \"" + std::string(assignment) + "\"");
+  const std::string_view key_path = assignment.substr(0, eq);
+  const std::string_view value_text = assignment.substr(eq + 1);
+
+  // Parse the right-hand side as a JSON scalar; bare words ("lru",
+  // "reject") fall back to strings so enum values need no shell quoting.
+  value rhs;
+  try {
+    rhs = util::json::parse(value_text);
+  } catch (const util::json::parse_error&) {
+    rhs = value{std::string(value_text)};
+  }
+
+  // Route the edit through the full JSON round-trip so unknown keys and
+  // range checks produce the same config_error a file would.
+  value doc = to_json(cfg);
+  value* cursor = &doc;
+  std::string walked;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t dot = key_path.find('.', start);
+    const std::string_view segment =
+        key_path.substr(start, dot == std::string_view::npos ? dot : dot - start);
+    if (segment.empty()) fail(std::string(key_path), "empty key segment");
+    if (!cursor->is_object() && !cursor->is_null())
+      fail(walked, "is a scalar, not a config block");
+    walked = join(walked, segment);
+    cursor = &cursor->at_or_insert(segment);
+    if (dot == std::string_view::npos) break;
+    start = dot + 1;
+  }
+  *cursor = std::move(rhs);
+
+  service_config updated;
+  from_json(doc, updated);
+  cfg = std::move(updated);
+}
+
+}  // namespace mapcq::serving

@@ -1,0 +1,254 @@
+// Trace capture/replay tests: mapcq-trace-v1 serialization round-trips,
+// the mapping_service trace tap records offered load (duplicates and all),
+// scheduler pause/resume semantics, and the replay guarantee — a captured
+// trace replayed synchronously yields coalescing/counter totals that are a
+// pure function of the trace, bit-identical run over run.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/serialization.h"
+#include "nn/models.h"
+#include "serving/mapping_service.h"
+#include "serving/request_trace.h"
+#include "soc/platform.h"
+
+namespace {
+
+using namespace mapcq;
+using serving::mapping_request;
+using serving::mapping_service;
+using serving::scheduler_stats;
+
+mapping_request tiny_request(const std::string& network, std::uint64_t ga_seed) {
+  mapping_request req;
+  req.network = network;
+  req.use_surrogate = false;
+  req.ga.generations = 2;
+  req.ga.population = 8;
+  req.ga.seed = ga_seed;
+  return req;
+}
+
+// --- mapcq-trace-v1 serialization -------------------------------------------
+
+TEST(trace_serialization, text_round_trip_preserves_every_field) {
+  std::vector<core::trace_record> trace(3);
+  trace[0] = {0, 2, 150, "lane with spaces", "fp|with=punct,and spaces"};
+  trace[1] = {1234, 0, 0, "a", "b"};
+  trace[2] = {999'999'999, -1, 7, "z", "same fp twice"};
+
+  const std::string text = core::to_text(trace);
+  const std::vector<core::trace_record> back = core::trace_from_text(text);
+  ASSERT_EQ(back.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(back[i].arrival_us, trace[i].arrival_us);
+    EXPECT_EQ(back[i].priority, trace[i].priority);
+    EXPECT_EQ(back[i].deadline_ms, trace[i].deadline_ms);
+    EXPECT_EQ(back[i].lane, trace[i].lane);
+    EXPECT_EQ(back[i].fingerprint, trace[i].fingerprint);
+  }
+  // Fixed point: serialize -> parse -> serialize is byte-identical.
+  EXPECT_EQ(core::to_text(back), text);
+}
+
+TEST(trace_serialization, rejects_foreign_and_truncated_input) {
+  EXPECT_THROW((void)core::trace_from_text("not-a-trace\n"), std::runtime_error);
+  const std::string text =
+      core::to_text(std::vector<core::trace_record>{{0, 0, 0, "lane", "fp"}});
+  EXPECT_THROW((void)core::trace_from_text(text.substr(0, text.size() / 2)),
+               std::runtime_error);
+  EXPECT_NO_THROW(
+      (void)core::trace_from_text(core::to_text(std::vector<core::trace_record>{})));
+}
+
+TEST(trace_serialization, file_round_trip) {
+  const std::vector<core::trace_record> trace{{5, 1, 0, "lane-0", "fp-0"},
+                                              {10, 0, 30, "lane-1", "fp-1"}};
+  const std::string path = "/tmp/mapcq_test_trace.trace";
+  core::save_trace(path, trace);
+  const std::vector<core::trace_record> back = core::load_trace(path);
+  EXPECT_EQ(core::to_text(back), core::to_text(trace));
+  std::remove(path.c_str());
+}
+
+// --- capture ----------------------------------------------------------------
+
+struct capture_fixture : ::testing::Test {
+  nn::network cnn = nn::build_simple_cnn();
+  soc::platform plat = soc::agx_xavier();
+  serving::service_options opt;
+  capture_fixture() { opt.engine.threads = 2; }
+
+  /// Runs duplicate-heavy traffic (3 distinct seeds, 3 submits each)
+  /// through a tapped service and returns (trace, drained stats).
+  std::pair<std::vector<core::trace_record>, scheduler_stats> capture() {
+    mapping_service service{opt};
+    service.register_network(cnn);
+    service.register_platform(plat);
+    auto log = std::make_shared<serving::trace_log>();
+    service.capture_trace(log);
+
+    std::vector<std::shared_future<serving::mapping_report>> futures;
+    for (int round = 0; round < 3; ++round)
+      for (std::uint64_t seed = 1; seed <= 3; ++seed)
+        futures.push_back(service.submit(tiny_request(cnn.name, seed)));
+    for (auto& f : futures) (void)f.get();
+    return {log->snapshot(), service.scheduler()};
+  }
+};
+
+TEST_F(capture_fixture, tap_records_offered_load_before_admission) {
+  const auto [trace, stats] = capture();
+  ASSERT_EQ(trace.size(), 9u);  // every submit, coalesced duplicates included
+  EXPECT_EQ(stats.submitted, 9u);
+  EXPECT_EQ(trace[0].arrival_us, 0u);  // first record anchors t = 0
+  for (std::size_t i = 1; i < trace.size(); ++i)
+    EXPECT_GE(trace[i].arrival_us, trace[i - 1].arrival_us);
+  for (const core::trace_record& r : trace) {
+    EXPECT_FALSE(r.lane.empty());
+    EXPECT_FALSE(r.fingerprint.empty());
+  }
+  // 3 distinct seeds -> 3 distinct fingerprints, one shared lane.
+  std::vector<std::string> fps;
+  for (const core::trace_record& r : trace) {
+    EXPECT_EQ(r.lane, trace[0].lane);
+    if (std::find(fps.begin(), fps.end(), r.fingerprint) == fps.end())
+      fps.push_back(r.fingerprint);
+  }
+  EXPECT_EQ(fps.size(), 3u);
+}
+
+// --- pause / resume ---------------------------------------------------------
+
+TEST_F(capture_fixture, paused_scheduler_admits_and_coalesces_but_never_dispatches) {
+  mapping_service service{opt};
+  service.register_network(cnn);
+  service.register_platform(plat);
+  service.pause_scheduler();
+
+  std::vector<std::shared_future<serving::mapping_report>> futures;
+  for (int dup = 0; dup < 3; ++dup)
+    futures.push_back(service.submit(tiny_request(cnn.name, 42)));
+  // Admission and coalescing proceed while paused; execution does not.
+  std::this_thread::sleep_for(std::chrono::milliseconds{50});
+  scheduler_stats st = service.scheduler();
+  EXPECT_EQ(st.submitted, 3u);
+  EXPECT_EQ(st.admitted, 1u);
+  EXPECT_EQ(st.coalesced, 2u);
+  EXPECT_EQ(st.completed, 0u);
+  EXPECT_EQ(futures[0].wait_for(std::chrono::seconds{0}), std::future_status::timeout);
+
+  service.resume_scheduler();
+  for (auto& f : futures) (void)f.get();
+  st = service.scheduler();
+  EXPECT_EQ(st.completed, 1u);
+  EXPECT_EQ(st.coalesced, 2u);
+}
+
+// --- replay -----------------------------------------------------------------
+
+TEST_F(capture_fixture, synchronous_replay_reproduces_captured_totals_bit_identically) {
+  const auto [trace, captured] = capture();
+
+  // Replay on a *fresh* service, as a candidate build would.
+  mapping_service replayed{opt};
+  replayed.register_network(cnn);
+  replayed.register_platform(plat);
+  serving::replay_options ropt;
+  ropt.synchronous = true;
+  const serving::replay_result r =
+      serving::replay_trace(replayed, trace, tiny_request(cnn.name, 7), {cnn.name}, ropt);
+
+  // Totals are a pure function of the trace...
+  EXPECT_EQ(r.requests, trace.size());
+  EXPECT_EQ(r.distinct, 3u);
+  EXPECT_EQ(r.stats.submitted, r.requests);
+  EXPECT_EQ(r.stats.admitted, r.distinct);
+  EXPECT_EQ(r.stats.coalesced, r.requests - r.distinct);
+  EXPECT_EQ(r.stats.completed, r.distinct);
+  EXPECT_EQ(r.stats.failed + r.stats.expired, 0u);
+  // ...and match what the capture run itself coalesced.
+  EXPECT_EQ(r.stats.submitted, captured.submitted);
+  EXPECT_EQ(r.stats.admitted + r.stats.coalesced, captured.admitted + captured.coalesced);
+  EXPECT_GE(r.p99_ms, r.p50_ms);
+  EXPECT_GE(r.max_ms, r.p99_ms);
+  EXPECT_GT(r.wall_ms, 0.0);
+
+  // Bit-identical run over run: a second synchronous replay of the same
+  // trace produces exactly the same counter delta.
+  mapping_service again{opt};
+  again.register_network(cnn);
+  again.register_platform(plat);
+  const serving::replay_result r2 =
+      serving::replay_trace(again, trace, tiny_request(cnn.name, 7), {cnn.name}, ropt);
+  EXPECT_EQ(r2.stats.submitted, r.stats.submitted);
+  EXPECT_EQ(r2.stats.admitted, r.stats.admitted);
+  EXPECT_EQ(r2.stats.coalesced, r.stats.coalesced);
+  EXPECT_EQ(r2.stats.completed, r.stats.completed);
+}
+
+TEST_F(capture_fixture, replay_survives_serialization_and_caps_requests) {
+  auto [trace, stats] = capture();
+  (void)stats;
+  // Through the text format, as the bench driver consumes it.
+  trace = core::trace_from_text(core::to_text(trace));
+
+  mapping_service service{opt};
+  service.register_network(cnn);
+  service.register_platform(plat);
+  serving::replay_options ropt;
+  ropt.synchronous = true;
+  ropt.max_requests = 4;  // first round (3 distinct) + one duplicate
+  const serving::replay_result r =
+      serving::replay_trace(service, trace, tiny_request(cnn.name, 7), {cnn.name}, ropt);
+  EXPECT_EQ(r.requests, 4u);
+  EXPECT_EQ(r.distinct, 3u);
+  EXPECT_EQ(r.stats.coalesced, 1u);
+}
+
+TEST_F(capture_fixture, multi_lane_traces_round_robin_over_networks) {
+  nn::network mobile = nn::build_mobilenet_cifar();
+  mapping_service service{opt};
+  service.register_network(cnn);
+  service.register_network(mobile);
+  service.register_platform(plat);
+
+  // Two captured lanes, two distinct fingerprints each.
+  std::vector<core::trace_record> trace;
+  for (std::uint64_t i = 0; i < 4; ++i)
+    trace.push_back({i * 100, 0, 0, i % 2 ? "lane-b" : "lane-a", "fp-" + std::to_string(i)});
+
+  serving::replay_options ropt;
+  ropt.synchronous = true;
+  const serving::replay_result r = serving::replay_trace(
+      service, trace, tiny_request(cnn.name, 7), {cnn.name, mobile.name}, ropt);
+  EXPECT_EQ(r.distinct, 4u);
+  EXPECT_EQ(r.stats.completed, 4u);
+  // Both networks actually served traffic: two sessions exist.
+  EXPECT_EQ(service.session_count(), 2u);
+}
+
+TEST_F(capture_fixture, replay_rejects_degenerate_input) {
+  mapping_service service{opt};
+  service.register_network(cnn);
+  service.register_platform(plat);
+  const std::vector<core::trace_record> empty;
+  const std::vector<core::trace_record> one{{0, 0, 0, "l", "f"}};
+  EXPECT_THROW((void)serving::replay_trace(service, empty, tiny_request(cnn.name, 1), {cnn.name}),
+               std::invalid_argument);
+  EXPECT_THROW((void)serving::replay_trace(service, one, tiny_request(cnn.name, 1), {}),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
-# Runs the CI bench suite (the five acceptance benches), merges their JSON
+# Runs the CI bench suite (the six acceptance benches), merges their JSON
 # metric emissions into one BENCH.json artifact, and — when BENCH_BASELINE
 # is set — fails on any gated regression (see tools/compare_bench.py).
 #
 #   BUILD_DIR        build tree holding bench/ binaries   (default: build)
 #   BENCH_OUT        merged artifact path                 (default: BENCH.json)
 #   BENCH_BASELINE   baseline to gate against             (default: none)
+#   MAPCQ_TRACE      trace replayed by trace_replay       (default: the
+#                    checked-in bench/traces/smoke.trace)
 #   MAPCQ_GENERATIONS / MAPCQ_POPULATION / MAPCQ_THREADS  scale, as usual
 #
 # Every bench is also a pass/fail check in its own right: a non-zero exit
@@ -16,11 +18,12 @@ cd "$(dirname "$0")/.."
 build_dir=${BUILD_DIR:-build}
 out=${BENCH_OUT:-BENCH.json}
 baseline=${BENCH_BASELINE:-}
+export MAPCQ_TRACE=${MAPCQ_TRACE:-bench/traces/smoke.trace}
 
 jsonl=$(mktemp)
 trap 'rm -f "$jsonl"' EXIT
 
-benches=(eval_engine serving_reuse island_scaling service_throughput surrogate_refresh)
+benches=(eval_engine serving_reuse island_scaling service_throughput surrogate_refresh trace_replay)
 for b in "${benches[@]}"; do
   echo "=== bench: $b ==="
   MAPCQ_BENCH_JSON=$jsonl "$build_dir/bench/$b"
