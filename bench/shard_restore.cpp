@@ -1,0 +1,152 @@
+// Shard-restore acceptance bench (the service_group subsystem's gate): a
+// group that is snapshotted, destroyed and rebuilt — and then resharded to
+// a different shard count — must answer warm requests with ZERO evaluator
+// runs and bit-identical mapping_reports. Anything else means the snapshot
+// lost cache entries, the ring routed a session away from its state, or
+// the restored GBT diverged from the one that served cold traffic.
+//
+// Scale via MAPCQ_GENERATIONS / MAPCQ_POPULATION / MAPCQ_THREADS.
+
+#include <chrono>
+#include <filesystem>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "serving/service_group.h"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+std::size_t evaluator_runs(const mapcq::serving::mapping_report& rep) {
+  return rep.search_cache.misses + rep.validation_cache.misses;
+}
+
+bool identical_reports(const mapcq::serving::mapping_report& a,
+                       const mapcq::serving::mapping_report& b) {
+  if (a.front.size() != b.front.size()) return false;
+  if (a.ours_latency_index != b.ours_latency_index) return false;
+  if (a.ours_energy_index != b.ours_energy_index) return false;
+  for (std::size_t i = 0; i < a.front.size(); ++i) {
+    const auto& x = a.front[i];
+    const auto& y = b.front[i];
+    if (!(x.config == y.config) || x.objective != y.objective ||
+        x.avg_latency_ms != y.avg_latency_ms || x.avg_energy_mj != y.avg_energy_mj ||
+        x.accuracy_pct != y.accuracy_pct || x.fmap_reuse_pct != y.fmap_reuse_pct)
+      return false;
+  }
+  if (a.search.total_evaluations != b.search.total_evaluations) return false;
+  return a.effective_config == b.effective_config;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mapcq;
+  const bench::testbed tb;
+  bench::scale s = bench::scale::from_env();
+  s.generations = std::max<std::size_t>(10, s.generations / 4);
+
+  const std::string dir = "/tmp/mapcq_bench_shard_restore";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  serving::group_options gopt;
+  gopt.shards = 2;
+  serving::service_options sopt;
+  sopt.engine.threads = s.threads;
+  sopt.workers = 1;
+  sopt.snapshot.directory = dir;
+  sopt.snapshot.spill_on_evict = true;
+
+  // Three distinct sessions (ranking seed keys them apart), one of them
+  // surrogate so the once-trained GBT has to survive the restarts too.
+  std::vector<serving::mapping_request> reqs;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    serving::mapping_request req;
+    req.network = tb.visformer.name;
+    req.use_surrogate = i == 2;
+    req.ga.generations = s.generations;
+    req.ga.population = s.population;
+    req.ranking_seed = i;
+    reqs.push_back(req);
+  }
+
+  std::cout << "=== shard restore: snapshot -> kill -> rebuild -> reshard ===\n";
+  std::cout << util::format("GA scale: %zu generations x %zu population, %zu threads\n\n",
+                            s.generations, s.population, s.threads);
+
+  // --- phase 1: cold serve on a 2-shard group, then snapshot + destroy ----
+  std::vector<serving::mapping_report> cold;
+  std::size_t cold_runs = 0, snapshots_written = 0;
+  double cold_s = 0.0;
+  {
+    serving::service_group group{gopt, sopt};
+    group.register_network(tb.visformer);
+    group.register_platform(tb.xavier);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const auto& req : reqs) cold.push_back(group.map(req));
+    cold_s = seconds_since(t0);
+    for (const auto& rep : cold) cold_runs += evaluator_runs(rep);
+    snapshots_written = group.snapshot_all();
+  }  // group destroyed: the simulated process kill
+
+  // --- phase 2: rebuild the same topology, serve warm from snapshots ------
+  serving::service_group group{gopt, sopt};
+  group.register_network(tb.visformer);
+  group.register_platform(tb.xavier);
+  std::size_t restored_warm_runs = 0, restored_identical = 0;
+  const auto t1 = std::chrono::steady_clock::now();
+  std::vector<serving::mapping_report> warm;
+  for (const auto& req : reqs) warm.push_back(group.map(req));
+  const double restore_s = seconds_since(t1);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    restored_warm_runs += evaluator_runs(warm[i]);
+    restored_identical += identical_reports(cold[i], warm[i]) ? 1 : 0;
+  }
+  const std::size_t sessions_restored = group.stats().sessions_restored;
+
+  // --- phase 3: reshard to 3, warm again across the new ring --------------
+  group.reshard(3);
+  std::size_t reshard_warm_runs = 0, reshard_identical = 0;
+  const auto t2 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const auto rep = group.map(reqs[i]);
+    reshard_warm_runs += evaluator_runs(rep);
+    reshard_identical += identical_reports(cold[i], rep) ? 1 : 0;
+  }
+  const double reshard_s = seconds_since(t2);
+
+  util::table t({"phase", "shards", "wall (s)", "evaluator runs", "identical reports"});
+  t.add_row({"cold", "2", bench::fmt(cold_s), std::to_string(cold_runs), "-"});
+  t.add_row({"restored", "2", bench::fmt(restore_s), std::to_string(restored_warm_runs),
+             std::to_string(restored_identical) + "/" + std::to_string(reqs.size())});
+  t.add_row({"resharded", "3", bench::fmt(reshard_s), std::to_string(reshard_warm_runs),
+             std::to_string(reshard_identical) + "/" + std::to_string(reqs.size())});
+  std::cout << t.str();
+
+  const bool ok = restored_warm_runs == 0 && reshard_warm_runs == 0 &&
+                  restored_identical == reqs.size() && reshard_identical == reqs.size() &&
+                  sessions_restored == reqs.size() && snapshots_written == reqs.size();
+  std::cout << util::format(
+      "\nsnapshots written: %zu | sessions restored: %zu | restore failures: %zu | %s\n",
+      snapshots_written, sessions_restored, group.stats().restore_failures,
+      ok ? "OK" : "FAILED");
+
+  bench::json_reporter json{"shard_restore"};
+  json.metric("cold_runs", static_cast<double>(cold_runs));
+  json.metric("restored_warm_runs", static_cast<double>(restored_warm_runs));
+  json.metric("restored_identical", restored_identical == reqs.size() ? 1.0 : 0.0);
+  json.metric("reshard_warm_runs", static_cast<double>(reshard_warm_runs));
+  json.metric("reshard_identical", reshard_identical == reqs.size() ? 1.0 : 0.0);
+  json.metric("sessions_restored", static_cast<double>(sessions_restored));
+  json.metric("cold_wall_s", cold_s);
+  json.metric("restore_wall_s", restore_s);
+
+  std::filesystem::remove_all(dir);
+  return ok ? 0 : 1;
+}

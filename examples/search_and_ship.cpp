@@ -11,6 +11,7 @@
 //                                    [--dump-config]
 //                                    [--clients N]
 //                                    [--capture-trace out.trace]
+//                                    [--snapshot-dir dir]
 // The deployment is driven by one serving::service_config JSON document
 // (docs/SERVING.md has the reference); e.g. "--set ga.island.islands=2"
 // shards the population into an island-model search — same serving API,
@@ -18,9 +19,13 @@
 // concurrent submitters hammer the warm service with duplicate-heavy
 // traffic and the request scheduler coalesces them. --capture-trace
 // installs a trace tap and writes every submit() of the run as a
-// mapcq-trace-v1 file replayable with bench/trace_replay.
+// mapcq-trace-v1 file replayable with bench/trace_replay. --snapshot-dir
+// turns on durable sessions: the run spills its warm sessions there on
+// exit, and a later run pointed at the same directory boots warm — the
+// search is served from the restored memo cache at ~zero evaluator runs.
 
 #include <cstdio>
+#include <filesystem>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -50,6 +55,7 @@ int main(int argc, char** argv) {
   bool dump_config = false;
   std::size_t clients = 0;
   std::string trace_path;
+  std::string snapshot_dir;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     try {
@@ -63,15 +69,23 @@ int main(int argc, char** argv) {
         clients = std::stoul(argv[++i]);
       } else if (arg == "--capture-trace" && i + 1 < argc) {
         trace_path = argv[++i];
+      } else if (arg == "--snapshot-dir" && i + 1 < argc) {
+        snapshot_dir = argv[++i];
       } else {
         std::cerr << "usage: search_and_ship [--config file.json] [--set dotted.key=value ...] "
-                     "[--dump-config] [--clients N] [--capture-trace out.trace]\n";
+                     "[--dump-config] [--clients N] [--capture-trace out.trace] "
+                     "[--snapshot-dir dir]\n";
         return 2;
       }
     } catch (const std::exception& e) {
       std::cerr << "search_and_ship: " << e.what() << "\n";
       return 2;
     }
+  }
+  if (!snapshot_dir.empty()) {
+    std::filesystem::create_directories(snapshot_dir);  // the service never creates it
+    cfg.service.snapshot.directory = snapshot_dir;
+    cfg.service.snapshot.spill_on_evict = true;
   }
   if (dump_config) {
     std::cout << serving::dump_config(cfg);
@@ -102,6 +116,15 @@ int main(int argc, char** argv) {
   std::cout << "request submitted (" << (cfg.ga.island.islands ? cfg.ga.island.islands : 1)
             << " island(s)); waiting for the mapping report...\n";
   const serving::mapping_report report = pending.get();
+  if (!snapshot_dir.empty()) {
+    // A previous run against the same directory left a snapshot; this boot
+    // warm-started from it and the search above ran on a hot memo cache.
+    std::cout << util::format(
+        "snapshot dir %s: %zu session(s) restored, search ran %zu evaluator run(s)%s\n",
+        snapshot_dir.c_str(), service.sessions_restored(),
+        report.search_cache.misses + report.validation_cache.misses,
+        service.sessions_restored() > 0 ? " (warm boot)" : " (cold boot)");
+  }
   const core::evaluation& winner = report.best();
   std::cout << "searched: " << winner.config.describe(xavier) << "\n";
   std::cout << util::format("searched metrics: %.2f mJ / %.2f ms / %.2f%%\n",
@@ -177,6 +200,14 @@ int main(int argc, char** argv) {
   if (trace) {
     core::save_trace(trace_path, trace->snapshot());
     std::cout << "\ncaptured " << trace->size() << " submit(s) to " << trace_path << "\n";
+  }
+
+  // 7. Durable shutdown: spill every warm session so the next run pointed
+  // at the same --snapshot-dir boots warm instead of re-searching.
+  if (!snapshot_dir.empty()) {
+    const std::size_t spilled = service.spill_sessions();
+    std::cout << util::format("\nspilled %zu warm session(s) to %s for the next boot\n", spilled,
+                              snapshot_dir.c_str());
   }
 
   const bool identical = replay.avg_energy_mj == winner.avg_energy_mj &&

@@ -18,6 +18,20 @@ std::size_t shard_count(const engine_options& opt) {
 
 }  // namespace
 
+std::size_t approx_evaluation_bytes(const evaluation& e) noexcept {
+  std::size_t n = sizeof(evaluation);
+  for (const auto& row : e.config.partition) n += sizeof(row) + row.capacity() * sizeof(double);
+  for (const auto& row : e.config.forward) n += sizeof(row) + row.capacity() / 8;
+  n += e.config.mapping.capacity() * sizeof(std::size_t);
+  n += e.config.dvfs.capacity() * sizeof(std::size_t);
+  n += e.reject_reason.capacity();
+  n += e.stage_latency_ms.capacity() * sizeof(double);
+  n += e.stage_energy_mj.capacity() * sizeof(double);
+  n += e.stage_accuracy_pct.capacity() * sizeof(double);
+  n += e.exit_fractions.capacity() * sizeof(double);
+  return n;
+}
+
 evaluation_engine::evaluation_engine(const evaluator& eval, engine_options opt)
     : opt_(opt), shard_capacity_(0), shards_(shard_count(opt)) {
   state_ = std::make_shared<const epoch_state>(epoch_state{&eval, 0});
@@ -78,6 +92,7 @@ void evaluation_engine::advance_epoch(const evaluator& next) {
         }
       }
       if (bucket.empty()) s.map.erase(it->key);
+      bytes_.fetch_sub(it->bytes, std::memory_order_relaxed);
       it = s.order.erase(it);
       ++purged;
     }
@@ -94,8 +109,10 @@ void evaluation_engine::insert(std::size_t key, const evaluation& result,
   // the first copy so the bucket stays in step with the eviction list.
   for (const entry_list::iterator entry : bucket)
     if (entry->epoch == epoch && entry->value.config == result.config) return;
-  s.order.push_back(cache_entry{key, epoch, result});
+  const std::size_t entry_bytes = approx_evaluation_bytes(result);
+  s.order.push_back(cache_entry{key, epoch, entry_bytes, result});
   bucket.push_back(std::prev(s.order.end()));
+  bytes_.fetch_add(entry_bytes, std::memory_order_relaxed);
 
   while (shard_capacity_ > 0 && s.order.size() > shard_capacity_) {
     const entry_list::iterator victim = s.order.begin();
@@ -108,6 +125,7 @@ void evaluation_engine::insert(std::size_t key, const evaluation& result,
       }
     }
     if (ventries.empty()) s.map.erase(vit);
+    bytes_.fetch_sub(victim->bytes, std::memory_order_relaxed);
     s.order.erase(victim);
     evictions_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -419,6 +437,7 @@ engine_stats evaluation_engine::stats() const noexcept {
   s.inflight = inflight_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
   s.invalidated = invalidated_.load(std::memory_order_relaxed);
+  s.cache_bytes = bytes_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -434,9 +453,27 @@ std::size_t evaluation_engine::size() const {
 void evaluation_engine::clear() {
   for (shard& s : shards_) {
     const std::lock_guard<std::mutex> lock{s.mu};
+    for (const cache_entry& entry : s.order)
+      bytes_.fetch_sub(entry.bytes, std::memory_order_relaxed);
     s.map.clear();
     s.order.clear();
   }
+}
+
+std::vector<evaluation> evaluation_engine::export_cache() const {
+  const std::uint64_t epoch = current()->epoch;
+  std::vector<evaluation> out;
+  for (const shard& s : shards_) {
+    const std::lock_guard<std::mutex> lock{s.mu};
+    for (const cache_entry& entry : s.order)
+      if (entry.epoch == epoch) out.push_back(entry.value);
+  }
+  return out;
+}
+
+void evaluation_engine::import_cache(std::span<const evaluation> entries) {
+  const std::uint64_t epoch = current()->epoch;
+  for (const evaluation& e : entries) insert(e.config.hash(), e, epoch);
 }
 
 }  // namespace mapcq::core

@@ -75,6 +75,14 @@ struct engine_stats {
   /// Entries purged because their predictor epoch went stale (see
   /// `advance_epoch`); distinct from capacity `evictions`.
   std::size_t invalidated = 0;
+  /// Gauge (not a counter): approximate bytes currently held by the memo
+  /// table — sum of `approx_evaluation_bytes` over the live entries,
+  /// maintained on insert/evict/purge. Spill and capacity decisions read
+  /// this instead of flying blind on entry counts (records vary wildly
+  /// with stage counts). Being a gauge it passes through `operator-`
+  /// unchanged (a delta keeps the minuend's footprint; subtracting
+  /// snapshots would underflow whenever the cache shrank).
+  std::size_t cache_bytes = 0;
 
   [[nodiscard]] std::size_t lookups() const noexcept {
     return hits + misses + dedup + inflight;
@@ -93,8 +101,16 @@ struct engine_stats {
   a.inflight -= b.inflight;
   a.evictions -= b.evictions;
   a.invalidated -= b.invalidated;
+  // cache_bytes is a gauge: the delta reports the minuend's live footprint.
   return a;
 }
+
+/// Approximate memory footprint of one cached evaluation: the struct plus
+/// its heap payloads (configuration matrices, per-stage vectors, reject
+/// reason). An estimate, not an accounting — allocator overhead and
+/// small-string storage are ignored — but proportional to the real cost,
+/// which is what capacity/spill decisions need.
+[[nodiscard]] std::size_t approx_evaluation_bytes(const evaluation& e) noexcept;
 
 /// Thread-safe memoizing front-end of one `evaluator`.
 ///
@@ -199,6 +215,20 @@ class evaluation_engine {
   [[nodiscard]] const evaluator& base() const noexcept { return *current()->eval; }
   [[nodiscard]] const engine_options& options() const noexcept { return opt_; }
 
+  /// Copies out every *current-epoch* cache entry, in deterministic order
+  /// (shard 0..N, coldest first within a shard — so a capacity-bounded
+  /// import replays the eviction order faithfully). Stale-epoch stragglers
+  /// and in-flight runs are excluded: the export is exactly what the
+  /// engine could serve right now. This is the session-snapshot primitive
+  /// (serving/session_snapshot.h).
+  [[nodiscard]] std::vector<evaluation> export_cache() const;
+
+  /// Inserts `entries` into the cache at the *current* epoch — the restore
+  /// half of `export_cache`. Entries already present are kept (first copy
+  /// wins, as with racing batches); capacity eviction applies as usual.
+  /// No hit/miss counters are bumped: importing is not traffic.
+  void import_cache(std::span<const evaluation> entries);
+
  private:
   // Hash collisions are resolved by exact configuration equality against
   // the `evaluation::config` stored in each entry. Entries live on the
@@ -216,6 +246,7 @@ class evaluation_engine {
   struct cache_entry {
     std::size_t key = 0;
     std::uint64_t epoch = 0;
+    std::size_t bytes = 0;  ///< approx_evaluation_bytes(value), frozen at insert
     evaluation value;
   };
   using entry_list = std::list<cache_entry>;
@@ -324,6 +355,7 @@ class evaluation_engine {
   std::atomic<std::size_t> inflight_{0};
   std::atomic<std::size_t> evictions_{0};
   std::atomic<std::size_t> invalidated_{0};
+  std::atomic<std::size_t> bytes_{0};  ///< live-entry footprint (stats().cache_bytes)
 };
 
 }  // namespace mapcq::core

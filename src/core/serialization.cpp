@@ -14,6 +14,7 @@ namespace {
 constexpr const char* config_tag = "mapcq-config-v1";
 constexpr const char* report_tag = "mapcq-report-v1";
 constexpr const char* trace_tag = "mapcq-trace-v1";
+constexpr const char* eval_tag = "mapcq-eval-v1";
 
 std::string next_line(std::istream& is, const char* what) {
   std::string line;
@@ -345,6 +346,84 @@ void save_trace(const std::string& path, const std::vector<trace_record>& trace)
 
 std::vector<trace_record> load_trace(const std::string& path) {
   return trace_from_text(slurp(path, "load_trace"));
+}
+
+namespace {
+
+/// One length-prefixed vector row: `key n v1 .. vn`. Self-delimiting so the
+/// eval block needs no section markers.
+void write_vector_row(std::ostream& os, const char* key, const std::vector<double>& v) {
+  os << key << ' ' << v.size();
+  for (const double x : v) os << ' ' << x;
+  os << '\n';
+}
+
+std::vector<double> read_vector_row(std::istream& is, const char* key) {
+  std::istringstream ls{next_line(is, key)};
+  std::string k;
+  if (!(ls >> k) || k != key)
+    throw std::runtime_error(std::string("serialization: expected ") + key);
+  std::size_t n = 0;
+  if (!(ls >> n)) throw std::runtime_error(std::string("serialization: short row for ") + key);
+  std::vector<double> v(n);
+  for (double& x : v) {
+    std::string token;
+    if (!(ls >> token)) throw std::runtime_error(std::string("serialization: short row for ") + key);
+    try {
+      parse_token(token, x);
+    } catch (const std::exception&) {
+      throw std::runtime_error(std::string("serialization: bad value for ") + key);
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+void write_evaluation(std::ostream& os, const evaluation& e) {
+  os.precision(17);
+  os << eval_tag << "\n";
+  write_row(os, "feasible", e.feasible ? 1 : 0);
+  os << "reject_reason " << e.reject_reason << "\n";
+  write_row(os, "objective", e.objective);
+  write_row(os, "avg_latency_ms", e.avg_latency_ms);
+  write_row(os, "avg_energy_mj", e.avg_energy_mj);
+  write_row(os, "worst_latency_ms", e.worst_latency_ms);
+  write_row(os, "worst_energy_mj", e.worst_energy_mj);
+  write_row(os, "accuracy_pct", e.accuracy_pct);
+  write_row(os, "last_stage_accuracy_pct", e.last_stage_accuracy_pct);
+  write_row(os, "fmap_reuse_pct", e.fmap_reuse_pct);
+  write_row(os, "stored_fmap_bytes", e.stored_fmap_bytes);
+  write_row(os, "fmap_traffic_bytes", e.fmap_traffic_bytes);
+  write_vector_row(os, "stage_latency_ms", e.stage_latency_ms);
+  write_vector_row(os, "stage_energy_mj", e.stage_energy_mj);
+  write_vector_row(os, "stage_accuracy_pct", e.stage_accuracy_pct);
+  write_vector_row(os, "exit_fractions", e.exit_fractions);
+  write_configuration(os, e.config);
+}
+
+evaluation read_evaluation(std::istream& is) {
+  if (next_line(is, "header") != eval_tag)
+    throw std::runtime_error("read_evaluation: bad header");
+  evaluation e;
+  e.feasible = read_sized(is, "feasible") != 0;
+  e.reject_reason = read_tail(is, "reject_reason");
+  e.objective = read_scalar(is, "objective");
+  e.avg_latency_ms = read_scalar(is, "avg_latency_ms");
+  e.avg_energy_mj = read_scalar(is, "avg_energy_mj");
+  e.worst_latency_ms = read_scalar(is, "worst_latency_ms");
+  e.worst_energy_mj = read_scalar(is, "worst_energy_mj");
+  e.accuracy_pct = read_scalar(is, "accuracy_pct");
+  e.last_stage_accuracy_pct = read_scalar(is, "last_stage_accuracy_pct");
+  e.fmap_reuse_pct = read_scalar(is, "fmap_reuse_pct");
+  e.stored_fmap_bytes = read_scalar(is, "stored_fmap_bytes");
+  e.fmap_traffic_bytes = read_scalar(is, "fmap_traffic_bytes");
+  e.stage_latency_ms = read_vector_row(is, "stage_latency_ms");
+  e.stage_energy_mj = read_vector_row(is, "stage_energy_mj");
+  e.stage_accuracy_pct = read_vector_row(is, "stage_accuracy_pct");
+  e.exit_fractions = read_vector_row(is, "exit_fractions");
+  e.config = read_configuration(is);
+  return e;
 }
 
 }  // namespace mapcq::core

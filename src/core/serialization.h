@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/configuration.h"
+#include "core/evaluator.h"
 
 namespace mapcq::core {
 
@@ -132,5 +133,19 @@ struct trace_record {
 /// File convenience wrappers. save throws std::runtime_error on I/O failure.
 void save_trace(const std::string& path, const std::vector<trace_record>& trace);
 [[nodiscard]] std::vector<trace_record> load_trace(const std::string& path);
+
+/// Serializes one full `evaluation` record (mapcq-eval-v1): every scalar at
+/// full precision, the per-stage vectors, and the configuration embedded in
+/// the mapcq-config-v1 format. This is the cache-entry unit of session
+/// snapshots (serving/session_snapshot.h) — a restored record must serve
+/// bit-identically, so nothing is summarized away. The block is
+/// self-delimiting (vector rows carry their length) and embeddable in
+/// larger documents.
+void write_evaluation(std::ostream& os, const evaluation& e);
+
+/// Parses one mapcq-eval-v1 block; exact round-trip of `write_evaluation`.
+/// Throws std::runtime_error on malformed input (bad header, short rows,
+/// non-numeric fields).
+[[nodiscard]] evaluation read_evaluation(std::istream& is);
 
 }  // namespace mapcq::core

@@ -4,6 +4,8 @@
 
 #include "serving/request_trace.h"
 #include "serving/service_config.h"
+#include "serving/session_snapshot.h"
+#include <filesystem>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
@@ -90,6 +92,34 @@ std::string mapping_service::session_key(const mapping_request& req,
   return os.str();
 }
 
+void mapping_service::spill_session_locked(const std::shared_ptr<mapping_session>& session) {
+  if (!opt_.snapshot.spill_on_evict || opt_.snapshot.directory.empty()) return;
+  try {
+    save_snapshot(opt_.snapshot.directory + "/" + snapshot_filename(session->key()),
+                  session->snapshot());
+    ++sessions_spilled_;
+  } catch (...) {
+    // Spilling is best-effort: the eviction itself must never fail on a
+    // full disk or an unwritable directory.
+    ++spill_failures_;
+  }
+}
+
+void mapping_service::maybe_restore_locked(const std::string& key, mapping_session& session) {
+  if (!opt_.snapshot.restore_on_miss || opt_.snapshot.directory.empty()) return;
+  const std::string path = opt_.snapshot.directory + "/" + snapshot_filename(key);
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec) || ec) return;
+  try {
+    session.restore(load_snapshot(path));
+    ++sessions_restored_;
+  } catch (...) {
+    // A corrupt, truncated or key-mismatched snapshot (hash collision)
+    // must never fail the request: the fresh session simply starts cold.
+    ++restore_failures_;
+  }
+}
+
 void mapping_service::prune_expired_locked(std::chrono::steady_clock::time_point now) {
   if (opt_.session_ttl.count() <= 0) return;
   for (auto it = sessions_.begin(); it != sessions_.end();) {
@@ -100,6 +130,7 @@ void mapping_service::prune_expired_locked(std::chrono::steady_clock::time_point
     // concurrent pruners as well.
     const bool busy = it->second.session.use_count() > 1;
     if (!busy && now - it->second.last_used > opt_.session_ttl) {
+      spill_session_locked(it->second.session);
       it = sessions_.erase(it);
       ++sessions_evicted_;
     } else {
@@ -127,6 +158,7 @@ void mapping_service::enforce_capacity_locked(const std::string& keep) {
       }
     }
     if (victim == sessions_.end()) return;  // only `keep` remains
+    spill_session_locked(victim->second.session);
     sessions_.erase(victim);
     ++sessions_evicted_;
   }
@@ -158,6 +190,7 @@ std::shared_ptr<mapping_session> mapping_service::session_for(const mapping_requ
   auto session = std::make_shared<mapping_session>(key, net_it->second, plat_it->second, req.eval,
                                                    req.ratio_levels, req.ranking_seed, opt_.engine,
                                                    opt_.refresh);
+  maybe_restore_locked(key, *session);
   sessions_.emplace(key, session_entry{session, now});
   enforce_capacity_locked(key);
   return session;
@@ -174,7 +207,9 @@ mapping_report mapping_service::map(const mapping_request& req) {
   // The exact config this report was produced under: the (normalized)
   // service options plus the request's GA knobs. Compact form — one line
   // inside the report, still parse_config-able.
-  rep.effective_config = dump_config(service_config{opt_, req.ga}, 0);
+  // Deliberately the default group: reports must stay bit-identical no
+  // matter which shard topology served them.
+  rep.effective_config = dump_config(service_config{opt_, {}, req.ga}, 0);
 
   // --- search, on the session engine matching the requested predictor -----
   core::evaluation_engine* search_engine = &session->analytic_engine();
@@ -294,6 +329,72 @@ std::vector<std::string> mapping_service::session_keys() const {
 std::size_t mapping_service::sessions_evicted() const {
   const std::lock_guard<std::mutex> lock{mu_};
   return sessions_evicted_;
+}
+
+std::size_t mapping_service::spill_sessions() {
+  if (opt_.snapshot.directory.empty()) return 0;
+  // Copy the live set out, then snapshot outside `mu_`: a snapshot drains
+  // the session's refresh worker, and the registry must stay responsive to
+  // concurrent traffic while that happens.
+  std::vector<std::shared_ptr<mapping_session>> live;
+  {
+    const std::lock_guard<std::mutex> lock{mu_};
+    live.reserve(sessions_.size());
+    for (const auto& [key, entry] : sessions_) live.push_back(entry.session);
+  }
+  std::size_t spilled = 0;
+  std::size_t failed = 0;
+  for (const auto& session : live) {
+    try {
+      save_snapshot(opt_.snapshot.directory + "/" + snapshot_filename(session->key()),
+                    session->snapshot());
+      ++spilled;
+    } catch (...) {
+      ++failed;
+    }
+  }
+  const std::lock_guard<std::mutex> lock{mu_};
+  sessions_spilled_ += spilled;
+  spill_failures_ += failed;
+  return spilled;
+}
+
+std::size_t mapping_service::sessions_spilled() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  return sessions_spilled_;
+}
+
+std::size_t mapping_service::spill_failures() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  return spill_failures_;
+}
+
+std::size_t mapping_service::sessions_restored() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  return sessions_restored_;
+}
+
+std::size_t mapping_service::restore_failures() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  return restore_failures_;
+}
+
+core::engine_stats mapping_service::engine_totals() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  core::engine_stats total;
+  for (const auto& [key, entry] : sessions_) {
+    for (const core::engine_stats s :
+         {entry.session->analytic_cache_stats(), entry.session->surrogate_cache_stats()}) {
+      total.hits += s.hits;
+      total.misses += s.misses;
+      total.dedup += s.dedup;
+      total.inflight += s.inflight;
+      total.evictions += s.evictions;
+      total.invalidated += s.invalidated;
+      total.cache_bytes += s.cache_bytes;
+    }
+  }
+  return total;
 }
 
 }  // namespace mapcq::serving

@@ -38,6 +38,25 @@ namespace mapcq::serving {
 
 class trace_log;  // serving/request_trace.h
 
+/// Durable-snapshot knobs (see serving/session_snapshot.h and the
+/// persistence section of docs/SERVING.md).
+struct snapshot_options {
+  /// Directory session snapshots are written to / restored from. Empty
+  /// (the default) disables persistence entirely — no spill, no restore.
+  /// Must already exist; the service never creates it.
+  std::string directory;
+  /// Evicted sessions (LRU cap, idle TTL) are snapshotted to `directory`
+  /// before they are dropped, instead of discarding their warm caches and
+  /// trained surrogate. Spilling is best-effort: a failed write counts in
+  /// `spill_failures()` and the eviction proceeds.
+  bool spill_on_evict = false;
+  /// A cold session_for() miss checks `directory` for a snapshot of the
+  /// session's key and warm-starts from it. Restoring is best-effort: a
+  /// corrupt or mismatched snapshot counts in `restore_failures()` and the
+  /// session starts cold.
+  bool restore_on_miss = true;
+};
+
 /// Service tuning knobs.
 struct service_options {
   service_options() {
@@ -75,6 +94,10 @@ struct service_options {
   /// completes (so a search longer than the TTL cannot expire its own
   /// session). Expiry is lazy: checked whenever the registry is touched.
   std::chrono::milliseconds session_ttl{0};
+
+  /// Durable session snapshots: spill-on-evict and warm-start restore
+  /// (default-off via an empty directory; see snapshot_options).
+  snapshot_options snapshot;
 };
 
 /// Thread-safe, long-lived serving front-end.
@@ -158,6 +181,34 @@ class mapping_service {
   /// Sessions dropped so far by the LRU cap or the idle TTL.
   [[nodiscard]] std::size_t sessions_evicted() const;
 
+  /// The session key `req` would resolve to, without validating or creating
+  /// anything (unknown names key on generation 0) — the scheduler's
+  /// fairness lane, computable even for requests that will fail in map().
+  /// Also the consistent-hash routing key of serving::service_group.
+  [[nodiscard]] std::string fairness_lane(const mapping_request& req) const;
+
+  /// Snapshots every live session to `snapshot.directory` (existing files
+  /// for the same keys are overwritten); the sessions stay in the registry
+  /// and keep serving. This is the orderly-shutdown / pre-reshard drain
+  /// primitive. Returns the number spilled; 0 when no directory is
+  /// configured. Failed writes count in `spill_failures()` and are skipped.
+  ///
+  /// Blocking: snapshotting drains each refresh session's in-flight refit.
+  std::size_t spill_sessions();
+
+  /// @name Persistence counters (all monotonic)
+  /// @{
+  [[nodiscard]] std::size_t sessions_spilled() const;   ///< snapshots written
+  [[nodiscard]] std::size_t spill_failures() const;     ///< snapshot writes that failed
+  [[nodiscard]] std::size_t sessions_restored() const;  ///< cold misses warm-started from disk
+  [[nodiscard]] std::size_t restore_failures() const;   ///< snapshots that failed to load
+  /// @}
+
+  /// Summed engine counters (analytic + surrogate) across every live
+  /// session — the service-level cache dashboard; `cache_bytes` sums into
+  /// the service's total memo-table footprint.
+  [[nodiscard]] core::engine_stats engine_totals() const;
+
  private:
   struct session_entry {
     std::shared_ptr<mapping_session> session;
@@ -168,10 +219,12 @@ class mapping_service {
                                         const std::string& platform_name,
                                         std::uint64_t network_generation,
                                         std::uint64_t platform_generation) const;
-  /// The session key `req` would resolve to, without validating or creating
-  /// anything (unknown names key on generation 0) — the scheduler's
-  /// fairness lane, computable even for requests that will fail in map().
-  [[nodiscard]] std::string fairness_lane(const mapping_request& req) const;
+  /// Best-effort snapshot of an eviction victim (no-op unless
+  /// spill_on_evict with a directory). Caller must hold `mu_`.
+  void spill_session_locked(const std::shared_ptr<mapping_session>& session);
+  /// Best-effort warm-start of a freshly created session from the snapshot
+  /// directory. Caller must hold `mu_`.
+  void maybe_restore_locked(const std::string& key, mapping_session& session);
   /// Lazily constructs the scheduler on first submit(). Caller must NOT
   /// hold `mu_`.
   [[nodiscard]] request_scheduler& ensure_scheduler();
@@ -194,6 +247,10 @@ class mapping_service {
   std::string default_platform_;
   std::unordered_map<std::string, session_entry> sessions_;
   std::size_t sessions_evicted_ = 0;
+  std::size_t sessions_spilled_ = 0;
+  std::size_t spill_failures_ = 0;
+  std::size_t sessions_restored_ = 0;
+  std::size_t restore_failures_ = 0;
   /// Capture tap; null when no capture is active (the common case).
   std::shared_ptr<trace_log> trace_;
   /// Lazily created on first submit(). Declared last so it is destroyed

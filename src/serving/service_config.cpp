@@ -58,6 +58,13 @@ class object_reader {
     }
   }
 
+  void get(std::string_view key, std::string& out) {
+    if (const value* v = take(key)) {
+      if (!v->is_string()) fail(member_path(key), "expected a string");
+      out = v->as_string();
+    }
+  }
+
   template <class UInt>
   void get_uint(std::string_view key, UInt& out) {
     if (const value* v = take(key)) {
@@ -139,6 +146,7 @@ void read_service_fields(object_reader& r, service_options& out) {
   if (const value* v = r.take("scheduler"))
     from_json(*v, out.scheduler, r.member_path("scheduler"));
   if (const value* v = r.take("refresh")) from_json(*v, out.refresh, r.member_path("refresh"));
+  if (const value* v = r.take("snapshot")) from_json(*v, out.snapshot, r.member_path("snapshot"));
 }
 
 /// Service fields in declaration order; service_config appends "ga".
@@ -149,6 +157,7 @@ void push_service_fields(value& obj, const service_options& opt) {
   obj.push_member("engine", to_json(opt.engine));
   obj.push_member("scheduler", to_json(opt.scheduler));
   obj.push_member("refresh", to_json(opt.refresh));
+  obj.push_member("snapshot", to_json(opt.snapshot));
 }
 
 void check_fraction_open(double v, const std::string& path) {
@@ -343,6 +352,52 @@ void validate(const surrogate::refresh_options& opt, const std::string& path) {
   if (opt.promotion_margin < 0.0) fail(join(path, "promotion_margin"), "must not be negative");
 }
 
+// -------------------------------------------------------------- snapshot --
+
+value to_json(const snapshot_options& opt) {
+  value obj{util::json::object{}};
+  obj.push_member("directory", opt.directory);
+  obj.push_member("spill_on_evict", opt.spill_on_evict);
+  obj.push_member("restore_on_miss", opt.restore_on_miss);
+  return obj;
+}
+
+void from_json(const value& v, snapshot_options& out, const std::string& path) {
+  object_reader r{v, path};
+  r.get("directory", out.directory);
+  r.get("spill_on_evict", out.spill_on_evict);
+  r.get("restore_on_miss", out.restore_on_miss);
+  r.finish();
+  validate(out, path);
+}
+
+void validate(const snapshot_options& opt, const std::string& path) {
+  if (opt.spill_on_evict && opt.directory.empty())
+    fail(join(path, "spill_on_evict"), "requires a snapshot directory (set \"directory\")");
+}
+
+// ----------------------------------------------------------------- group --
+
+value to_json(const group_options& opt) {
+  value obj{util::json::object{}};
+  obj.push_member("shards", opt.shards);
+  obj.push_member("virtual_nodes", opt.virtual_nodes);
+  return obj;
+}
+
+void from_json(const value& v, group_options& out, const std::string& path) {
+  object_reader r{v, path};
+  r.get_uint("shards", out.shards);
+  r.get_uint("virtual_nodes", out.virtual_nodes);
+  r.finish();
+  validate(out, path);
+}
+
+void validate(const group_options& opt, const std::string& path) {
+  if (opt.shards == 0) fail(join(path, "shards"), "must be at least 1");
+  if (opt.virtual_nodes == 0) fail(join(path, "virtual_nodes"), "must be at least 1");
+}
+
 // --------------------------------------------------------------- service --
 
 value to_json(const service_options& opt) {
@@ -363,11 +418,13 @@ void validate(const service_options& opt, const std::string& path) {
   validate(opt.engine, join(path, "engine"));
   validate(opt.scheduler, join(path, "scheduler"));
   validate(opt.refresh, join(path, "refresh"));
+  validate(opt.snapshot, join(path, "snapshot"));
 }
 
 value to_json(const service_config& cfg) {
   value obj{util::json::object{}};
   push_service_fields(obj, cfg.service);
+  obj.push_member("group", to_json(cfg.group));
   obj.push_member("ga", to_json(cfg.ga));
   return obj;
 }
@@ -375,6 +432,7 @@ value to_json(const service_config& cfg) {
 void from_json(const value& v, service_config& out, const std::string& path) {
   object_reader r{v, path};
   read_service_fields(r, out.service);
+  if (const value* g = r.take("group")) from_json(*g, out.group, r.member_path("group"));
   if (const value* ga = r.take("ga")) from_json(*ga, out.ga, r.member_path("ga"));
   r.finish();
   validate(out, path);
@@ -385,6 +443,8 @@ void validate(const service_config& cfg, const std::string& path) {
   validate(cfg.service.engine, join(path, "engine"));
   validate(cfg.service.scheduler, join(path, "scheduler"));
   validate(cfg.service.refresh, join(path, "refresh"));
+  validate(cfg.service.snapshot, join(path, "snapshot"));
+  validate(cfg.group, join(path, "group"));
   validate(cfg.ga, join(path, "ga"));
 }
 

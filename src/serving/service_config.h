@@ -23,6 +23,7 @@
 #include <string_view>
 
 #include "serving/mapping_service.h"
+#include "serving/service_group.h"
 #include "util/json.h"
 
 namespace mapcq::serving {
@@ -42,13 +43,20 @@ class config_error : public std::runtime_error {
 };
 
 /// The complete boot configuration of a serving deployment: the service's
-/// own knobs (engine / scheduler / refresh blocks, worker counts, session
-/// lifecycle) plus the GA search budget requests will run with. The JSON
+/// own knobs (engine / scheduler / refresh / snapshot blocks, worker
+/// counts, session lifecycle), the shard topology a `service_group` boot
+/// applies, plus the GA search budget requests will run with. The JSON
 /// form is one object with the blocks at top level:
 ///   { "workers": .., "max_sessions": .., "session_ttl_ms": ..,
-///     "engine": {..}, "scheduler": {..}, "refresh": {..}, "ga": {..} }
+///     "engine": {..}, "scheduler": {..}, "refresh": {..},
+///     "snapshot": {..}, "group": {..}, "ga": {..} }
 struct service_config {
-  service_options service;  ///< engine/scheduler/refresh + lifecycle knobs
+  service_options service;  ///< engine/scheduler/refresh/snapshot + lifecycle
+  /// Shard topology, consumed only by service_group boots (a plain
+  /// mapping_service ignores it). Deployment metadata, not evaluation
+  /// semantics: mapping_report::effective_config deliberately stamps the
+  /// default group so reports stay bit-identical across reshards.
+  group_options group;
   core::ga_options ga;      ///< search budget applied to each request
 };
 
@@ -62,6 +70,8 @@ struct service_config {
 [[nodiscard]] util::json::value to_json(const core::ga_options& opt);
 [[nodiscard]] util::json::value to_json(const scheduler_options& opt);
 [[nodiscard]] util::json::value to_json(const surrogate::refresh_options& opt);
+[[nodiscard]] util::json::value to_json(const snapshot_options& opt);
+[[nodiscard]] util::json::value to_json(const group_options& opt);
 [[nodiscard]] util::json::value to_json(const service_options& opt);
 [[nodiscard]] util::json::value to_json(const service_config& cfg);
 
@@ -72,6 +82,10 @@ void from_json(const util::json::value& v, scheduler_options& out,
                const std::string& path = "scheduler");
 void from_json(const util::json::value& v, surrogate::refresh_options& out,
                const std::string& path = "refresh");
+void from_json(const util::json::value& v, snapshot_options& out,
+               const std::string& path = "snapshot");
+void from_json(const util::json::value& v, group_options& out,
+               const std::string& path = "group");
 void from_json(const util::json::value& v, service_options& out,
                const std::string& path = "service");
 void from_json(const util::json::value& v, service_config& out, const std::string& path = "");
@@ -88,6 +102,8 @@ void validate(const core::engine_options& opt, const std::string& path = "engine
 void validate(const core::ga_options& opt, const std::string& path = "ga");
 void validate(const scheduler_options& opt, const std::string& path = "scheduler");
 void validate(const surrogate::refresh_options& opt, const std::string& path = "refresh");
+void validate(const snapshot_options& opt, const std::string& path = "snapshot");
+void validate(const group_options& opt, const std::string& path = "group");
 void validate(const service_options& opt, const std::string& path = "service");
 void validate(const service_config& cfg, const std::string& path = "");
 /// @}

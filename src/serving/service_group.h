@@ -1,0 +1,157 @@
+#pragma once
+// serving::service_group — sharded serving with consistent-hash routing
+// (ROADMAP: "sharded serving with durable session snapshots,
+// consistent-hash routing, and warm-start restore").
+//
+// One `mapping_service` serializes its registry behind a single mutex and
+// shares one scheduler; a group runs K independent shards behind the same
+// submit()/map() surface, routing every request by consistent hashing of
+// its session key. Requests for one session always land on the same shard
+// (its memo caches and trained surrogate stay together), while distinct
+// sessions spread across shards and never contend on each other's registry
+// lock or scheduler queue.
+//
+// The ring hashes each shard to `virtual_nodes` points via the same
+// process-stable FNV-1a hash the snapshot filenames use, so routing is
+// deterministic across restarts. Growing or shrinking the group
+// (`reshard`) drains and snapshots every session to the shared snapshot
+// directory, rebuilds the shards, and lets the first warm request on the
+// new topology restore each session onto exactly the one shard the new
+// ring routes it to — a reshard costs one snapshot round-trip per session
+// instead of a cold rebuild.
+
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "serving/mapping_service.h"
+
+namespace mapcq::serving {
+
+/// Group topology knobs (JSON: the "group" block of service_config).
+struct group_options {
+  /// Independent mapping_service shards. 1 is a valid degenerate group
+  /// (one shard behind the group surface).
+  std::size_t shards = 2;
+  /// Ring points per shard. More points smooth the key distribution at the
+  /// cost of a larger ring; 32 keeps the per-shard load within a few
+  /// percent of uniform for realistic session counts.
+  std::size_t virtual_nodes = 32;
+};
+
+/// Aggregated counters across every live shard plus the generations
+/// retired by reshard() (monotonic counters carry over; gauges — queue
+/// depths, cache footprints — reset with the shards that owned them).
+struct group_stats {
+  std::size_t shards = 0;             ///< current shard count
+  std::size_t reshards = 0;           ///< completed reshard() operations
+  std::size_t sessions = 0;           ///< gauge: live sessions across shards
+  std::size_t sessions_evicted = 0;
+  std::size_t sessions_spilled = 0;
+  std::size_t spill_failures = 0;
+  std::size_t sessions_restored = 0;
+  std::size_t restore_failures = 0;
+  scheduler_stats scheduler;          ///< summed over shards
+  core::engine_stats engines;         ///< summed over shards' live sessions
+};
+
+/// Sharded serving front-end: owns K `mapping_service`s and routes by
+/// consistent hashing of the request's session key.
+///
+/// Ownership: owns its shards outright and keeps the full registration
+/// sequence (networks/platforms, replacements included) so a reshard can
+/// replay it verbatim onto fresh shards — replaying preserves registration
+/// generations, which session keys (and therefore snapshot filenames)
+/// embed.
+///
+/// Thread-safety: every public member may be called concurrently. map(),
+/// submit() and the read accessors share a reader lock; registration and
+/// reshard() take it exclusively (they mutate the shard set / all shards).
+///
+/// Blocking: reshard() and snapshot_all() drain refresh refits per session;
+/// reshard() additionally joins every shard's scheduler workers. Call
+/// reshard() quiesced (no concurrent submits) for exact warm-state capture
+/// — requests completing between the spill and the teardown warm caches
+/// the snapshot has already missed.
+class service_group {
+ public:
+  /// Every shard is configured with a copy of `service`. Throws
+  /// std::invalid_argument when `group.shards` or `group.virtual_nodes`
+  /// is 0.
+  service_group(group_options group, service_options service = {});
+
+  service_group(const service_group&) = delete;
+  service_group& operator=(const service_group&) = delete;
+
+  /// Registers (or replaces) on EVERY shard, with mapping_service's
+  /// generation semantics — all shards see identical registries, so any
+  /// shard computes the same session key for a request.
+  void register_network(const nn::network& net);
+  void register_platform(const soc::platform& plat);
+
+  /// Serves synchronously on the shard the ring routes `req`'s session key
+  /// to (same contract as mapping_service::map).
+  [[nodiscard]] mapping_report map(const mapping_request& req);
+
+  /// Admits into the routed shard's scheduler (same contract as
+  /// mapping_service::submit; fairness and coalescing are per-shard, which
+  /// is exact because a session's requests always route to one shard).
+  [[nodiscard]] std::shared_future<mapping_report> submit(mapping_request req);
+
+  /// Snapshots every live session on every shard to the snapshot directory
+  /// (the orderly-shutdown primitive). Returns the number written; 0 when
+  /// no directory is configured.
+  std::size_t snapshot_all();
+
+  /// Re-partitions the group to `new_shards` shards: spills every session
+  /// to the snapshot directory, tears the shards down (draining their
+  /// schedulers), rebuilds them with the replayed registration sequence
+  /// and a fresh ring. Sessions warm-start lazily: the first request for
+  /// each session restores its snapshot onto exactly the one shard the new
+  /// ring routes it to. Throws std::invalid_argument on 0 shards,
+  /// std::logic_error when no snapshot directory is configured (resharding
+  /// without persistence would silently discard every warm session).
+  void reshard(std::size_t new_shards);
+
+  /// Aggregated counters (see group_stats for carry-over semantics).
+  [[nodiscard]] group_stats stats() const;
+
+  [[nodiscard]] std::size_t shard_count() const;
+  /// Direct shard access for tests and benches (index < shard_count()).
+  /// The reference is invalidated by reshard().
+  [[nodiscard]] mapping_service& shard(std::size_t index);
+  /// The shard index `req` routes to (exposed for placement tests).
+  [[nodiscard]] std::size_t shard_index_for(const mapping_request& req);
+
+ private:
+  struct ring_point {
+    std::uint64_t point;
+    std::size_t shard;
+  };
+
+  /// Rebuilds shards_ + ring_ for `count` shards and replays the
+  /// registration log. Caller must hold `mu_` exclusively (or be the
+  /// constructor).
+  void build_shards(std::size_t count);
+  /// First ring point clockwise of the lane's hash (ring is never empty).
+  [[nodiscard]] std::size_t route(const std::string& lane) const;
+  /// Folds one retiring shard's monotonic counters into carried_.
+  void carry_shard_counters(const mapping_service& svc);
+
+  group_options group_opt_;
+  service_options service_opt_;
+
+  mutable std::shared_mutex mu_;
+  std::vector<std::unique_ptr<mapping_service>> shards_;
+  std::vector<ring_point> ring_;  ///< sorted by point
+  /// Full registration sequence, replacements included (see class comment).
+  std::vector<std::variant<nn::network, soc::platform>> registrations_;
+  /// Monotonic counters of generations retired by reshard().
+  group_stats carried_;
+};
+
+}  // namespace mapcq::serving

@@ -182,4 +182,83 @@ core::engine_stats mapping_session::surrogate_cache_stats() const {
   return surrogate_engine_ ? surrogate_engine_->stats() : core::engine_stats{};
 }
 
+session_snapshot mapping_session::snapshot() {
+  session_snapshot snap;
+  snap.session_key = key_;
+  snap.analytic_entries = analytic_engine_.export_cache();
+
+  // Export the reservoir BEFORE taking surrogate_mu_: export_log drains the
+  // background refit worker, and a refit's promotion callback re-takes
+  // surrogate_mu_ — draining under the lock would deadlock. The reservoir
+  // is its own consistent unit; the (predictor, epoch, entries) triple
+  // below is captured atomically regardless.
+  surrogate::refresh_pipeline* pipeline = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock{surrogate_mu_};
+    pipeline = refresh_.get();
+  }
+  std::optional<session_snapshot::refresh_state> reservoir;
+  if (pipeline) {
+    surrogate::refresh_pipeline::log_state st = pipeline->export_log();
+    reservoir =
+        session_snapshot::refresh_state{pipeline->base_training_set(), std::move(st.rows), st.seen};
+  }
+
+  const std::lock_guard<std::mutex> lock{surrogate_mu_};
+  if (predictor_) {
+    session_snapshot::surrogate_state ss;
+    ss.bench = bench_;
+    ss.gbt = gbt_;
+    ss.fidelity = *fidelity_;
+    const surrogate::gbt_regressor& lat = predictor_->latency_model();
+    ss.latency = surrogate::fitted_ensemble{lat.trees(), lat.base(), lat.train_rmse()};
+    const surrogate::gbt_regressor& en = predictor_->energy_model();
+    ss.energy = surrogate::fitted_ensemble{en.trees(), en.base(), en.train_rmse()};
+    ss.predictor_epoch = surrogate_engine_->epoch();
+    ss.entries = surrogate_engine_->export_cache();
+    snap.surrogate = std::move(ss);
+    snap.refresh = std::move(reservoir);
+  }
+  return snap;
+}
+
+void mapping_session::restore(const session_snapshot& snap) {
+  if (snap.session_key != key_)
+    throw snapshot_error("session key mismatch (snapshot is for '" + snap.session_key + "')");
+  const std::lock_guard<std::mutex> lock{surrogate_mu_};
+  if (predictor_ || analytic_engine_.stats().lookups() != 0 || analytic_engine_.size() != 0)
+    throw std::logic_error("mapping_session::restore: session is not fresh");
+  analytic_engine_.import_cache(snap.analytic_entries);
+  if (!snap.surrogate) return;
+
+  const session_snapshot::surrogate_state& ss = *snap.surrogate;
+  // Adopt the fitted ensembles directly — no benchmark generation, no
+  // boosting loop; the restored predictor is bit-identical to the
+  // snapshotted one, so imported cache entries and fresh predictions agree.
+  predictor_ = std::make_shared<const surrogate::hw_predictor>(
+      surrogate::gbt_regressor(ss.latency, ss.gbt.learning_rate, ss.gbt.log_target),
+      surrogate::gbt_regressor(ss.energy, ss.gbt.learning_rate, ss.gbt.log_target));
+  fidelity_ = ss.fidelity;
+  bench_ = ss.bench;
+  gbt_ = ss.gbt;
+  core::evaluator_options opt = eval_opt_;
+  opt.predictor = predictor_.get();
+  surrogate_eval_ = std::make_unique<core::evaluator>(*net_, *plat_, opt, ranking_seed_);
+  surrogate_engine_ = std::make_unique<core::evaluation_engine>(*surrogate_eval_, engine_opt_);
+  surrogate_engine_->import_cache(ss.entries);
+
+  if (refresh_opt_.enabled && snap.refresh) {
+    // Same construction order as the training path: pipeline before tap,
+    // inside this locked section, so the tap may use refresh_ lock-free.
+    refresh_ = std::make_unique<surrogate::refresh_pipeline>(
+        refresh_opt_, gbt_, snap.refresh->base_train, predictor_,
+        [this](std::shared_ptr<const surrogate::hw_predictor> cand) { promote(std::move(cand)); });
+    refresh_->restore_log({snap.refresh->log_rows, snap.refresh->log_seen});
+    analytic_engine_.set_ground_truth_tap(
+        [this](const core::configuration& config, const core::evaluation&) {
+          refresh_->observe(ground_truth_rows(config));
+        });
+  }
+}
+
 }  // namespace mapcq::serving

@@ -37,6 +37,7 @@
 #include "core/evaluator.h"
 #include "core/search_space.h"
 #include "nn/graph.h"
+#include "serving/session_snapshot.h"
 #include "soc/platform.h"
 #include "surrogate/dataset.h"
 #include "surrogate/gbt.h"
@@ -103,6 +104,35 @@ class mapping_session {
     return analytic_engine_.stats();
   }
   [[nodiscard]] core::engine_stats surrogate_cache_stats() const;
+
+  /// Captures the session's warm state — both memo caches' current-epoch
+  /// entries, the fitted GBT ensembles (when trained) and the refresh
+  /// reservoir (when enabled) — as a `session_snapshot` (see
+  /// serving/session_snapshot.h). The predictor, its engine epoch and its
+  /// cache entries are captured under one lock acquisition (the same mutex
+  /// a refresh promotion takes), so a snapshot racing a promotion always
+  /// sees a consistent (model, epoch, entries) triple. Non-const: the
+  /// reservoir export drains any in-flight background refit first.
+  ///
+  /// Blocking: through an in-flight refit (refresh sessions) and through
+  /// surrogate training if a first-caller holds the lock.
+  [[nodiscard]] session_snapshot snapshot();
+
+  /// Warm-starts this session from a snapshot taken by `snapshot()`:
+  /// imports both caches, adopts the fitted ensembles without retraining
+  /// (predictions bit-identical to the snapshotted model), and resumes the
+  /// refresh reservoir. Only valid on a *fresh* session — same key, no
+  /// surrogate trained, no traffic served; throws snapshot_error on a key
+  /// mismatch and std::logic_error on a non-fresh session. The surrogate
+  /// engine restarts at cache epoch 0 with the snapshot's epoch-N model as
+  /// its base; refresh attempt/promotion counters restart with the
+  /// pipeline (reservoir retention probabilities are preserved — see
+  /// surrogate::training_log::restore).
+  ///
+  /// A snapshot whose refresh state is absent leaves a refresh-enabled
+  /// session without a pipeline (it cannot be rebuilt without the original
+  /// training slice); the session still serves, it just never refreshes.
+  void restore(const session_snapshot& snap);
 
  private:
   /// Refresh promotion target: retires the current predictor/evaluator

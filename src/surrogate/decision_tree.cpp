@@ -36,6 +36,16 @@ regression_tree::regression_tree(std::span<const std::vector<double>> x,
   grow(x, y, rows, 0, params);
 }
 
+regression_tree::regression_tree(std::vector<node> nodes, int depth)
+    : nodes_(std::move(nodes)), depth_(depth) {
+  if (nodes_.empty()) throw std::invalid_argument("regression_tree: empty node array");
+  for (const node& n : nodes_) {
+    if (n.leaf) continue;
+    if (n.left >= nodes_.size() || n.right >= nodes_.size())
+      throw std::invalid_argument("regression_tree: child index out of range");
+  }
+}
+
 std::size_t regression_tree::grow(std::span<const std::vector<double>> x,
                                   std::span<const double> y, std::vector<std::size_t>& rows,
                                   int depth, const tree_params& params) {

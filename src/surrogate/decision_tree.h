@@ -26,11 +26,30 @@ struct tree_params {
 /// work (exact greedy splits over every feature).
 class regression_tree {
  public:
+  /// One tree node, exposed as a plain value so fitted trees can be
+  /// serialized and rebuilt (serving/session_snapshot.h). Internal nodes
+  /// carry (feature, threshold, gain, children); leaves carry `value`.
+  struct node {
+    bool leaf = true;
+    std::size_t feature = 0;
+    double threshold = 0.0;
+    double value = 0.0;  ///< leaf weight
+    double gain = 0.0;   ///< split gain (internal nodes)
+    std::size_t left = 0;
+    std::size_t right = 0;
+  };
+
   /// Fits to (x, residuals); every row must have the same width.
   /// `row_index` selects the subsample of rows to fit on (copied; the
   /// recursive partitioning permutes its own copy).
   regression_tree(std::span<const std::vector<double>> x, std::span<const double> y,
                   std::span<const std::size_t> row_index, const tree_params& params);
+
+  /// Rebuilds a fitted tree from serialized parts — the restore half of
+  /// `nodes()`. Throws std::invalid_argument on an empty node array or an
+  /// internal node whose child index is out of range (a truncated snapshot
+  /// must fail here, not crash in predict()).
+  regression_tree(std::vector<node> nodes, int depth);
 
   /// Predicted value for one feature row.
   [[nodiscard]] double predict(std::span<const double> row) const;
@@ -44,17 +63,10 @@ class regression_tree {
   /// Accumulates per-feature total gain into `importance` (size = features).
   void add_feature_gain(std::vector<double>& importance) const;
 
- private:
-  struct node {
-    bool leaf = true;
-    std::size_t feature = 0;
-    double threshold = 0.0;
-    double value = 0.0;  ///< leaf weight
-    double gain = 0.0;   ///< split gain (internal nodes)
-    std::size_t left = 0;
-    std::size_t right = 0;
-  };
+  /// The fitted node array (root at index 0), for serialization.
+  [[nodiscard]] const std::vector<node>& nodes() const noexcept { return nodes_; }
 
+ private:
   std::size_t grow(std::span<const std::vector<double>> x, std::span<const double> y,
                    std::vector<std::size_t>& rows, int depth, const tree_params& params);
 

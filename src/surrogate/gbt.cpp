@@ -18,6 +18,15 @@ gbt_regressor::gbt_regressor(std::span<const std::vector<double>> x, std::span<c
   train_rmse_ = fitted.train_rmse;
 }
 
+gbt_regressor::gbt_regressor(fitted_ensemble parts, double learning_rate, bool log_target)
+    : trees_(std::move(parts.trees)),
+      base_(parts.base),
+      learning_rate_(learning_rate),
+      log_target_(log_target),
+      train_rmse_(parts.train_rmse) {
+  if (trees_.empty()) throw std::invalid_argument("gbt_regressor: empty restored ensemble");
+}
+
 double gbt_regressor::predict(std::span<const double> row) const {
   double acc = base_;
   for (const auto& t : trees_) acc += learning_rate_ * t.predict(row);

@@ -11,6 +11,8 @@
 
 namespace mapcq::surrogate {
 
+struct fitted_ensemble;  // trainer.h; also the serialized form of a regressor
+
 /// Boosting hyper-parameters.
 struct gbt_params {
   std::size_t n_trees = 120;
@@ -40,6 +42,12 @@ class gbt_regressor {
   gbt_regressor(std::span<const std::vector<double>> x, std::span<const double> y,
                 const gbt_params& params = {});
 
+  /// Rebuilds a fitted regressor from its serialized parts without
+  /// retraining (see serving/session_snapshot.h): the trees/base/rmse of a
+  /// prior fit plus the learning rate and target transform it was fitted
+  /// under. Predictions are bit-identical to the original regressor's.
+  gbt_regressor(fitted_ensemble parts, double learning_rate, bool log_target);
+
   /// Prediction for one feature row (width must match training).
   [[nodiscard]] double predict(std::span<const double> row) const;
 
@@ -53,6 +61,14 @@ class gbt_regressor {
 
   /// Training RMSE of the final model (in target space).
   [[nodiscard]] double train_rmse() const noexcept { return train_rmse_; }
+
+  /// @name Serialized parts (the inverse of the restore constructor)
+  /// @{
+  [[nodiscard]] const std::vector<regression_tree>& trees() const noexcept { return trees_; }
+  [[nodiscard]] double base() const noexcept { return base_; }
+  [[nodiscard]] double learning_rate() const noexcept { return learning_rate_; }
+  [[nodiscard]] bool log_target() const noexcept { return log_target_; }
+  /// @}
 
  private:
   std::vector<regression_tree> trees_;

@@ -15,6 +15,10 @@ hw_predictor::hw_predictor(const dataset& train_set, const gbt_params& params) {
                                             std::span<const double>(train_set.energy_mj), params);
 }
 
+hw_predictor::hw_predictor(gbt_regressor latency, gbt_regressor energy)
+    : latency_(std::make_unique<gbt_regressor>(std::move(latency))),
+      energy_(std::make_unique<gbt_regressor>(std::move(energy))) {}
+
 double hw_predictor::latency_ms(const perf::sublayer_cost& cost, const soc::compute_unit& cu,
                                 std::size_t level, std::size_t concurrency) const {
   if (cost.empty()) return 0.0;

@@ -33,6 +33,11 @@ class hw_predictor {
   /// comment). Throws std::invalid_argument on an empty or ragged dataset.
   hw_predictor(const dataset& train_set, const gbt_params& params = {});
 
+  /// Adopts two already-fitted ensembles without training — the restore
+  /// path of session snapshots (serving/session_snapshot.h). Predictions
+  /// are bit-identical to the predictor the ensembles came from.
+  hw_predictor(gbt_regressor latency, gbt_regressor energy);
+
   /// Predicted latency (ms) of one sublayer on a CU at a DVFS level.
   [[nodiscard]] double latency_ms(const perf::sublayer_cost& cost, const soc::compute_unit& cu,
                                   std::size_t level, std::size_t concurrency) const;

@@ -9,7 +9,7 @@
 namespace mapcq::surrogate {
 
 training_log::training_log(std::size_t capacity, std::uint64_t seed)
-    : capacity_(std::max<std::size_t>(1, capacity)), gen_(seed) {}
+    : capacity_(std::max<std::size_t>(1, capacity)), seed_(seed), gen_(seed) {}
 
 void training_log::add(std::vector<double> x, double latency_ms, double energy_mj) {
   ++seen_;
@@ -27,6 +27,19 @@ void training_log::add(std::vector<double> x, double latency_ms, double energy_m
     rows_.latency_ms[j] = latency_ms;
     rows_.energy_mj[j] = energy_mj;
   }
+}
+
+void training_log::restore(dataset rows, std::size_t seen) {
+  if (rows.size() > capacity_)
+    throw std::invalid_argument("training_log: restored rows exceed capacity");
+  if (seen < rows.size())
+    throw std::invalid_argument("training_log: restored seen below retained rows");
+  rows_ = std::move(rows);
+  seen_ = seen;
+  // Fresh generator keyed on (seed, seen): deterministic for a given
+  // snapshot, decoupled from however many draws the pre-restart stream
+  // consumed (xoshiro state is not serialized).
+  gen_ = util::rng(seed_ ^ (0x9e3779b97f4a7c15ULL * (seen_ + 1)));
 }
 
 refresh_pipeline::refresh_pipeline(refresh_options opt, gbt_params params, dataset base_train,
@@ -172,6 +185,20 @@ bool refresh_pipeline::attempt(dataset logged, std::uint64_t attempt_index) {
     retrain_inflight_ = false;
   }
   return promote;
+}
+
+refresh_pipeline::log_state refresh_pipeline::export_log() {
+  // Drain first so a triggered-but-unstarted background refit cannot leave
+  // the copy torn between the trigger's bookkeeping and the attempt's.
+  drain();
+  const std::lock_guard<std::mutex> lock{mu_};
+  return log_state{log_.rows(), log_.seen()};
+}
+
+void refresh_pipeline::restore_log(log_state state) {
+  const std::lock_guard<std::mutex> lock{mu_};
+  log_.restore(std::move(state.rows), state.seen);
+  new_since_attempt_ = 0;
 }
 
 refresh_stats refresh_pipeline::stats() const {

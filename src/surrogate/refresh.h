@@ -114,8 +114,18 @@ class training_log {
   }
   [[nodiscard]] const dataset& rows() const noexcept { return rows_; }
 
+  /// Restores the reservoir from a snapshot: the retained rows plus the
+  /// total ever offered (see refresh_pipeline::export_log). Throws
+  /// std::invalid_argument when `rows` exceeds capacity or claims more
+  /// retained rows than `seen`. The reservoir RNG is re-derived from
+  /// (seed, seen) — deterministic across restore/restore, though the
+  /// post-restore replacement choices differ from the never-restarted
+  /// stream's (retention probabilities stay correct either way).
+  void restore(dataset rows, std::size_t seen);
+
  private:
   std::size_t capacity_;
+  std::uint64_t seed_;
   util::rng gen_;
   std::size_t seen_ = 0;
   dataset rows_;
@@ -174,6 +184,26 @@ class refresh_pipeline {
 
   [[nodiscard]] refresh_stats stats() const;
   [[nodiscard]] const refresh_options& options() const noexcept { return opt_; }
+
+  /// Serialized reservoir state: the retained rows plus the total ever
+  /// offered — everything a restarted pipeline needs to keep reservoir
+  /// probabilities correct (see training_log::restore).
+  struct log_state {
+    dataset rows;
+    std::size_t seen = 0;
+  };
+  /// Snapshot of the training log (drains any in-flight refit first so
+  /// the copy is not torn between a trigger and its bookkeeping).
+  [[nodiscard]] log_state export_log();
+  /// Replaces the training log with a snapshot taken by export_log —
+  /// the warm-boot path of session restore. Counters derived from the log
+  /// (observed/logged/discarded) resume from the snapshot; attempt and
+  /// promotion counters always restart at zero with the pipeline.
+  void restore_log(log_state state);
+
+  /// The original benchmark training slice candidates refit on (immutable
+  /// after construction; serialized with session snapshots).
+  [[nodiscard]] const dataset& base_training_set() const noexcept { return base_train_; }
 
  private:
   /// One refit: fit candidate on base+snapshot, score both sides on the

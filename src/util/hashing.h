@@ -7,9 +7,24 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <string_view>
 #include <type_traits>
 
 namespace mapcq::util {
+
+/// FNV-1a over bytes: a *stable* 64-bit string hash, identical across
+/// processes, platforms and library versions — unlike std::hash, which only
+/// promises intra-process consistency. Anything persisted or re-derived
+/// after a restart (snapshot filenames, consistent-hash ring placement)
+/// must hash through this, never std::hash.
+inline std::uint64_t stable_hash64(std::string_view bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
 
 /// Folds `value` into `seed` (64-bit variant of the boost::hash_combine
 /// recipe with an extra splitmix-style pre-mix so low-entropy inputs --

@@ -1,0 +1,244 @@
+// service_group tests: deterministic consistent-hash routing, session
+// affinity (one session -> one shard, warm reuse), registration replay
+// across reshards, reshard-with-restore landing every session on exactly
+// one shard with bit-identical warm reports, and group stats aggregation
+// with carry-over semantics.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "nn/models.h"
+#include "serving/service_group.h"
+#include "soc/platform.h"
+
+namespace {
+
+using namespace mapcq;
+using serving::group_options;
+using serving::group_stats;
+using serving::mapping_report;
+using serving::mapping_request;
+using serving::service_group;
+using serving::service_options;
+
+class group_dir {
+ public:
+  explicit group_dir(const std::string& name) : path_("/tmp/mapcq_group_" + name) {
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~group_dir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+service_options sharded_service(const std::string& dir) {
+  service_options opt;
+  opt.engine.threads = 2;
+  opt.workers = 1;
+  opt.snapshot.directory = dir;
+  opt.snapshot.spill_on_evict = true;
+  return opt;
+}
+
+mapping_request tiny_request(const std::string& network, std::uint64_t ranking_seed = 0) {
+  mapping_request req;
+  req.network = network;
+  req.use_surrogate = false;
+  req.ga.generations = 4;
+  req.ga.population = 12;
+  req.ranking_seed = ranking_seed;  // distinct seeds -> distinct sessions
+  return req;
+}
+
+void expect_identical_fronts(const mapping_report& a, const mapping_report& b) {
+  ASSERT_EQ(a.front.size(), b.front.size());
+  EXPECT_EQ(a.ours_latency_index, b.ours_latency_index);
+  EXPECT_EQ(a.ours_energy_index, b.ours_energy_index);
+  for (std::size_t i = 0; i < a.front.size(); ++i) {
+    EXPECT_TRUE(a.front[i].config == b.front[i].config);
+    EXPECT_EQ(a.front[i].objective, b.front[i].objective);
+    EXPECT_EQ(a.front[i].avg_latency_ms, b.front[i].avg_latency_ms);
+    EXPECT_EQ(a.front[i].avg_energy_mj, b.front[i].avg_energy_mj);
+  }
+}
+
+struct group_fixture : ::testing::Test {
+  nn::network cnn = nn::build_simple_cnn();
+  nn::network mobile = nn::build_mobilenet_cifar();
+  soc::platform plat = soc::agx_xavier();
+
+  void register_all(service_group& group) {
+    group.register_network(cnn);
+    group.register_network(mobile);
+    group.register_platform(plat);
+  }
+};
+
+TEST_F(group_fixture, constructor_rejects_degenerate_topologies) {
+  EXPECT_THROW(service_group(group_options{0, 32}), std::invalid_argument);
+  EXPECT_THROW(service_group(group_options{2, 0}), std::invalid_argument);
+  service_group ok{group_options{1, 1}};
+  EXPECT_EQ(ok.shard_count(), 1u);
+}
+
+TEST_F(group_fixture, routing_is_deterministic_and_session_sticky) {
+  group_dir dir{"routing"};
+  service_group a{group_options{3, 32}, sharded_service(dir.path())};
+  service_group b{group_options{3, 32}, sharded_service(dir.path())};
+  register_all(a);
+  register_all(b);
+
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    const mapping_request req = tiny_request(cnn.name, seed);
+    const std::size_t shard = a.shard_index_for(req);
+    EXPECT_LT(shard, 3u);
+    // Same ring in any process/instance: both groups agree.
+    EXPECT_EQ(shard, b.shard_index_for(req));
+    // Stable across repeated calls.
+    EXPECT_EQ(shard, a.shard_index_for(req));
+  }
+}
+
+TEST_F(group_fixture, one_session_lands_on_one_shard_and_reuses_its_cache) {
+  group_dir dir{"sticky"};
+  service_group group{group_options{3, 32}, sharded_service(dir.path())};
+  register_all(group);
+
+  const mapping_request req = tiny_request(cnn.name);
+  const mapping_report cold = group.map(req);
+  const mapping_report warm = group.map(req);
+  EXPECT_GT(cold.search_cache.misses, 0u);
+  EXPECT_EQ(warm.search_cache.misses, 0u);  // same shard, same session, warm
+  expect_identical_fronts(cold, warm);
+
+  // Exactly one shard holds a session; the routed index agrees with it.
+  const std::size_t routed = group.shard_index_for(req);
+  for (std::size_t i = 0; i < group.shard_count(); ++i)
+    EXPECT_EQ(group.shard(i).session_count(), i == routed ? 1u : 0u);
+}
+
+TEST_F(group_fixture, submit_routes_like_map_and_aggregates_scheduler_stats) {
+  group_dir dir{"submit"};
+  service_group group{group_options{2, 32}, sharded_service(dir.path())};
+  register_all(group);
+
+  auto f1 = group.submit(tiny_request(cnn.name, 1));
+  auto f2 = group.submit(tiny_request(mobile.name, 2));
+  (void)f1.get();
+  (void)f2.get();
+
+  const group_stats stats = group.stats();
+  EXPECT_EQ(stats.shards, 2u);
+  EXPECT_EQ(stats.scheduler.submitted, 2u);
+  EXPECT_EQ(stats.scheduler.completed, 2u);
+  EXPECT_EQ(stats.sessions, 2u);
+  EXPECT_GT(stats.engines.misses, 0u);
+  EXPECT_GT(stats.engines.cache_bytes, 0u);
+}
+
+TEST_F(group_fixture, reshard_requires_a_snapshot_directory) {
+  service_group group{group_options{2, 32}};  // no directory configured
+  EXPECT_THROW(group.reshard(3), std::logic_error);
+  EXPECT_THROW(group.reshard(0), std::invalid_argument);
+}
+
+TEST_F(group_fixture, reshard_restores_every_session_on_exactly_one_shard) {
+  group_dir dir{"reshard"};
+  service_group group{group_options{2, 32}, sharded_service(dir.path())};
+  register_all(group);
+
+  // Several distinct sessions spread over the 2-shard ring.
+  std::vector<mapping_request> reqs;
+  std::vector<mapping_report> cold;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    reqs.push_back(tiny_request(seed % 2 == 0 ? cnn.name : mobile.name, seed));
+    cold.push_back(group.map(reqs.back()));
+  }
+
+  group.reshard(3);
+  EXPECT_EQ(group.shard_count(), 3u);
+  EXPECT_EQ(group.stats().reshards, 1u);
+  // The new topology starts empty; sessions restore lazily on first touch.
+  EXPECT_EQ(group.stats().sessions, 0u);
+
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const mapping_report warm = group.map(reqs[i]);
+    // Warm start from the spilled snapshot: zero evaluator runs and a
+    // bit-identical report, even though the shard (and possibly shard
+    // count routing) changed.
+    EXPECT_EQ(warm.search_cache.misses, 0u) << "request " << i;
+    EXPECT_EQ(warm.validation_cache.misses, 0u) << "request " << i;
+    expect_identical_fronts(cold[i], warm);
+    EXPECT_EQ(warm.session_key, cold[i].session_key);
+    // The report's config stamp must not leak the topology change.
+    EXPECT_EQ(warm.effective_config, cold[i].effective_config);
+  }
+
+  // Every session lives on exactly the shard the new ring routes it to.
+  const group_stats after = group.stats();
+  EXPECT_EQ(after.sessions, reqs.size());
+  EXPECT_EQ(after.sessions_restored, reqs.size());
+  EXPECT_EQ(after.restore_failures, 0u);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const std::size_t routed = group.shard_index_for(reqs[i]);
+    std::size_t holders = 0;
+    for (std::size_t s = 0; s < group.shard_count(); ++s) {
+      for (const std::string& key : group.shard(s).session_keys()) {
+        if (key == cold[i].session_key) {
+          ++holders;
+          EXPECT_EQ(s, routed) << "session restored on a shard the ring does not route to";
+        }
+      }
+    }
+    EXPECT_EQ(holders, 1u) << "session " << i << " held by " << holders << " shards";
+  }
+
+  // Monotonic counters from the retired generation carried over.
+  EXPECT_GE(after.sessions_spilled, reqs.size());
+  EXPECT_EQ(after.spill_failures, 0u);
+}
+
+TEST_F(group_fixture, reshard_down_also_restores_warm) {
+  group_dir dir{"reshard_down"};
+  service_group group{group_options{3, 32}, sharded_service(dir.path())};
+  register_all(group);
+
+  const mapping_request req = tiny_request(cnn.name, 7);
+  const mapping_report cold = group.map(req);
+  group.reshard(1);
+  const mapping_report warm = group.map(req);
+  EXPECT_EQ(warm.search_cache.misses, 0u);
+  expect_identical_fronts(cold, warm);
+  EXPECT_EQ(group.shard_index_for(req), 0u);  // only one shard left
+}
+
+TEST_F(group_fixture, registration_replay_preserves_generations_across_reshard) {
+  group_dir dir{"generations"};
+  service_group group{group_options{2, 32}, sharded_service(dir.path())};
+  register_all(group);
+  // Re-register the cnn (generation bump) and serve against the new one:
+  // the session key embeds generation 2.
+  group.register_network(cnn);
+  const mapping_request req = tiny_request(cnn.name);
+  const mapping_report cold = group.map(req);
+
+  group.reshard(3);
+  const mapping_report warm = group.map(req);
+  // Replay reproduced the bumped generation, so the key (and snapshot
+  // file) still match and the session restores warm.
+  EXPECT_EQ(warm.session_key, cold.session_key);
+  EXPECT_EQ(warm.search_cache.misses, 0u);
+  expect_identical_fronts(cold, warm);
+}
+
+}  // namespace
