@@ -15,14 +15,20 @@
 //     explicit `island_options{1,...}` request matches the default request
 //     exactly;
 //   * K = 4 reaches the K = 1 aggregate hypervolume within 1%;
+//   * the heterogeneous portfolio (K = 2: GA + latency-oriented SA behind
+//     the surrogate pre-filter) reaches at least the K = 1 aggregate
+//     hypervolume at strictly fewer analytic evaluator runs — hypervolume
+//     per evaluator run beats the homogeneous GA;
 //   * on a 4+-core runner, K = 4 finishes in less total wall-clock than
 //     K = 1 (islands pipeline their rank/breed phases behind the other
-//     islands' evaluations; on fewer cores the timing is informational).
+//     islands' evaluations; on fewer cores the wall-clock criterion is
+//     SKIPPED with a notice — it would only measure scheduler noise).
 //
 // Scale via MAPCQ_GENERATIONS / MAPCQ_POPULATION / MAPCQ_THREADS.
 
 #include <algorithm>
 #include <chrono>
+#include <functional>
 #include <iostream>
 #include <thread>
 #include <vector>
@@ -80,6 +86,7 @@ int main() {
       s.generations, s.population, n_seeds, s.threads, std::thread::hardware_concurrency());
 
   struct run {
+    std::string label;
     std::size_t islands = 1;
     double wall_s = 0.0;  ///< summed over the seeds, cold sessions
     std::size_t evaluator_runs = 0;
@@ -90,8 +97,10 @@ int main() {
   std::vector<run> runs;
 
   serving::mapping_report k1_seed1;
-  for (const std::size_t k : island_counts) {
-    // Fresh service per K: isolated sessions, cold caches, fair wall-clock.
+  // One fresh service per variant: isolated sessions, cold caches, fair
+  // wall-clock. The portfolio variant reuses the same measurement loop.
+  const auto measure = [&](const std::string& label, std::size_t k,
+                           const std::function<void(serving::mapping_request&)>& customize) {
     serving::service_options sopt;
     sopt.engine.threads = s.threads;
     serving::mapping_service service{sopt};
@@ -99,6 +108,7 @@ int main() {
     service.register_platform(tb.xavier);
 
     run r;
+    r.label = label;
     r.islands = k;
     for (const std::uint64_t seed : kSeeds) {
       serving::mapping_request req;
@@ -108,6 +118,7 @@ int main() {
       req.ga.population = s.population;
       req.ga.seed = seed;
       req.ga.island.islands = k;
+      if (customize) customize(req);
 
       const auto t0 = std::chrono::steady_clock::now();
       const serving::mapping_report cold = service.map(req);
@@ -117,10 +128,39 @@ int main() {
       if (seed == kSeeds[0]) {
         // Warm rerun: the deterministic candidate stream replays from cache.
         r.warm_identical = identical_fronts(cold, service.map(req));
-        if (k == 1) k1_seed1 = cold;
+        if (label == "k1") k1_seed1 = cold;
       }
     }
     runs.push_back(std::move(r));
+  };
+
+  for (const std::size_t k : island_counts)
+    measure("k" + std::to_string(k), k, nullptr);
+
+  // Heterogeneous portfolio: a balanced GA island rides next to a
+  // latency-oriented SA island, and the session GBT pre-filters offspring so
+  // analytic runs are spent only on the promising half. The runs the filter
+  // saves are reinvested as extra generations — the whole point of
+  // hypervolume-per-evaluator-run: more search per analytic run, still
+  // strictly under the homogeneous GA's budget.
+  const bool portfolio_feasible = s.population / 2 >= 4;
+  if (portfolio_feasible) {
+    measure("portfolio", 2, [&](serving::mapping_request& req) {
+      req.ga.generations = (9 * s.generations) / 5;
+      req.ga.portfolio.islands = {
+          core::island_assignment{core::island_algorithm::ga, core::island_orientation::balanced},
+          core::island_assignment{core::island_algorithm::sa, core::island_orientation::latency}};
+      req.ga.portfolio.prefilter.enabled = true;
+      req.ga.portfolio.prefilter.quantile = 0.4;
+      req.ga.portfolio.prefilter.warmup_generations = 2;
+      // Small session GBT: the bench/training cost is per session (amortized
+      // over every request), not per search, and is not an analytic-engine
+      // cache miss.
+      req.bench.samples = 3000;
+      req.gbt.n_trees = 100;
+    });
+  } else {
+    std::cout << "portfolio variant SKIPPED: population too small to shard over 2 islands\n";
   }
 
   // Per-seed shared reference point (slightly beyond the worst observed
@@ -144,10 +184,10 @@ int main() {
   }
 
   const run& k1 = runs.front();
-  util::table t({"islands", "wall (s)", "evaluator runs", "aggregate HV", "HV vs K=1",
+  util::table t({"variant", "wall (s)", "evaluator runs", "aggregate HV", "HV vs K=1",
                  "warm rerun"});
   for (const run& r : runs) {
-    t.add_row({std::to_string(r.islands), bench::fmt(r.wall_s), std::to_string(r.evaluator_runs),
+    t.add_row({r.label, bench::fmt(r.wall_s), std::to_string(r.evaluator_runs),
                util::format("%.6g", r.hv_sum),
                util::format("%.2f%%", k1.hv_sum > 0 ? 100.0 * r.hv_sum / k1.hv_sum : 0.0),
                r.warm_identical ? "bit-identical" : "DIVERGED (bug!)"});
@@ -178,32 +218,52 @@ int main() {
     ok = ok && same;
   }
 
+  const unsigned cores = std::thread::hardware_concurrency();
   const auto it4 = std::find_if(runs.begin(), runs.end(),
-                                [](const run& r) { return r.islands == 4; });
+                                [](const run& r) { return r.label == "k4"; });
   if (it4 != runs.end()) {
     const bool hv_ok = it4->hv_sum >= 0.99 * k1.hv_sum;
     std::cout << util::format("K=4 aggregate hypervolume within 1%% of K=1: %s (%.2f%%)\n",
                               hv_ok ? "yes" : "NO", 100.0 * it4->hv_sum / k1.hv_sum);
     ok = ok && hv_ok;
-    if (std::thread::hardware_concurrency() >= 4) {
+    if (cores >= 4) {
       const bool faster = it4->wall_s < k1.wall_s;
       std::cout << util::format("K=4 wall-clock below K=1: %s (%.2fx)\n", faster ? "yes" : "NO",
                                 k1.wall_s / it4->wall_s);
       ok = ok && faster;
     } else {
       std::cout << util::format(
-          "K=4 wall-clock vs K=1: %.2fx (informational: fewer than 4 hardware threads)\n",
-          k1.wall_s / it4->wall_s);
+          "K=4 wall-clock criterion SKIPPED: %u hardware threads (< 4) — the comparison would "
+          "measure scheduler noise, not island pipelining\n",
+          cores);
     }
   }
 
+  // Portfolio gate: hypervolume per evaluator run must beat the homogeneous
+  // GA — at least the K=1 aggregate hypervolume, at strictly fewer runs.
+  bool portfolio_ok = true;
+  const auto itp = std::find_if(runs.begin(), runs.end(),
+                                [](const run& r) { return r.label == "portfolio"; });
+  if (itp != runs.end()) {
+    const bool hv_ok = itp->hv_sum >= k1.hv_sum;
+    const bool cheaper = itp->evaluator_runs < k1.evaluator_runs;
+    std::cout << util::format("portfolio aggregate hypervolume >= K=1: %s (%.2f%%)\n",
+                              hv_ok ? "yes" : "NO", 100.0 * itp->hv_sum / k1.hv_sum);
+    std::cout << util::format("portfolio evaluator runs strictly below K=1: %s (%zu vs %zu)\n",
+                              cheaper ? "yes" : "NO", itp->evaluator_runs, k1.evaluator_runs);
+    portfolio_ok = hv_ok && cheaper;
+    ok = ok && portfolio_ok;
+  }
+
   bench::json_reporter json{"island_scaling"};
+  json.metric("cores", static_cast<double>(cores));
   for (const run& r : runs) {
-    const std::string prefix = "k" + std::to_string(r.islands) + "_";
+    const std::string prefix = r.label + "_";
     json.metric(prefix + "evaluator_runs", static_cast<double>(r.evaluator_runs));
     json.metric(prefix + "wall_s", r.wall_s);
     json.metric(prefix + "hv_ratio", k1.hv_sum > 0 ? r.hv_sum / k1.hv_sum : 0.0);
   }
+  if (itp != runs.end()) json.metric("portfolio_ok", portfolio_ok ? 1.0 : 0.0);
   json.metric("overall_ok", ok ? 1.0 : 0.0);
 
   std::cout << "\noverall: " << (ok ? "OK" : "FAILED") << "\n";

@@ -1,195 +1,57 @@
 #include "core/evolutionary.h"
 
 #include <algorithm>
+#include <cmath>
 #include <future>
 #include <limits>
-#include <map>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 
 #include "core/pareto.h"
+#include "core/search_strategy.h"
 
 namespace mapcq::core {
 
 namespace {
 
-void mutate(genome& g, const search_space& space, const ga_options& opt, util::rng& gen) {
-  const std::size_t stages = space.stages();
-  for (std::size_t grp = 0; grp < g.ratio_levels.size(); ++grp) {
-    if (gen.bernoulli(opt.ratio_mutation_prob)) {
-      const auto s = static_cast<std::size_t>(
-          gen.uniform_int(0, static_cast<std::int64_t>(stages) - 1));
-      const int delta = gen.bernoulli(0.5) ? 1 : -1;
-      const int lo = s == 0 ? 1 : 0;
-      g.ratio_levels[grp][s] =
-          std::clamp(g.ratio_levels[grp][s] + delta, lo, space.ratio_levels() - 1);
-    }
-    if (stages > 1 && gen.bernoulli(opt.forward_mutation_prob)) {
-      const auto s = static_cast<std::size_t>(
-          gen.uniform_int(0, static_cast<std::int64_t>(stages) - 2));
-      g.forward[grp][s] = !g.forward[grp][s];
-    }
-  }
-  if (gen.bernoulli(opt.mapping_swap_prob) && stages > 1) {
-    const auto a = static_cast<std::size_t>(
-        gen.uniform_int(0, static_cast<std::int64_t>(stages) - 1));
-    const auto b = static_cast<std::size_t>(
-        gen.uniform_int(0, static_cast<std::int64_t>(stages) - 1));
-    std::swap(g.mapping[a], g.mapping[b]);
-  }
-  for (std::size_t u = 0; u < g.dvfs.size(); ++u) {
-    if (!gen.bernoulli(opt.dvfs_mutation_prob)) continue;
-    const auto levels = static_cast<std::int64_t>(space.plat().unit(u).dvfs.levels());
-    const std::int64_t delta = gen.bernoulli(0.5) ? 1 : -1;
-    const std::int64_t next =
-        std::clamp<std::int64_t>(static_cast<std::int64_t>(g.dvfs[u]) + delta, 0, levels - 1);
-    g.dvfs[u] = static_cast<std::size_t>(next);
-  }
-}
-
-genome crossover(const genome& a, const genome& b, util::rng& gen) {
-  genome child = a;
-  for (std::size_t grp = 0; grp < child.ratio_levels.size(); ++grp) {
-    if (gen.bernoulli(0.5)) {
-      child.ratio_levels[grp] = b.ratio_levels[grp];
-      child.forward[grp] = b.forward[grp];
-    }
-  }
-  if (gen.bernoulli(0.5)) child.mapping = b.mapping;  // permutations swap atomically
-  for (std::size_t u = 0; u < child.dvfs.size(); ++u)
-    if (gen.bernoulli(0.5)) child.dvfs[u] = b.dvfs[u];
-  return child;
-}
-
-/// Tournament of two among the ranked (ascending objective) survivors.
-const genome& tournament(const std::vector<genome>& pool, util::rng& gen) {
-  const auto n = static_cast<std::int64_t>(pool.size());
-  const auto a = static_cast<std::size_t>(gen.uniform_int(0, n - 1));
-  const auto b = static_cast<std::size_t>(gen.uniform_int(0, n - 1));
-  return pool[std::min(a, b)];  // pool is sorted best-first
-}
-
-/// Non-dominated front index per candidate over (latency, energy, -acc);
-/// infeasible candidates get a sentinel beyond every front.
-std::vector<std::size_t> front_indices(const std::vector<evaluation>& evals) {
-  constexpr std::size_t unranked = static_cast<std::size_t>(-1);
-  std::vector<std::size_t> front(evals.size(), unranked);
-  std::vector<std::vector<double>> pts(evals.size());
-  for (std::size_t i = 0; i < evals.size(); ++i)
-    pts[i] = {evals[i].avg_latency_ms, evals[i].avg_energy_mj, -evals[i].accuracy_pct};
-
-  std::size_t assigned = 0;
-  std::size_t total_feasible = 0;
-  for (const auto& e : evals)
-    if (e.feasible) ++total_feasible;
-
-  // Peel fronts: at each level, collect every unassigned candidate not
-  // dominated by another unassigned candidate, then assign the whole set.
-  for (std::size_t level = 0; assigned < total_feasible; ++level) {
-    std::vector<std::size_t> peel;
-    for (std::size_t i = 0; i < evals.size(); ++i) {
-      if (!evals[i].feasible || front[i] != unranked) continue;
-      bool dominated = false;
-      for (std::size_t j = 0; j < evals.size() && !dominated; ++j) {
-        if (i == j || !evals[j].feasible || front[j] != unranked) continue;
-        if (dominates(pts[j], pts[i])) dominated = true;
-      }
-      if (!dominated) peel.push_back(i);
-    }
-    for (const std::size_t i : peel) front[i] = level;
-    assigned += peel.size();
-  }
-  for (std::size_t i = 0; i < evals.size(); ++i)
-    if (front[i] == unranked) front[i] = evals.size() + 1;  // infeasible sentinel
-  return front;
-}
-
-/// NSGA-II crowding distance over (latency, energy, -accuracy), computed
-/// within each front. Boundary candidates get +inf so the front's extreme
-/// corners (cheapest, most accurate) always survive.
-std::vector<double> crowding_distances(const std::vector<evaluation>& evals,
-                                       const std::vector<std::size_t>& fronts) {
-  std::vector<double> dist(evals.size(), 0.0);
-  const auto metric = [&](std::size_t i, int axis) {
-    switch (axis) {
-      case 0: return evals[i].avg_latency_ms;
-      case 1: return evals[i].avg_energy_mj;
-      default: return -evals[i].accuracy_pct;
-    }
-  };
-
-  std::map<std::size_t, std::vector<std::size_t>> by_front;
-  for (std::size_t i = 0; i < evals.size(); ++i)
-    if (evals[i].feasible) by_front[fronts[i]].push_back(i);
-
-  for (auto& [level, members] : by_front) {
-    if (members.size() <= 2) {
-      for (const std::size_t i : members) dist[i] = std::numeric_limits<double>::infinity();
-      continue;
-    }
-    for (int axis = 0; axis < 3; ++axis) {
-      std::sort(members.begin(), members.end(),
-                [&](std::size_t a, std::size_t b) { return metric(a, axis) < metric(b, axis); });
-      const double lo = metric(members.front(), axis);
-      const double hi = metric(members.back(), axis);
-      dist[members.front()] = std::numeric_limits<double>::infinity();
-      dist[members.back()] = std::numeric_limits<double>::infinity();
-      if (hi <= lo) continue;
-      for (std::size_t r = 1; r + 1 < members.size(); ++r)
-        dist[members[r]] +=
-            (metric(members[r + 1], axis) - metric(members[r - 1], axis)) / (hi - lo);
-    }
-  }
-  return dist;
-}
-
-/// hybrid_nsga: non-dominated front first, eq. 16 objective within a front.
-/// objective_only: the paper-literal pure P ranking.
-std::vector<std::size_t> rank_order(const std::vector<evaluation>& evals,
-                                    const ga_options& opt) {
-  std::vector<std::size_t> order(evals.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  if (opt.selection == selection_mode::hybrid_nsga) {
-    const std::vector<std::size_t> fronts = front_indices(evals);
-    const std::vector<double> crowd = crowding_distances(evals, fronts);
-    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      if (evals[a].feasible != evals[b].feasible) return evals[a].feasible;
-      if (fronts[a] != fronts[b]) return fronts[a] < fronts[b];
-      if (crowd[a] != crowd[b]) return crowd[a] > crowd[b];
-      return evals[a].objective < evals[b].objective;
-    });
-  } else {
-    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      if (evals[a].feasible != evals[b].feasible) return evals[a].feasible;
-      return evals[a].objective < evals[b].objective;
-    });
-  }
-  return order;
-}
-
-/// Decorrelated RNG stream per island. Island 0 keeps the raw seed so a
-/// 1-island run replays the exact pre-island stream (bit-identity).
-std::uint64_t island_seed(std::uint64_t seed, std::size_t island) {
-  if (island == 0) return seed;
-  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(island);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
-
-/// One island: a private sub-population with its own deterministic RNG
-/// stream, evolving against the shared engine via async batches.
+/// One island slot driven by the coordinator: the strategy plus the engine
+/// batch currently in flight and its pre-filter bookkeeping.
 struct island {
-  util::rng gen{0};
-  std::vector<genome> population;
-  std::vector<genome> outbox;  ///< elites published at the last round boundary
+  std::unique_ptr<search_strategy> strategy;
+  island_orientation orientation = island_orientation::balanced;
   std::future<std::vector<evaluation>> pending;
   engine_stats plan_delta;  ///< engine counters attributable to the pending batch
+  bool filtered = false;    ///< pending batch went through the pre-filter
+  std::vector<char> kept;   ///< per-candidate: advanced to the analytic engine
+  std::vector<evaluation> predicted;  ///< surrogate scores, index-aligned with candidates
 };
+
+void validate_options(const ga_options& opt, std::size_t K, const candidate_prefilter* prefilter) {
+  if (opt.population < 4) throw std::invalid_argument("evolve: population too small");
+  if (opt.elite_fraction <= 0.0 || opt.elite_fraction >= 1.0)
+    throw std::invalid_argument("evolve: elite_fraction out of (0,1)");
+  if (K > 1 && opt.population / K < 4)
+    throw std::invalid_argument("evolve: population too small for island count");
+  const portfolio_options& pf = opt.portfolio;
+  if (pf.islands.size() > K)
+    throw std::invalid_argument("evolve: more portfolio assignments than islands");
+  if (!(pf.sa.initial_temperature > 0.0))
+    throw std::invalid_argument("evolve: sa.initial_temperature must be > 0");
+  if (!(pf.sa.cooling > 0.0) || pf.sa.cooling > 1.0)
+    throw std::invalid_argument("evolve: sa.cooling out of (0,1]");
+  if (pf.prefilter.enabled) {
+    if (prefilter == nullptr)
+      throw std::invalid_argument("evolve: prefilter enabled but no scorer provided");
+    if (!(pf.prefilter.quantile > 0.0) || pf.prefilter.quantile > 1.0)
+      throw std::invalid_argument("evolve: prefilter.quantile out of (0,1]");
+  }
+}
 
 }  // namespace
 
-ga_result evolve(const search_space& space, const evaluator& eval, const ga_options& opt) {
+ga_result evolve(const search_space& space, const evaluator& eval, const ga_options& opt,
+                 candidate_prefilter* prefilter) {
   engine_options eopt;
   eopt.threads = opt.threads;
   // GA hits come from the previous generation's survivors, so a few
@@ -197,42 +59,30 @@ ga_result evolve(const search_space& space, const evaluator& eval, const ga_opti
   // cache keeps long large-population runs at constant memory.
   eopt.capacity = std::max<std::size_t>(4096, 8 * opt.population);
   evaluation_engine engine{eval, eopt};
-  return evolve(space, engine, opt);
+  return evolve(space, engine, opt, prefilter);
 }
 
-ga_result evolve(const search_space& space, evaluation_engine& engine, const ga_options& opt) {
-  if (opt.population < 4) throw std::invalid_argument("evolve: population too small");
-  if (opt.elite_fraction <= 0.0 || opt.elite_fraction >= 1.0)
-    throw std::invalid_argument("evolve: elite_fraction out of (0,1)");
+ga_result evolve(const search_space& space, evaluation_engine& engine, const ga_options& opt,
+                 candidate_prefilter* prefilter) {
   const std::size_t K = std::max<std::size_t>(1, opt.island.islands);
-  if (K > 1 && opt.population / K < 4)
-    throw std::invalid_argument("evolve: population too small for island count");
+  validate_options(opt, K, prefilter);
   const std::size_t M = std::max<std::size_t>(1, opt.island.migration_interval);
   const std::size_t G = opt.generations;
+  const prefilter_options& pf = opt.portfolio.prefilter;
 
   const engine_stats run_start = engine.stats();
   std::size_t evictions_seen = run_start.evictions;
 
   // --- split the population across islands -------------------------------
-  // Island 0 anchors the high-accuracy corner exactly like the classic GA
-  // (static seed + mapping rotations); every other island re-seeds the
-  // anchor too (duplicates are cache hits anyway) and fills randomly from
-  // its own decorrelated stream.
+  // Each strategy owns its sub-population and decorrelated RNG stream; the
+  // initialization (static-seed anchor, island-0 mapping rotations, random
+  // fill) lives behind make_island_strategy and is identical across
+  // algorithms.
   std::vector<island> isl(K);
   for (std::size_t i = 0; i < K; ++i) {
     const std::size_t size_i = opt.population / K + (i < opt.population % K ? 1 : 0);
-    island& s = isl[i];
-    s.gen = util::rng{island_seed(opt.seed, i)};
-    s.population.reserve(size_i);
-    s.population.push_back(space.static_seed());
-    if (i == 0) {
-      for (std::size_t r = 1; r < space.stages() && s.population.size() + 1 < size_i; ++r) {
-        genome rotated = s.population.back();
-        std::rotate(rotated.mapping.begin(), rotated.mapping.begin() + 1, rotated.mapping.end());
-        s.population.push_back(std::move(rotated));
-      }
-    }
-    while (s.population.size() < size_i) s.population.push_back(space.random(s.gen));
+    isl[i].strategy = make_island_strategy(space, opt, i, size_i, K);
+    isl[i].orientation = island_plan(opt, i).orientation;
   }
 
   ga_result result;
@@ -245,21 +95,54 @@ ga_result evolve(const search_space& space, evaluation_engine& engine, const ga_
   // cache probe inline (so plan_delta is exact: only this coordinator
   // thread bumps hit/miss/dedup/inflight counters) and enqueues the
   // distinct misses on the engine pool.
-  const auto submit = [&](island& s) {
+  //
+  // With the pre-filter active (past its warmup), the whole proposed batch
+  // is scored on the surrogate first and only the promising quantile enters
+  // the analytic engine; the skipped candidates carry their predicted
+  // evaluation into breeding but never into the archive or history stats.
+  const auto submit = [&](island& s, std::size_t gg) {
+    const std::vector<genome>& pop = s.strategy->population();
     std::vector<configuration> configs;
-    configs.reserve(s.population.size());
-    for (const genome& p : s.population) configs.push_back(space.decode(p));
+    configs.reserve(pop.size());
+    for (const genome& p : pop) configs.push_back(space.decode(p));
+    s.filtered = false;
+    s.kept.clear();
+    s.predicted.clear();
+    if (pf.enabled && gg >= pf.warmup_generations && configs.size() > 1) {
+      s.predicted = prefilter->score(configs);
+      if (s.predicted.size() != configs.size())
+        throw std::runtime_error("evolve: prefilter returned wrong batch size");
+      std::vector<std::size_t> order(configs.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        if (s.predicted[a].feasible != s.predicted[b].feasible) return s.predicted[a].feasible;
+        return s.predicted[a].objective < s.predicted[b].objective;
+      });
+      const std::size_t keep = std::min<std::size_t>(
+          configs.size(), std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(
+                                 pf.quantile * static_cast<double>(configs.size())))));
+      s.kept.assign(configs.size(), 0);
+      for (std::size_t r = 0; r < keep; ++r) s.kept[order[r]] = 1;
+      std::vector<configuration> advancing;
+      advancing.reserve(keep);
+      for (std::size_t i = 0; i < configs.size(); ++i)
+        if (s.kept[i]) advancing.push_back(std::move(configs[i]));
+      s.filtered = true;
+      const engine_stats before = engine.stats();
+      s.pending = engine.evaluate_batch_async(std::move(advancing));
+      s.plan_delta = engine.stats() - before;
+      return;
+    }
     const engine_stats before = engine.stats();
     s.pending = engine.evaluate_batch_async(std::move(configs));
     s.plan_delta = engine.stats() - before;
   };
 
   // Waits out island i's generation `gg`, folds it into history/archive and
-  // returns (evaluations, ranking) for breeding.
+  // returns (evaluations, ranking) for the strategy to observe.
   const auto process = [&](std::size_t i, std::size_t gg) {
     island& s = isl[i];
-    std::vector<evaluation> evals = s.pending.get();
-    result.total_evaluations += evals.size();
+    std::vector<evaluation> got = s.pending.get();
 
     generation_stats& hist = result.history[gg];
     hist.generation = gg;
@@ -273,18 +156,44 @@ ga_result evolve(const search_space& space, evaluation_engine& engine, const ga_
     hist.cache_evictions += ev_now - evictions_seen;
     evictions_seen = ev_now;
 
-    std::vector<std::size_t> order = rank_order(evals, opt);
+    // Splice skipped candidates' predicted evaluations back in so `evals`
+    // stays index-aligned with the strategy's population. `analytic[c]`
+    // marks the ground-truth entries; only those feed archive and stats.
+    std::vector<evaluation> evals;
+    std::vector<char> analytic;
+    if (s.filtered) {
+      evals.reserve(s.kept.size());
+      std::size_t next = 0;
+      for (std::size_t c = 0; c < s.kept.size(); ++c)
+        evals.push_back(s.kept[c] ? got[next++] : s.predicted[c]);
+      analytic.assign(s.kept.begin(), s.kept.end());
+      hist.prefiltered += got.size();
+      hist.prefilter_skipped += s.kept.size() - got.size();
+    } else {
+      evals = std::move(got);
+      analytic.assign(evals.size(), 1);
+    }
+    result.total_evaluations += evals.size();
+
+    std::vector<std::size_t> order = rank_candidates(evals, opt, s.orientation);
 
     std::size_t feasible = 0;
     double sum = 0.0;
-    for (const evaluation& e : evals) {
-      if (!e.feasible) continue;
+    for (std::size_t c = 0; c < evals.size(); ++c) {
+      if (!analytic[c] || !evals[c].feasible) continue;
       ++feasible;
-      sum += e.objective;
-      result.archive.push_back(e);
+      sum += evals[c].objective;
+      result.archive.push_back(evals[c]);
     }
     if (feasible > 0) {
-      const double best = evals[order.front()].objective;
+      // The generation's "best" is the top-ranked ground-truth entry (for an
+      // unfiltered batch that is exactly order.front(), as it always was).
+      double best = 0.0;
+      for (const std::size_t r : order) {
+        if (!analytic[r] || !evals[r].feasible) continue;
+        best = evals[r].objective;
+        break;
+      }
       if (hist.feasible == 0 || best < hist.best_objective) hist.best_objective = best;
       hist.mean_objective += sum;  // normalized to a mean after the run
       hist.feasible += feasible;
@@ -292,128 +201,77 @@ ga_result evolve(const search_space& space, evaluation_engine& engine, const ga_
     return std::make_pair(std::move(evals), std::move(order));
   };
 
-  // Elite selection + offspring for the next generation; optionally records
-  // the island's ranked elites as outbound migrants for the ring exchange.
-  const auto breed = [&](island& s, const std::vector<evaluation>& evals,
-                         const std::vector<std::size_t>& order, bool capture_outbox) {
-    const std::size_t island_pop = s.population.size();
-    const std::size_t n_elite = std::max<std::size_t>(
-        2, static_cast<std::size_t>(opt.elite_fraction * static_cast<double>(island_pop)));
-    std::vector<genome> survivors;
-    survivors.reserve(n_elite + opt.accuracy_elites);
-    for (std::size_t r = 0; r < n_elite && r < order.size(); ++r) {
-      if (!evals[order[r]].feasible) break;  // never breed from violators
-      survivors.push_back(s.population[order[r]]);
-    }
-    if (opt.accuracy_elites > 0 && !survivors.empty()) {
-      // Also protect the most accurate feasible candidates of the
-      // generation (see ga_options::accuracy_elites).
-      std::vector<std::size_t> by_acc = order;
-      std::sort(by_acc.begin(), by_acc.end(), [&](std::size_t a, std::size_t b) {
-        if (evals[a].feasible != evals[b].feasible) return evals[a].feasible;
-        return evals[a].accuracy_pct > evals[b].accuracy_pct;
-      });
-      for (std::size_t r = 0; r < opt.accuracy_elites && r < by_acc.size(); ++r) {
-        if (!evals[by_acc[r]].feasible) break;
-        survivors.push_back(s.population[by_acc[r]]);
-      }
-    }
-    // Small islands must keep breeding: survivors never fill more than half
-    // the sub-population (accuracy elites, appended last, are trimmed
-    // first). The single-population phases — K = 1 runs and the merged
-    // polish tail — keep the exact classic behavior, preserving
-    // bit-identity with the pre-island implementation.
-    if (isl.size() > 1) {
-      const std::size_t cap = std::max<std::size_t>(2, island_pop / 2);
-      if (survivors.size() > cap) survivors.resize(cap);
-    }
-
-    s.outbox.clear();
-    if (capture_outbox) {
-      const std::size_t want =
-          std::min(opt.island.migrants, island_pop > 1 ? island_pop - 1 : std::size_t{0});
-      for (std::size_t r = 0; r < order.size() && s.outbox.size() < want; ++r) {
-        if (!evals[order[r]].feasible) break;
-        s.outbox.push_back(s.population[order[r]]);
-      }
-    }
-
-    if (survivors.empty()) {
-      // No feasible candidate yet: reseed the whole island.
-      for (genome& p : s.population) p = space.random(s.gen);
-      return;
-    }
-
-    std::vector<genome> next;
-    next.reserve(island_pop);
-    for (const genome& sv : survivors) next.push_back(sv);
-    while (next.size() < island_pop) {
-      genome child =
-          s.gen.bernoulli(opt.crossover_prob)
-              ? crossover(tournament(survivors, s.gen), tournament(survivors, s.gen), s.gen)
-              : tournament(survivors, s.gen);
-      mutate(child, space, opt, s.gen);
-      next.push_back(std::move(child));
-    }
-    s.population = std::move(next);
-  };
-
   // --- generation loop, in rounds between migration boundaries ------------
   // Within a round, islands are pipelined: after island i's generation is
-  // ranked and bred, its next batch enters the engine pool immediately —
+  // ranked and observed, its next batch enters the engine pool immediately —
   // while islands i+1..K-1 of the current generation are still evaluating.
-  // The serial rank/breed segments therefore hide behind evaluation instead
-  // of leaving the pool idle between generations.
+  // The serial rank/observe segments therefore hide behind evaluation
+  // instead of leaving the pool idle between generations.
   //
   // The final `polish_fraction` of the budget runs merged: the union of the
-  // island populations evolves as one population (island 0's RNG stream
-  // continues), so NSGA crowding can refine the combined front.
+  // island populations evolves as one NSGA-ranked GA population. When island
+  // 0 already is a GA it absorbs the rest and its RNG stream continues
+  // (bit-identity with the pre-portfolio merge); otherwise a fresh polish GA
+  // takes over on the stream one past the last island's.
   const double polish = std::clamp(opt.island.polish_fraction, 0.0, 1.0);
   const std::size_t merge_start =
       K > 1 ? G - std::min(G, static_cast<std::size_t>(polish * static_cast<double>(G))) : G;
   std::size_t g = 0;
   while (g < G) {
     if (isl.size() > 1 && g >= merge_start) {
-      // Deterministic merge: concatenate the island populations (ring
-      // order) into island 0 and keep evolving on its RNG stream.
-      for (std::size_t i = 1; i < isl.size(); ++i)
-        isl[0].population.insert(isl[0].population.end(), isl[i].population.begin(),
-                                 isl[i].population.end());
+      // Deterministic merge: concatenate the island populations in ring
+      // order into one polish GA.
+      if (island_plan(opt, 0).algorithm == island_algorithm::ga) {
+        std::vector<genome> merged;
+        for (std::size_t i = 1; i < isl.size(); ++i) {
+          std::vector<genome> part = isl[i].strategy->take_population();
+          merged.insert(merged.end(), std::make_move_iterator(part.begin()),
+                        std::make_move_iterator(part.end()));
+        }
+        isl[0].strategy->absorb(std::move(merged));
+      } else {
+        std::vector<genome> merged = isl[0].strategy->take_population();
+        for (std::size_t i = 1; i < isl.size(); ++i) {
+          std::vector<genome> part = isl[i].strategy->take_population();
+          merged.insert(merged.end(), std::make_move_iterator(part.begin()),
+                        std::make_move_iterator(part.end()));
+        }
+        isl[0].strategy = make_polish_strategy(space, opt, std::move(merged),
+                                               island_seed(opt.seed, K));
+      }
+      isl[0].orientation = island_orientation::balanced;
       isl.resize(1);
     }
     const std::size_t n_islands = isl.size();
     const std::size_t round_end =
         n_islands > 1 ? std::min({G, merge_start, (g / M + 1) * M}) : G;
-    for (island& s : isl) submit(s);
+    for (island& s : isl) submit(s, g);
     for (std::size_t gg = g; gg < round_end; ++gg) {
       for (std::size_t i = 0; i < n_islands; ++i) {
         const auto [evals, order] = process(i, gg);
         if (gg + 1 == G) continue;  // final generation: rank/archive only
         const bool last_of_round = gg + 1 == round_end;
-        breed(isl[i], evals, order, /*capture_outbox=*/n_islands > 1 && last_of_round);
-        if (!last_of_round) submit(isl[i]);
+        isl[i].strategy->observe(evals, order, /*capture_outbox=*/n_islands > 1 && last_of_round);
+        if (!last_of_round) submit(isl[i], gg + 1);
       }
     }
     g = round_end;
 
     if (g < merge_start && isl.size() > 1) {
-      // Ring migration: island i receives island (i-1)'s ranked elites and
-      // replaces its worst offspring slots (the tail; elites sit at the
-      // front of a bred population). Deterministic: outboxes are fixed by
-      // each island's private stream and the exchange order is the ring.
+      // Ring migration: island i receives island (i-1)'s ranked elites.
+      // Deterministic: outboxes are fixed by each island's private stream
+      // and the exchange order is the ring.
       const std::size_t n_isl = isl.size();
-      for (std::size_t i = 0; i < n_isl; ++i) {
-        const std::vector<genome>& incoming = isl[(i + n_isl - 1) % n_isl].outbox;
-        std::vector<genome>& pop = isl[i].population;
-        const std::size_t n = std::min(
-            incoming.size(), pop.size() > 1 ? pop.size() - 1 : std::size_t{0});
-        for (std::size_t j = 0; j < n; ++j) pop[pop.size() - 1 - j] = incoming[j];
-      }
+      for (std::size_t i = 0; i < n_isl; ++i)
+        isl[i].strategy->immigrate(isl[(i + n_isl - 1) % n_isl].strategy->outbox());
     }
   }
 
-  for (generation_stats& hist : result.history)
+  for (generation_stats& hist : result.history) {
     if (hist.feasible > 0) hist.mean_objective /= static_cast<double>(hist.feasible);
+    result.prefiltered += hist.prefiltered;
+    result.prefilter_skipped += hist.prefilter_skipped;
+  }
 
   result.cache = engine.stats() - run_start;
   if (result.archive.empty())

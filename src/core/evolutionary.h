@@ -69,6 +69,69 @@ struct island_options {
   double polish_fraction = 0.70;
 };
 
+/// Per-island search algorithm. `ga` is the elitist NSGA-hybrid GA the
+/// framework has always run; `sa` is a population of simulated-annealing
+/// chains (one per population slot) doing mutation-neighborhood moves with
+/// Pareto-aware Metropolis acceptance under a frozen geometric temperature
+/// schedule. See docs/ARCHITECTURE.md ("Search strategies").
+enum class island_algorithm { ga, sa };
+
+/// Objective orientation of an island. `balanced` ranks (and accepts) on the
+/// session's `selection_mode`; `latency`/`energy` rank feasible candidates
+/// by that single axis so the island camps one end of the Pareto front while
+/// the others cover the rest — the portfolio's division of labor.
+enum class island_orientation { balanced, latency, energy };
+
+/// One island's portfolio slot: which algorithm it runs and which way it
+/// leans. The default slot is the classic GA, so an empty portfolio is
+/// bit-identical to the homogeneous island GA.
+struct island_assignment {
+  island_algorithm algorithm = island_algorithm::ga;
+  island_orientation orientation = island_orientation::balanced;
+};
+
+/// Simulated-annealing schedule, frozen at submit time: generation g runs at
+/// temperature `initial_temperature * cooling^g`, so equal seeds replay the
+/// exact accept/reject sequence (run-over-run determinism).
+struct sa_options {
+  /// Starting temperature on the *relative* worsening scale: a move that
+  /// worsens the chain's scalar by 100% is accepted with probability
+  /// exp(-1/T) at T = initial_temperature. Must be > 0.
+  double initial_temperature = 1.0;
+  /// Geometric per-generation cooling factor in (0, 1]; 1 disables cooling.
+  double cooling = 0.85;
+};
+
+/// Surrogate-guided candidate pre-filtering: score each proposed generation
+/// with a cheap predictor (the session GBT in serving) and spend analytic
+/// evaluator runs only on the promising quantile. Skipped candidates keep
+/// their predicted evaluation for breeding/acceptance but never enter the
+/// archive or the history's best/mean/feasible stats — the result's quality
+/// claims stay grounded in the analytic model.
+struct prefilter_options {
+  bool enabled = false;
+  /// Fraction of each proposed batch that advances to the analytic
+  /// evaluator, ranked by predicted (feasible, objective). In (0, 1];
+  /// at least one candidate always advances.
+  double quantile = 0.5;
+  /// Generations evaluated in full before filtering starts, so the archive
+  /// (and in serving, the surrogate's training signal) seeds from ground
+  /// truth. 0 filters from the first generation.
+  std::size_t warmup_generations = 2;
+};
+
+/// Search-portfolio knobs: per-island algorithm/orientation assignments plus
+/// the shared SA schedule and pre-filter policy. All defaults keep the
+/// homogeneous GA behavior bit-identical.
+struct portfolio_options {
+  /// Slot i configures island i; islands beyond the list run the default
+  /// (GA, balanced). More entries than islands is rejected. Empty = the
+  /// homogeneous island GA, bit-identical to pre-portfolio builds.
+  std::vector<island_assignment> islands;
+  sa_options sa;            ///< schedule shared by every SA island
+  prefilter_options prefilter;  ///< surrogate-guided evaluation gating
+};
+
 /// GA hyper-parameters. Paper defaults: 200 generations x 60 population
 /// (12k evaluations); benches shrink these via CLI for quick runs.
 struct ga_options {
@@ -85,7 +148,8 @@ struct ga_options {
   /// only weakly rewards accuracy).
   std::size_t accuracy_elites = 2;
   selection_mode selection = selection_mode::hybrid_nsga;
-  island_options island;  ///< sharded-population search (1 island = off)
+  island_options island;        ///< sharded-population search (1 island = off)
+  portfolio_options portfolio;  ///< per-island algorithms + pre-filtering
   std::uint64_t seed = 1;
   std::size_t threads = 12;  ///< evaluation workers (paper: 12-GPU cluster)
 };
@@ -103,6 +167,13 @@ struct generation_stats {
   std::size_t cache_dedup = 0;      ///< in-generation duplicate candidates collapsed
   std::size_t cache_inflight = 0;   ///< candidates joined from a concurrent in-flight run
   std::size_t cache_evictions = 0;  ///< entries dropped under capacity pressure
+  /// Candidates that passed the surrogate pre-filter and were evaluated
+  /// analytically this generation. 0 when filtering was off (all candidates
+  /// count as regular cache traffic instead).
+  std::size_t prefiltered = 0;
+  /// Candidates the pre-filter skipped: bred/accepted from their predicted
+  /// evaluation, never run on the analytic evaluator, never archived.
+  std::size_t prefilter_skipped = 0;
 };
 
 /// Search output.
@@ -115,6 +186,11 @@ struct ga_result {
   /// Candidates *considered* (population x generations); the evaluator only
   /// actually ran `cache.misses` times.
   std::size_t total_evaluations = 0;
+  /// Totals of the per-generation pre-filter counters: candidates evaluated
+  /// analytically after filtering, and candidates skipped on the surrogate's
+  /// word. Both 0 when `portfolio.prefilter.enabled` was off.
+  std::size_t prefiltered = 0;
+  std::size_t prefilter_skipped = 0;
   /// Evaluation-engine counters accumulated over this run (deltas, so a
   /// shared engine can serve several searches).
   engine_stats cache;
@@ -122,11 +198,25 @@ struct ga_result {
   [[nodiscard]] const evaluation& best() const { return archive.at(best_index); }
 };
 
+/// Cheap candidate scorer for `portfolio_options::prefilter`: predicts an
+/// evaluation per configuration without touching the analytic evaluator.
+/// In serving this wraps the session's surrogate engine (GBT-corrected
+/// predictor); tests can plug in anything deterministic. `score` is called
+/// from the single coordinator thread, one batch per island generation, and
+/// must return exactly one evaluation per input configuration (checked).
+class candidate_prefilter {
+ public:
+  virtual ~candidate_prefilter() = default;
+  [[nodiscard]] virtual std::vector<evaluation> score(
+      const std::vector<configuration>& configs) = 0;
+};
+
 /// Runs the GA with every population evaluation routed through `engine`
 /// (elites and duplicate offspring become cache hits). Throws
 /// std::runtime_error if no feasible configuration is ever found and
 /// std::invalid_argument for unusable options (population < 4, islands that
-/// would leave an island under 4 members, elite_fraction outside (0,1)).
+/// would leave an island under 4 members, elite_fraction outside (0,1),
+/// malformed portfolio knobs, or a pre-filter enabled without a scorer).
 ///
 /// Blocking: runs the whole search on the calling thread (the coordinator);
 /// only candidate evaluation is offloaded to the engine's pool. With K > 1
@@ -140,12 +230,18 @@ struct ga_result {
 /// concurrently they include the other searches' traffic; with K > 1
 /// islands, per-generation eviction counts are attributed to the
 /// generation whose processing window observed them.
+///
+/// `prefilter` gates candidate evaluation when
+/// `opt.portfolio.prefilter.enabled` (see prefilter_options); it is ignored
+/// when filtering is off and required (non-null) when it is on.
 [[nodiscard]] ga_result evolve(const search_space& space, evaluation_engine& engine,
-                               const ga_options& opt = {});
+                               const ga_options& opt = {},
+                               candidate_prefilter* prefilter = nullptr);
 
 /// Convenience overload: wraps `eval` in a fresh memoizing engine sized by
 /// `opt.threads` and runs the GA on it.
 [[nodiscard]] ga_result evolve(const search_space& space, const evaluator& eval,
-                               const ga_options& opt = {});
+                               const ga_options& opt = {},
+                               candidate_prefilter* prefilter = nullptr);
 
 }  // namespace mapcq::core

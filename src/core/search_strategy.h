@@ -1,0 +1,107 @@
+#pragma once
+// Search-strategy interface: one island of the portfolio search, behind a
+// uniform propose/observe contract so `core::evolve` can drive heterogeneous
+// algorithms (GA islands, simulated-annealing islands) through the same
+// coordinator loop — shared evaluation engine, ring migration, merged NSGA
+// polish tail and all.
+//
+// Per generation the coordinator
+//   1. reads `population()` (the candidates the strategy wants evaluated),
+//   2. evaluates them through the engine (possibly pre-filtered, see
+//      `candidate_prefilter` in evolutionary.h),
+//   3. ranks them with `rank_candidates` under the island's orientation, and
+//   4. hands the index-aligned evaluations back via `observe()`, which breeds
+//      (GA) or accepts/rejects (SA) the next `population()`.
+// Migration moves genomes between strategies with `outbox()`/`immigrate()`;
+// the merged polish tail collects `take_population()` from every island into
+// one NSGA-ranked GA (`absorb` when island 0 already is one, otherwise
+// `make_polish_strategy`). See docs/ARCHITECTURE.md ("Adding a search
+// engine") for a walkthrough.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/evolutionary.h"
+#include "core/search_space.h"
+
+namespace mapcq::core {
+
+/// One island's search algorithm behind the coordinator's propose/observe
+/// loop. Implementations own their population and RNG stream; all engine
+/// traffic and bookkeeping stays in the coordinator. Not thread-safe: each
+/// instance is driven by the single coordinator thread.
+class search_strategy {
+ public:
+  virtual ~search_strategy() = default;
+
+  /// Candidates to evaluate this generation, index-aligned with the
+  /// `evals`/`order` later passed to `observe()`. Stable until then.
+  [[nodiscard]] virtual const std::vector<genome>& population() const = 0;
+
+  /// Consumes this generation's evaluations (`evals[i]` belongs to
+  /// `population()[i]`; `order` ranks them best-first) and prepares the next
+  /// `population()`. When `capture_outbox` is set, also publishes ranked
+  /// feasible elites for the ring exchange (at most
+  /// `island_options::migrants`).
+  virtual void observe(const std::vector<evaluation>& evals,
+                       const std::vector<std::size_t>& order, bool capture_outbox) = 0;
+
+  /// Elites published by the last `observe(..., capture_outbox=true)`.
+  [[nodiscard]] virtual const std::vector<genome>& outbox() const = 0;
+
+  /// Ring migration: `incoming` replaces this strategy's worst members (at
+  /// most population-size - 1 of them).
+  virtual void immigrate(const std::vector<genome>& incoming) = 0;
+
+  /// Surrenders the current population (polish-tail merge). The strategy is
+  /// dead afterwards.
+  [[nodiscard]] virtual std::vector<genome> take_population() = 0;
+
+  /// Polish-tail merge into a live strategy: appends `merged` to the current
+  /// population and lifts any multi-island survivor cap, so the combined
+  /// population evolves exactly like the classic single-population GA.
+  virtual void absorb(std::vector<genome> merged) = 0;
+};
+
+/// Ranks candidates best-first. `balanced` uses `opt.selection` (the classic
+/// hybrid-NSGA or objective-only order); `latency`/`energy` rank feasible
+/// candidates by that single axis (objective breaks ties), so an oriented
+/// island camps its end of the front. Infeasible candidates always sort
+/// last.
+[[nodiscard]] std::vector<std::size_t> rank_candidates(const std::vector<evaluation>& evals,
+                                                       const ga_options& opt,
+                                                       island_orientation orientation);
+
+/// Decorrelated RNG stream per island. Island 0 keeps the raw seed so a
+/// 1-island run replays the exact pre-island stream (bit-identity); the
+/// merged polish strategy of an SA-led portfolio uses index K (one past the
+/// last island) so it collides with no island stream.
+[[nodiscard]] std::uint64_t island_seed(std::uint64_t seed, std::size_t island);
+
+/// Resolves island `island`'s portfolio slot: the explicit
+/// `ga_options::portfolio.islands` entry when one exists, otherwise the
+/// default (GA, balanced) — so an empty portfolio is the homogeneous GA.
+[[nodiscard]] island_assignment island_plan(const ga_options& opt, std::size_t island);
+
+/// Builds island `island`'s strategy (algorithm per `island_plan`) with its
+/// initial population of `island_size` members: the static seed anchor,
+/// island 0's mapping rotations, and a random fill from the island's
+/// decorrelated stream — identical across algorithms so portfolio choice
+/// never perturbs initialization.
+[[nodiscard]] std::unique_ptr<search_strategy> make_island_strategy(const search_space& space,
+                                                                    const ga_options& opt,
+                                                                    std::size_t island,
+                                                                    std::size_t island_size,
+                                                                    std::size_t total_islands);
+
+/// Builds the merged polish-tail GA over an explicit population (used when
+/// island 0 is not a GA): uncapped survivors, NSGA ranking per
+/// `opt.selection`, RNG stream seeded by `seed`.
+[[nodiscard]] std::unique_ptr<search_strategy> make_polish_strategy(const search_space& space,
+                                                                    const ga_options& opt,
+                                                                    std::vector<genome> population,
+                                                                    std::uint64_t seed);
+
+}  // namespace mapcq::core

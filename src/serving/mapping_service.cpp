@@ -38,6 +38,21 @@ std::size_t pick_within_slack(const std::vector<core::evaluation>& front, double
   return best;
 }
 
+/// Candidate pre-filter over the session's surrogate engine: predicted
+/// evaluations are memoized like any surrogate search traffic, so filter
+/// scoring warms the same cache a surrogate-backed search would use.
+class surrogate_prefilter final : public core::candidate_prefilter {
+ public:
+  explicit surrogate_prefilter(core::evaluation_engine& engine) : engine_(engine) {}
+  [[nodiscard]] std::vector<core::evaluation> score(
+      const std::vector<core::configuration>& configs) override {
+    return engine_.evaluate_batch(configs);
+  }
+
+ private:
+  core::evaluation_engine& engine_;
+};
+
 }  // namespace
 
 mapping_service::mapping_service(service_options opt) : opt_(opt) {
@@ -219,7 +234,21 @@ mapping_report mapping_service::map(const mapping_request& req) {
     rep.trained_surrogate = trained_now;
     rep.surrogate_fidelity = session->surrogate_fidelity();
   }
-  rep.search = core::evolve(session->space(), *search_engine, req.ga);
+  // Surrogate-guided pre-filtering gates an *analytic* search: scoring a
+  // surrogate-backed search with the same surrogate would filter nothing.
+  std::unique_ptr<surrogate_prefilter> prefilter;
+  if (req.ga.portfolio.prefilter.enabled) {
+    if (req.use_surrogate)
+      throw std::invalid_argument(
+          "mapping_service: ga.portfolio.prefilter requires an analytic search "
+          "(set use_surrogate = false)");
+    bool trained_now = false;
+    prefilter = std::make_unique<surrogate_prefilter>(
+        session->surrogate_engine(req.bench, req.gbt, &trained_now));
+    rep.trained_surrogate = trained_now;
+    rep.surrogate_fidelity = session->surrogate_fidelity();
+  }
+  rep.search = core::evolve(session->space(), *search_engine, req.ga, prefilter.get());
   rep.search_cache = rep.search.cache;
 
   // --- validate the Pareto picks on the analytic model --------------------

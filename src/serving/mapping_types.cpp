@@ -21,6 +21,12 @@ std::string request_fingerprint(const mapping_request& req) {
      << static_cast<int>(g.selection) << "," << g.seed;
   os << "|isl=" << g.island.islands << "," << g.island.migration_interval << ","
      << g.island.migrants << "," << g.island.polish_fraction;
+  os << "|pfl=";
+  for (const core::island_assignment& a : g.portfolio.islands)
+    os << static_cast<int>(a.algorithm) << ":" << static_cast<int>(a.orientation) << ";";
+  os << "|sa=" << g.portfolio.sa.initial_temperature << "," << g.portfolio.sa.cooling;
+  os << "|pre=" << g.portfolio.prefilter.enabled << "," << g.portfolio.prefilter.quantile << ","
+     << g.portfolio.prefilter.warmup_generations;
   // The predictor pointer must key too: a foreign-predictor request is
   // rejected by map(), and must not coalesce onto a valid request's report.
   os << "|pred=" << static_cast<const void*>(e.predictor);
@@ -36,7 +42,9 @@ std::string request_fingerprint(const mapping_request& req) {
     os << "none";
   }
   os << "|surr=" << req.use_surrogate;
-  if (req.use_surrogate) {
+  // The surrogate training knobs shape the report whenever a GBT is in the
+  // loop: surrogate-backed search, or analytic search behind the pre-filter.
+  if (req.use_surrogate || req.ga.portfolio.prefilter.enabled) {
     const surrogate::benchmark_options& b = req.bench;
     const surrogate::gbt_params& t = req.gbt;
     os << "|bench=" << b.samples << "," << b.noise_stddev << "," << b.seed << ","

@@ -100,7 +100,8 @@ class object_reader {
         expected += name;
         expected += '"';
       }
-      fail(member_path(key), "unknown value \"" + v->as_string() + "\" (expected " + expected + ")");
+      fail(member_path(key),
+           "unknown value \"" + v->as_string() + "\" (expected " + expected + ")");
     }
   }
 
@@ -127,6 +128,15 @@ constexpr std::pair<const char*, admission_policy> policy_names[] = {
 constexpr std::pair<const char*, core::selection_mode> selection_names[] = {
     {"hybrid_nsga", core::selection_mode::hybrid_nsga},
     {"objective_only", core::selection_mode::objective_only},
+};
+constexpr std::pair<const char*, core::island_algorithm> algorithm_names[] = {
+    {"ga", core::island_algorithm::ga},
+    {"sa", core::island_algorithm::sa},
+};
+constexpr std::pair<const char*, core::island_orientation> orientation_names[] = {
+    {"balanced", core::island_orientation::balanced},
+    {"latency", core::island_orientation::latency},
+    {"energy", core::island_orientation::energy},
 };
 
 template <class Enum, std::size_t N>
@@ -222,6 +232,25 @@ value to_json(const core::ga_options& opt) {
   island.push_member("migrants", opt.island.migrants);
   island.push_member("polish_fraction", opt.island.polish_fraction);
   obj.push_member("island", std::move(island));
+  value portfolio{util::json::object{}};
+  util::json::array assignments;
+  for (const core::island_assignment& a : opt.portfolio.islands) {
+    value slot{util::json::object{}};
+    slot.push_member("algorithm", enum_to_string(a.algorithm, algorithm_names));
+    slot.push_member("orientation", enum_to_string(a.orientation, orientation_names));
+    assignments.push_back(std::move(slot));
+  }
+  portfolio.push_member("islands", value{std::move(assignments)});
+  value sa{util::json::object{}};
+  sa.push_member("initial_temperature", opt.portfolio.sa.initial_temperature);
+  sa.push_member("cooling", opt.portfolio.sa.cooling);
+  portfolio.push_member("sa", std::move(sa));
+  value prefilter{util::json::object{}};
+  prefilter.push_member("enabled", opt.portfolio.prefilter.enabled);
+  prefilter.push_member("quantile", opt.portfolio.prefilter.quantile);
+  prefilter.push_member("warmup_generations", opt.portfolio.prefilter.warmup_generations);
+  portfolio.push_member("prefilter", std::move(prefilter));
+  obj.push_member("portfolio", std::move(portfolio));
   obj.push_member("seed", opt.seed);
   obj.push_member("threads", opt.threads);
   return obj;
@@ -247,6 +276,37 @@ void from_json(const value& v, core::ga_options& out, const std::string& path) {
     ri.get("polish_fraction", out.island.polish_fraction);
     ri.finish();
   }
+  if (const value* pf = r.take("portfolio")) {
+    object_reader rp{*pf, r.member_path("portfolio")};
+    if (const value* isl = rp.take("islands")) {
+      const std::string ipath = rp.member_path("islands");
+      if (!isl->is_array()) fail(ipath, "expected an array of island assignments");
+      out.portfolio.islands.clear();
+      for (std::size_t i = 0; i < isl->as_array().size(); ++i) {
+        const std::string spath = ipath + "[" + std::to_string(i) + "]";
+        object_reader rs{isl->as_array()[i], spath};
+        core::island_assignment slot;
+        rs.get_enum("algorithm", slot.algorithm, algorithm_names);
+        rs.get_enum("orientation", slot.orientation, orientation_names);
+        rs.finish();
+        out.portfolio.islands.push_back(slot);
+      }
+    }
+    if (const value* sa = rp.take("sa")) {
+      object_reader rs{*sa, rp.member_path("sa")};
+      rs.get("initial_temperature", out.portfolio.sa.initial_temperature);
+      rs.get("cooling", out.portfolio.sa.cooling);
+      rs.finish();
+    }
+    if (const value* pre = rp.take("prefilter")) {
+      object_reader rf{*pre, rp.member_path("prefilter")};
+      rf.get("enabled", out.portfolio.prefilter.enabled);
+      rf.get("quantile", out.portfolio.prefilter.quantile);
+      rf.get_uint("warmup_generations", out.portfolio.prefilter.warmup_generations);
+      rf.finish();
+    }
+    rp.finish();
+  }
   r.get_uint("seed", out.seed);
   r.get_uint("threads", out.threads);
   r.finish();
@@ -266,6 +326,17 @@ void validate(const core::ga_options& opt, const std::string& path) {
     fail(join(path, "island.islands"),
          "would leave an island under 4 members (islands * 4 must not exceed population)");
   check_probability(opt.island.polish_fraction, join(path, "island.polish_fraction"));
+  const std::size_t islands = std::max<std::size_t>(1, opt.island.islands);
+  if (opt.portfolio.islands.size() > islands)
+    fail(join(path, "portfolio.islands"),
+         "has more assignments (" + std::to_string(opt.portfolio.islands.size()) +
+             ") than ga.island.islands (" + std::to_string(islands) + ")");
+  if (!(opt.portfolio.sa.initial_temperature > 0.0))
+    fail(join(path, "portfolio.sa.initial_temperature"), "must be greater than 0");
+  if (!(opt.portfolio.sa.cooling > 0.0) || opt.portfolio.sa.cooling > 1.0)
+    fail(join(path, "portfolio.sa.cooling"), "must be in (0, 1]");
+  if (!(opt.portfolio.prefilter.quantile > 0.0) || opt.portfolio.prefilter.quantile > 1.0)
+    fail(join(path, "portfolio.prefilter.quantile"), "must be in (0, 1]");
 }
 
 // ------------------------------------------------------------- scheduler --

@@ -109,46 +109,60 @@ void mapping_session::promote(std::shared_ptr<const surrogate::hw_predictor> nex
 core::evaluation_engine& mapping_session::surrogate_engine(
     const surrogate::benchmark_options& bench, const surrogate::gbt_params& gbt,
     bool* trained_now) {
-  const std::lock_guard<std::mutex> lock{surrogate_mu_};
-  if (!predictor_) {
-    // Train once per session (paper §V-E), then pin an evaluator/engine pair
-    // to the fitted predictor so every later surrogate request reuses both
-    // the model and the memo cache.
-    const std::vector<const nn::network*> nets = {net_.get()};
-    const surrogate::dataset data = surrogate::generate_benchmark(nets, *plat_, bench);
-    surrogate::dataset_split parts = surrogate::split(data, 0.8, bench.seed ^ 0x5eed);
-    predictor_ = std::make_shared<const surrogate::hw_predictor>(parts.train, gbt);
-    fidelity_ = predictor_->evaluate(parts.test);
-    bench_ = bench;
-    gbt_ = gbt;
-    core::evaluator_options opt = eval_opt_;
-    opt.predictor = predictor_.get();
-    surrogate_eval_ = std::make_unique<core::evaluator>(*net_, *plat_, opt, ranking_seed_);
-    surrogate_engine_ = std::make_unique<core::evaluation_engine>(*surrogate_eval_, engine_opt_);
-    if (refresh_opt_.enabled) {
-      // The pipeline learns from the *analytic* engine's ground-truth
-      // traffic (cache misses during analytic searches and validation).
-      // Building it before installing the tap, inside this locked section,
-      // is what lets the tap use `refresh_` without taking surrogate_mu_.
-      refresh_ = std::make_unique<surrogate::refresh_pipeline>(
-          refresh_opt_, gbt, std::move(parts.train), predictor_,
-          [this](std::shared_ptr<const surrogate::hw_predictor> cand) {
-            promote(std::move(cand));
-          });
-      analytic_engine_.set_ground_truth_tap(
-          [this](const core::configuration& config, const core::evaluation&) {
-            refresh_->observe(ground_truth_rows(config));
-          });
+  bool install_tap = false;
+  core::evaluation_engine* engine = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock{surrogate_mu_};
+    if (!predictor_) {
+      // Train once per session (paper §V-E), then pin an evaluator/engine
+      // pair to the fitted predictor so every later surrogate request reuses
+      // both the model and the memo cache.
+      const std::vector<const nn::network*> nets = {net_.get()};
+      const surrogate::dataset data = surrogate::generate_benchmark(nets, *plat_, bench);
+      surrogate::dataset_split parts = surrogate::split(data, 0.8, bench.seed ^ 0x5eed);
+      predictor_ = std::make_shared<const surrogate::hw_predictor>(parts.train, gbt);
+      fidelity_ = predictor_->evaluate(parts.test);
+      bench_ = bench;
+      gbt_ = gbt;
+      core::evaluator_options opt = eval_opt_;
+      opt.predictor = predictor_.get();
+      surrogate_eval_ = std::make_unique<core::evaluator>(*net_, *plat_, opt, ranking_seed_);
+      surrogate_engine_ = std::make_unique<core::evaluation_engine>(*surrogate_eval_, engine_opt_);
+      if (refresh_opt_.enabled) {
+        // The pipeline learns from the *analytic* engine's ground-truth
+        // traffic (cache misses during analytic searches and validation).
+        // Building it before installing the tap, inside this locked section,
+        // is what lets the tap use `refresh_` without taking surrogate_mu_.
+        refresh_ = std::make_unique<surrogate::refresh_pipeline>(
+            refresh_opt_, gbt, std::move(parts.train), predictor_,
+            [this](std::shared_ptr<const surrogate::hw_predictor> cand) {
+              promote(std::move(cand));
+            });
+        install_tap = true;
+      }
+      if (trained_now) *trained_now = true;
+    } else {
+      if (!same_bench(bench_, bench) || !same_gbt(gbt_, gbt))
+        throw std::invalid_argument(
+            "mapping_session: surrogate knobs differ from the session's trained predictor "
+            "(sessions are immutable; change the evaluator options or ranking seed to fork one)");
+      if (trained_now) *trained_now = false;
     }
-    if (trained_now) *trained_now = true;
-    return *surrogate_engine_;
+    engine = surrogate_engine_.get();
   }
-  if (!same_bench(bench_, bench) || !same_gbt(gbt_, gbt))
-    throw std::invalid_argument(
-        "mapping_session: surrogate knobs differ from the session's trained predictor "
-        "(sessions are immutable; change the evaluator options or ranking seed to fork one)");
-  if (trained_now) *trained_now = false;
-  return *surrogate_engine_;
+  // The tap is installed only after surrogate_mu_ is released: a firing tap
+  // holds the engine's tap lock while a synchronous refit's promotion
+  // callback re-takes surrogate_mu_, so registering under surrogate_mu_
+  // inverts that order (lock cycle -> potential deadlock under TSan).
+  // Racing callers are safe — `refresh_` is already set, training is
+  // serialized above, and analytic traffic in the gap merely goes
+  // unobserved.
+  if (install_tap)
+    analytic_engine_.set_ground_truth_tap(
+        [this](const core::configuration& config, const core::evaluation&) {
+          refresh_->observe(ground_truth_rows(config));
+        });
+  return *engine;
 }
 
 bool mapping_session::surrogate_trained() const {
@@ -225,11 +239,26 @@ session_snapshot mapping_session::snapshot() {
 void mapping_session::restore(const session_snapshot& snap) {
   if (snap.session_key != key_)
     throw snapshot_error("session key mismatch (snapshot is for '" + snap.session_key + "')");
-  const std::lock_guard<std::mutex> lock{surrogate_mu_};
+  bool install_tap = false;
+  {
+    const std::lock_guard<std::mutex> lock{surrogate_mu_};
+    install_tap = restore_locked(snap);
+  }
+  // Outside surrogate_mu_ for the same lock-ordering reason as in
+  // surrogate_engine(): tap registration must not nest inside the mutex the
+  // tap's promotion path takes.
+  if (install_tap)
+    analytic_engine_.set_ground_truth_tap(
+        [this](const core::configuration& config, const core::evaluation&) {
+          refresh_->observe(ground_truth_rows(config));
+        });
+}
+
+bool mapping_session::restore_locked(const session_snapshot& snap) {
   if (predictor_ || analytic_engine_.stats().lookups() != 0 || analytic_engine_.size() != 0)
     throw std::logic_error("mapping_session::restore: session is not fresh");
   analytic_engine_.import_cache(snap.analytic_entries);
-  if (!snap.surrogate) return;
+  if (!snap.surrogate) return false;
 
   const session_snapshot::surrogate_state& ss = *snap.surrogate;
   // Adopt the fitted ensembles directly — no benchmark generation, no
@@ -248,17 +277,16 @@ void mapping_session::restore(const session_snapshot& snap) {
   surrogate_engine_->import_cache(ss.entries);
 
   if (refresh_opt_.enabled && snap.refresh) {
-    // Same construction order as the training path: pipeline before tap,
-    // inside this locked section, so the tap may use refresh_ lock-free.
+    // Same construction order as the training path: pipeline inside this
+    // locked section (so the tap may use refresh_ lock-free), tap
+    // registration deferred to the caller, outside surrogate_mu_.
     refresh_ = std::make_unique<surrogate::refresh_pipeline>(
         refresh_opt_, gbt_, snap.refresh->base_train, predictor_,
         [this](std::shared_ptr<const surrogate::hw_predictor> cand) { promote(std::move(cand)); });
     refresh_->restore_log({snap.refresh->log_rows, snap.refresh->log_seen});
-    analytic_engine_.set_ground_truth_tap(
-        [this](const core::configuration& config, const core::evaluation&) {
-          refresh_->observe(ground_truth_rows(config));
-        });
+    return true;
   }
+  return false;
 }
 
 }  // namespace mapcq::serving

@@ -139,6 +139,11 @@ class mapping_session {
   /// (kept alive for in-flight batches), binds a fresh surrogate evaluator
   /// to `next` and advances the surrogate engine's cache epoch.
   void promote(std::shared_ptr<const surrogate::hw_predictor> next);
+  /// restore() body under surrogate_mu_; returns whether the caller must
+  /// install the ground-truth tap (outside the lock — the tap's promotion
+  /// path re-takes surrogate_mu_ while holding the engine's tap lock, so
+  /// registering under surrogate_mu_ would invert the lock order).
+  bool restore_locked(const session_snapshot& snap);
   /// Expands one analytically evaluated configuration into per-sublayer
   /// (features, latency, energy) ground-truth rows for the refresh log.
   [[nodiscard]] surrogate::dataset ground_truth_rows(const core::configuration& config) const;
