@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/objective.h"
+#include "perf/batch_characterizer.h"
 #include "perf/characterizer.h"
 #include "util/strings.h"
 
@@ -71,13 +72,8 @@ evaluator::evaluator(const nn::network& net, const soc::platform& plat, evaluato
 }
 
 evaluation evaluator::evaluate(const configuration& config) const {
-  evaluation ev;
-  ev.config = config;
-
   const dynamic_network dyn =
       transform(*net_, groups_, ranking_, config, *plat_, opt_.reorder);
-  ev.fmap_reuse_pct = 100.0 * dyn.fmap_reuse_ratio;
-  ev.stored_fmap_bytes = dyn.stored_fmap_bytes;
 
   // --- hardware simulation (analytic or surrogate) ------------------------
   const perf::execution_result exec =
@@ -85,6 +81,58 @@ evaluation evaluator::evaluate(const configuration& config) const {
           ? perf::simulate_costed(*plat_, dyn.plan,
                                   predict_costs(dyn.plan, *plat_, *opt_.predictor))
           : perf::simulate(*plat_, dyn.plan, opt_.model);
+  const perf::dynamic_profile profile =
+      opt_.count_idle_power ? perf::characterize_system(exec, dyn.plan, *plat_)
+                            : perf::characterize(exec);
+  return finish(config, dyn, exec, profile);
+}
+
+std::vector<evaluation> evaluator::evaluate_batch(
+    std::span<const configuration* const> configs) const {
+  std::vector<evaluation> out;
+  out.reserve(configs.size());
+  if (opt_.predictor != nullptr) {
+    // Surrogate costs come from per-cell GBT queries; there is no batched
+    // form, so this path is the scalar pipeline verbatim.
+    for (const configuration* config : configs) out.push_back(evaluate(*config));
+    return out;
+  }
+
+  // SoA-characterize bounded chunks rather than the whole batch at once:
+  // keeping only a handful of dynamic_networks live preserves the cache
+  // locality the scalar loop gets from freeing each one immediately, while
+  // the flat tau/energy loop still amortizes over a chunk. Per-plan results
+  // are independent, so the chunk size cannot affect bit-identity. The
+  // characterizer is per-call (arena scratch is mutable; the evaluator
+  // stays const/thread-safe) and its arena capacity persists across chunks.
+  constexpr std::size_t kChunk = 16;
+  perf::batch_characterizer characterizer{*plat_, opt_.model};
+  std::vector<dynamic_network> dyns;
+  std::vector<const perf::stage_plan*> plans;
+  std::vector<perf::batch_profile> profiles;
+  for (std::size_t base = 0; base < configs.size(); base += kChunk) {
+    const std::size_t n = std::min(kChunk, configs.size() - base);
+    dyns.clear();
+    plans.clear();
+    for (std::size_t k = 0; k < n; ++k)
+      dyns.push_back(
+          transform(*net_, groups_, ranking_, *configs[base + k], *plat_, opt_.reorder));
+    for (const dynamic_network& dyn : dyns) plans.push_back(&dyn.plan);
+    profiles.assign(n, {});
+    characterizer.run(plans, opt_.count_idle_power, profiles);
+    for (std::size_t k = 0; k < n; ++k)
+      out.push_back(finish(*configs[base + k], dyns[k], profiles[k].exec, profiles[k].profile));
+  }
+  return out;
+}
+
+evaluation evaluator::finish(const configuration& config, const dynamic_network& dyn,
+                             const perf::execution_result& exec,
+                             const perf::dynamic_profile& profile) const {
+  evaluation ev;
+  ev.config = config;
+  ev.fmap_reuse_pct = 100.0 * dyn.fmap_reuse_ratio;
+  ev.stored_fmap_bytes = dyn.stored_fmap_bytes;
   ev.fmap_traffic_bytes = exec.fmap_traffic_bytes;
 
   const std::size_t m = exec.stages.size();
@@ -94,9 +142,6 @@ evaluation evaluator::evaluate(const configuration& config) const {
     ev.stage_latency_ms[i] = exec.stages[i].latency_ms;
     ev.stage_energy_mj[i] = exec.stages[i].energy_mj;
   }
-  const perf::dynamic_profile profile =
-      opt_.count_idle_power ? perf::characterize_system(exec, dyn.plan, *plat_)
-                            : perf::characterize(exec);
 
   // --- accuracy + exits ----------------------------------------------------
   ev.stage_accuracy_pct = data::stage_accuracies_pct(acc_params_, dyn.stage_quality);

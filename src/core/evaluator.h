@@ -5,6 +5,7 @@
 // objective (eq. 16) + constraint verdict (eq. 15).
 
 #include <limits>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "nn/partition_groups.h"
 #include <optional>
 
+#include "perf/characterizer.h"
 #include "perf/concurrent_executor.h"
 #include "soc/platform.h"
 #include "soc/thermal.h"
@@ -85,6 +87,20 @@ class evaluator {
   /// Runs the full pipeline on one configuration.
   [[nodiscard]] evaluation evaluate(const configuration& config) const;
 
+  /// Runs the full pipeline on a whole batch through the SoA fast path
+  /// (perf::batch_characterizer): all configurations are transformed, then
+  /// one arena-backed characterizer pass computes every plan's execution
+  /// result and profile before the per-candidate accuracy/objective/
+  /// constraint logic runs. Results are bit-identical to calling
+  /// `evaluate` element-wise (differential-tested); surrogate-backed
+  /// evaluators (`predictor != nullptr`) fall back to exactly that
+  /// element-wise loop, as the GBT path has no batched form.
+  ///
+  /// Throws whatever the first failing element's `evaluate` would throw;
+  /// on any throw no results are returned (all-or-nothing).
+  [[nodiscard]] std::vector<evaluation> evaluate_batch(
+      std::span<const configuration* const> configs) const;
+
   [[nodiscard]] const nn::network& net() const noexcept { return *net_; }
   [[nodiscard]] const soc::platform& plat() const noexcept { return *plat_; }
   [[nodiscard]] const std::vector<nn::partition_group>& groups() const noexcept {
@@ -94,6 +110,13 @@ class evaluator {
   [[nodiscard]] const evaluator_options& options() const noexcept { return opt_; }
 
  private:
+  /// Everything downstream of the hardware simulation: per-stage copies,
+  /// accuracy + exits, objective, constraint filter. Shared verbatim by the
+  /// scalar and batched paths so they cannot diverge.
+  [[nodiscard]] evaluation finish(const configuration& config, const dynamic_network& dyn,
+                                  const perf::execution_result& exec,
+                                  const perf::dynamic_profile& profile) const;
+
   const nn::network* net_;
   const soc::platform* plat_;
   evaluator_options opt_;

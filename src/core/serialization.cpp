@@ -225,7 +225,7 @@ std::string to_text(const report_summary& summary) {
   if (summary.scheduler) {
     const scheduler_note& n = *summary.scheduler;
     write_row(os, "scheduler", n.submitted, n.admitted, n.coalesced, n.rejected, n.expired,
-              n.completed, n.failed);
+              n.completed, n.failed, n.fused, n.fused_batches);
   }
   if (summary.refresh) {
     const refresh_note& n = *summary.refresh;
@@ -262,9 +262,28 @@ report_summary report_summary_from_text(const std::string& text) {
   // section. When both are present the order is scheduler, then refresh.
   std::string line = next_line(is, "entries");
   {
-    scheduler_note note;
-    if (try_parse_row(line, "scheduler", note.submitted, note.admitted, note.coalesced,
-                      note.rejected, note.expired, note.completed, note.failed)) {
+    // The scheduler row grew fused counters (7 -> 9 values); both arities
+    // parse so pre-extension report artifacts keep loading, with the fused
+    // fields defaulting to 0 on legacy rows.
+    std::istringstream ls{line};
+    std::string k;
+    if ((ls >> k) && k == "scheduler") {
+      std::vector<std::string> tokens;
+      std::string token;
+      while (ls >> token) tokens.push_back(token);
+      if (tokens.size() != 7 && tokens.size() != 9)
+        throw std::runtime_error("serialization: bad scheduler row");
+      scheduler_note note;
+      std::uint64_t* const fields[] = {&note.submitted, &note.admitted, &note.coalesced,
+                                       &note.rejected,  &note.expired,  &note.completed,
+                                       &note.failed,    &note.fused,    &note.fused_batches};
+      for (std::size_t i = 0; i < tokens.size(); ++i) {
+        try {
+          parse_token(tokens[i], *fields[i]);
+        } catch (const std::exception&) {
+          throw std::runtime_error("serialization: bad value for scheduler");
+        }
+      }
       s.scheduler = note;
       line = next_line(is, "entries");
     }

@@ -60,6 +60,12 @@ struct scheduler_note {
   std::uint64_t expired = 0;
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;
+  /// Cross-request fusion counters (format extension): requests dispatched
+  /// as followers of a fused batch, and batches of size >= 2. Reports
+  /// written before the extension carry the 7-field row; the parser
+  /// accepts both arities and leaves these at 0 for legacy rows.
+  std::uint64_t fused = 0;
+  std::uint64_t fused_batches = 0;
 };
 
 /// Surrogate-refresh pipeline counters captured with a shipped report (the

@@ -13,10 +13,11 @@ void check_fractions(std::span<const double> f, std::size_t stages) {
     throw std::invalid_argument("dynamic_profile: exit fraction count != stage count");
   double s = 0.0;
   for (const double x : f) {
-    if (x < -1e-9) throw std::invalid_argument("dynamic_profile: negative exit fraction");
+    if (x < -exit_fraction_tolerance)
+      throw std::invalid_argument("dynamic_profile: negative exit fraction");
     s += x;
   }
-  if (std::abs(s - 1.0) > 1e-6)
+  if (std::abs(s - 1.0) > exit_fraction_tolerance)
     throw std::invalid_argument("dynamic_profile: exit fractions must sum to 1");
 }
 }  // namespace

@@ -11,6 +11,14 @@
 
 namespace mapcq::perf {
 
+/// Tolerance of the exit-fraction validation, shared by both of its checks:
+/// a fraction may dip this far below zero and the sum may stray this far
+/// from 1 before the profile rejects the vector. One named constant on
+/// purpose — both slacks absorb the same accumulated rounding from the exit
+/// simulator's population arithmetic, and they had silently diverged
+/// (-1e-9 vs 1e-6) before being unified here.
+inline constexpr double exit_fraction_tolerance = 1e-6;
+
 /// Aggregated dynamic-inference costs of one mapping configuration.
 struct dynamic_profile {
   std::vector<double> latency_upto;  ///< [m] = T for exit at stage m (eq. 13)

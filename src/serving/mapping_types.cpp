@@ -89,6 +89,8 @@ core::report_summary mapping_report::summary() const {
     note.expired = scheduler->expired;
     note.completed = scheduler->completed;
     note.failed = scheduler->failed;
+    note.fused = scheduler->fused;
+    note.fused_batches = scheduler->fused_batches;
     s.scheduler = note;
   }
   if (refresh) {

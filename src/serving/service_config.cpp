@@ -193,6 +193,8 @@ value to_json(const core::engine_options& opt) {
   obj.push_member("capacity", opt.capacity);
   obj.push_member("threads", opt.threads);
   obj.push_member("memoize", opt.memoize);
+  obj.push_member("soa_batch", opt.soa_batch);
+  obj.push_member("pin_threads", opt.pin_threads);
   obj.push_member("eviction", enum_to_string(opt.eviction, eviction_names));
   return obj;
 }
@@ -203,6 +205,8 @@ void from_json(const value& v, core::engine_options& out, const std::string& pat
   r.get_uint("capacity", out.capacity);
   r.get_uint("threads", out.threads);
   r.get("memoize", out.memoize);
+  r.get("soa_batch", out.soa_batch);
+  r.get("pin_threads", out.pin_threads);
   r.get_enum("eviction", out.eviction, eviction_names);
   r.finish();
   validate(out, path);
@@ -345,6 +349,7 @@ value to_json(const scheduler_options& opt) {
   value obj{util::json::object{}};
   obj.push_member("max_queued", opt.max_queued);
   obj.push_member("max_inflight_per_session", opt.max_inflight_per_session);
+  obj.push_member("max_fused", opt.max_fused);
   obj.push_member("policy", enum_to_string(opt.policy, policy_names));
   obj.push_member("coalesce", opt.coalesce);
   obj.push_member("default_weight", opt.default_weight);
@@ -362,6 +367,7 @@ void from_json(const value& v, scheduler_options& out, const std::string& path) 
   object_reader r{v, path};
   r.get_uint("max_queued", out.max_queued);
   r.get_uint("max_inflight_per_session", out.max_inflight_per_session);
+  r.get_uint("max_fused", out.max_fused);
   r.get_enum("policy", out.policy, policy_names);
   r.get("coalesce", out.coalesce);
   r.get_uint("default_weight", out.default_weight);

@@ -154,14 +154,23 @@ TEST_F(fuzz_fixture, report_summary_text_never_fails_untyped) {
     entry.fmap_reuse_pct = e.fmap_reuse_pct;
     summary.entries.push_back(std::move(entry));
   }
-  // A second corpus document exercises the optional scheduler/refresh lines.
+  // A second corpus document exercises the optional scheduler/refresh lines,
+  // scheduler carrying the fused-dispatch counters (9-field row).
   core::report_summary with_notes = summary;
-  with_notes.scheduler = core::scheduler_note{9, 6, 2, 1, 0, 5, 1};
+  with_notes.scheduler = core::scheduler_note{9, 6, 2, 1, 0, 5, 1, 3, 2};
   with_notes.refresh = core::refresh_note{100, 80, 3, 1, 2, 1, 0.93, 0.88};
+
+  // A third document carries the pre-fusion 7-field scheduler row (a legacy
+  // artifact): rewrite the 9-field line back down to the old arity.
+  std::string legacy = core::to_text(with_notes);
+  const std::string row9 = "scheduler 9 6 2 1 0 5 1 3 2";
+  const std::size_t at = legacy.find(row9);
+  ASSERT_NE(at, std::string::npos);
+  legacy.replace(at, row9.size(), "scheduler 9 6 2 1 0 5 1");
 
   fuzz_target target;
   target.name = "mapcq-report-v1";
-  target.corpus = {core::to_text(summary), core::to_text(with_notes)};
+  target.corpus = {core::to_text(summary), core::to_text(with_notes), legacy};
   target.parse = [](const std::string& text) {
     try {
       (void)core::report_summary_from_text(text);

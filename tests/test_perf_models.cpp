@@ -1,7 +1,11 @@
-// Latency/energy roofline model and stage-plan structure tests.
+// Latency/energy roofline model, stage-plan structure and characterization
+// edge-case tests.
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
+#include "perf/characterizer.h"
 #include "perf/energy_model.h"
 #include "perf/latency_model.h"
 #include "perf/work.h"
@@ -169,6 +173,81 @@ TEST(stage_plan, traffic_sums_incoming) {
   plan.steps[2][1].incoming.push_back({0, 50.0});
   plan.steps[2][1].incoming.push_back({1, 25.0});
   EXPECT_DOUBLE_EQ(plan.fmap_traffic_bytes(), 175.0);
+}
+
+TEST(characterize_system, rejects_plan_result_stage_mismatch) {
+  const auto plat = soc::agx_xavier();
+  perf::execution_result result;
+  result.stages.resize(1);
+  perf::stage_plan plan;
+  plan.steps.assign(2, std::vector<perf::stage_step>(1));
+  plan.cu_of_stage = {0, 1};  // two stages vs one timed stage
+  plan.dvfs_level.assign(plat.size(), 0);
+  EXPECT_THROW((void)perf::characterize_system(result, plan, plat), std::invalid_argument);
+}
+
+TEST(characterize_system, empty_platform_and_result_yield_empty_profile) {
+  const soc::platform plat{};  // zero units
+  const perf::dynamic_profile p =
+      perf::characterize_system(perf::execution_result{}, perf::stage_plan{}, plat);
+  EXPECT_EQ(p.stages(), 0u);
+  EXPECT_THROW((void)p.worst_latency_ms(), std::logic_error);
+  EXPECT_THROW((void)p.worst_energy_mj(), std::logic_error);
+  // No stage can absorb probability mass, so no fraction vector sums to 1.
+  EXPECT_THROW((void)p.avg_latency_ms({}), std::invalid_argument);
+}
+
+TEST(characterize_system, all_idle_units_charge_the_full_window) {
+  // One stage that spent its whole window stalled (busy 0): its host CU and
+  // every unmapped CU all idle for the full window.
+  const auto plat = soc::agx_xavier();
+  perf::execution_result result;
+  result.stages.resize(1);
+  result.stages[0].latency_ms = 2.0;
+  result.stages[0].energy_mj = 5.0;
+  result.stages[0].busy_ms = 0.0;
+  perf::stage_plan plan;
+  plan.steps.assign(1, std::vector<perf::stage_step>(1));
+  plan.cu_of_stage = {0};
+  plan.dvfs_level.assign(plat.size(), 0);
+
+  double idle_w = 0.0;
+  for (std::size_t u = 0; u < plat.size(); ++u) idle_w += plat.unit(u).idle_power_w();
+  const perf::dynamic_profile p = perf::characterize_system(result, plan, plat);
+  ASSERT_EQ(p.stages(), 1u);
+  EXPECT_DOUBLE_EQ(p.latency_upto[0], 2.0);
+  EXPECT_DOUBLE_EQ(p.energy_upto[0], 5.0 + idle_w * 2.0);
+}
+
+TEST(dynamic_profile, exit_fraction_tolerance_accepts_the_boundary) {
+  perf::dynamic_profile p;
+  p.latency_upto = {1.0, 2.0};
+  p.energy_upto = {3.0, 4.0};
+  // Exactly at the negative boundary (x < -tol rejects, equality passes);
+  // the pair sums to 1 up to one ulp.
+  const double tol = perf::exit_fraction_tolerance;
+  const std::vector<double> at_boundary = {-tol, 1.0 + tol};
+  EXPECT_NO_THROW((void)p.avg_latency_ms(at_boundary));
+  EXPECT_NO_THROW((void)p.avg_energy_mj(at_boundary));
+  // Sum off by half the tolerance: inside the slack on both sides.
+  EXPECT_NO_THROW((void)p.avg_latency_ms(std::vector<double>{0.5, 0.5 + tol / 2}));
+  EXPECT_NO_THROW((void)p.avg_latency_ms(std::vector<double>{0.5, 0.5 - tol / 2}));
+}
+
+TEST(dynamic_profile, exit_fraction_tolerance_rejects_beyond_the_boundary) {
+  perf::dynamic_profile p;
+  p.latency_upto = {1.0, 2.0};
+  p.energy_upto = {3.0, 4.0};
+  const double tol = perf::exit_fraction_tolerance;
+  // Twice the tolerance past each edge: negative fraction, sum high, sum low.
+  EXPECT_THROW((void)p.avg_latency_ms(std::vector<double>{-2 * tol, 1.0 + 2 * tol}),
+               std::invalid_argument);
+  EXPECT_THROW((void)p.avg_latency_ms(std::vector<double>{0.5, 0.5 + 2 * tol}),
+               std::invalid_argument);
+  EXPECT_THROW((void)p.avg_energy_mj(std::vector<double>{0.5, 0.5 - 2 * tol}),
+               std::invalid_argument);
+  // Count mismatch is rejected regardless of the sum.
+  EXPECT_THROW((void)p.avg_latency_ms(std::vector<double>{1.0}), std::invalid_argument);
 }
 
 TEST(sublayer_cost, empty_detection) {
