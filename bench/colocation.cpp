@@ -1,0 +1,234 @@
+// Co-location contention sweep (the acceptance bench for the multi-DNN
+// scenario axes): one searched mapping is re-evaluated under 0-, 2- and
+// 4-resident contention, a DVFS-capped variant and thermally-throttled
+// variants, with resident traffic derived from data/exit_simulator traffic
+// mixes (an early-exit-heavy resident streams fewer bytes than a full-depth
+// one). Deterministic pass/fail gates, all baselined at zero tolerance:
+//
+//   idle_identical      -- a request whose scenario is idle (even with
+//                          absurd derate coefficients) produces a report
+//                          bit-identical to the legacy request;
+//   monotone_latency/   -- latency and energy degrade monotonically with
+//   monotone_energy        resident count, strictly by 4 residents;
+//   dvfs_ok             -- a group-wide DVFS cap never speeds a mapping up;
+//   thermal_ok          -- an unsustainable budget rejects, a roomy one
+//                          accepts, and resident power tightens it;
+//   colocated_search_ok -- a search under a scenario that reserves a CU
+//                          returns a non-empty all-feasible front that
+//                          never maps work onto the reserved CU.
+//
+// Scale via MAPCQ_GENERATIONS / MAPCQ_POPULATION / MAPCQ_THREADS.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/evaluator.h"
+#include "core/serialization.h"
+#include "data/exit_simulator.h"
+#include "soc/contention.h"
+#include "soc/thermal.h"
+
+namespace {
+
+using namespace mapcq;
+
+std::size_t evaluator_runs(const serving::mapping_report& rep) {
+  return rep.search_cache.misses + rep.validation_cache.misses;
+}
+
+/// Expected fraction of the pipeline a resident's samples traverse under an
+/// exit mix: sum_i exit_frac[i] * (i+1)/M. Early-exit-heavy mixes keep less
+/// steady traffic on the shared paths than full-depth ones.
+double expected_depth(const data::exit_outcome& mix) {
+  double depth = 0.0;
+  const double stages = static_cast<double>(mix.stages());
+  for (std::size_t i = 0; i < mix.stages(); ++i)
+    depth += mix.exit_fractions[i] * (static_cast<double>(i + 1) / stages);
+  return depth;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mapcq;
+  const bench::testbed tb;
+  bench::scale s = bench::scale::from_env();
+  s.generations = std::max<std::size_t>(4, s.generations / 8);
+
+  std::cout << "=== co-location: contention / DVFS / thermal scenario sweep ===\n";
+  std::cout << util::format("GA scale: %zu generations x %zu population, %zu threads\n\n",
+                            s.generations, s.population, s.threads);
+  bench::json_reporter json{"colocation"};
+
+  // --- 1. Idle-scenario identity: the zero-FP-ops guard, end to end -------
+  serving::mapping_request legacy_req;
+  legacy_req.network = tb.visformer.name;
+  legacy_req.ga.generations = s.generations;
+  legacy_req.ga.population = s.population;
+  legacy_req.use_surrogate = false;
+
+  serving::mapping_request idle_req = legacy_req;
+  idle_req.eval.contention.interconnect_alpha = 1e6;  // inert while idle
+  idle_req.eval.contention.dram_energy_beta = 1e6;
+
+  serving::service_options sopt;
+  sopt.engine.threads = s.threads;
+  serving::mapping_service legacy_service{sopt};
+  legacy_service.register_network(tb.visformer);
+  legacy_service.register_platform(tb.xavier);
+  serving::mapping_service idle_service{sopt};
+  idle_service.register_network(tb.visformer);
+  idle_service.register_platform(tb.xavier);
+
+  const serving::mapping_report legacy = legacy_service.map(legacy_req);
+  const serving::mapping_report idle = idle_service.map(idle_req);
+  const bool idle_identical =
+      core::to_text(legacy.summary()) == core::to_text(idle.summary()) &&
+      serving::request_fingerprint(legacy_req) == serving::request_fingerprint(idle_req) &&
+      !idle.scenario.has_value();
+  std::cout << "idle-scenario report vs legacy: "
+            << (idle_identical ? "bit-identical" : "DIVERGED (bug!)") << "\n";
+
+  // --- 2. Resident loads from exit-simulator traffic mixes ----------------
+  // The searched winner's own traffic defines the platform's "one more DNN"
+  // unit load; two exit mixes split it into a full-depth resident and a
+  // lighter early-exit-heavy resident.
+  const core::evaluation winner = legacy.ours_energy();
+  const double per_ms = winner.avg_latency_ms > 0.0 ? 1.0 / (winner.avg_latency_ms * 1e6) : 0.0;
+  const double ic_gbps = winner.fmap_traffic_bytes * per_ms;  // inter-CU fmap movement
+  // DRAM sees the fmaps plus the model weights re-streamed every inference --
+  // the dominant shared-traffic term for a co-resident DNN.
+  const double dram_gbps = (winner.fmap_traffic_bytes + tb.visformer.total_weight_bytes()) * per_ms;
+  const double power_w =
+      winner.avg_latency_ms > 0.0 ? winner.avg_energy_mj / winner.avg_latency_ms : 0.0;
+  const data::exit_outcome full_mix = data::simulate_ideal(winner.stage_accuracy_pct);
+  const data::exit_outcome early_mix =
+      data::simulate_threshold(winner.stage_accuracy_pct, 10000, {0.05, -0.15, 99});
+  const double full_depth = expected_depth(full_mix);
+  const double early_depth = expected_depth(early_mix);
+  std::cout << util::format(
+      "resident template: %.3f GB/s interconnect, %.3f GB/s DRAM, %.2f W; exit-mix depth "
+      "%.2f (full) vs %.2f (early-exit)\n\n",
+      ic_gbps, dram_gbps, power_w, full_depth, early_depth);
+
+  const auto resident = [&](const std::string& name, double depth) {
+    soc::resident_load r;
+    r.name = name;
+    r.interconnect_gbps = ic_gbps * depth;
+    r.dram_gbps = dram_gbps * depth;
+    r.power_w = power_w * depth;
+    return r;
+  };
+
+  // --- 3. Contention sweep: 0 / 2 / 4 residents ---------------------------
+  util::table sweep({"residents", "latency (ms)", "energy (mJ)", "feasible"});
+  std::vector<double> lat, energy;
+  for (const std::size_t n : {std::size_t{0}, std::size_t{2}, std::size_t{4}}) {
+    core::evaluator_options opt;
+    for (std::size_t i = 0; i < n; ++i)
+      opt.contention.residents.push_back(
+          resident("dnn-" + std::to_string(i), i % 2 ? early_depth : full_depth));
+    const core::evaluator eval{tb.visformer, tb.xavier, opt};
+    const core::evaluation e = eval.evaluate(winner.config);
+    lat.push_back(e.avg_latency_ms);
+    energy.push_back(e.avg_energy_mj);
+    sweep.add_row({std::to_string(n), bench::fmt(e.avg_latency_ms, 5),
+                   bench::fmt(e.avg_energy_mj, 5), e.feasible ? "yes" : "no"});
+  }
+  std::cout << sweep.str();
+  const bool monotone_latency = lat[0] <= lat[1] && lat[1] <= lat[2] && lat[2] > lat[0];
+  const bool monotone_energy =
+      energy[0] <= energy[1] && energy[1] <= energy[2] && energy[2] > energy[0];
+  // Visformer on the calibrated Xavier is compute-bound, so honest resident
+  // traffic yields a small (but strictly monotone) derate -- report it in %.
+  std::cout << util::format(
+      "degradation at 4 residents: +%.4f%% latency, +%.4f%% energy (%s)\n\n",
+      100.0 * (lat[2] / lat[0] - 1.0), 100.0 * (energy[2] / energy[0] - 1.0),
+      monotone_latency && monotone_energy ? "monotone" : "NOT MONOTONE");
+
+  // --- 4. DVFS-capped variant ---------------------------------------------
+  core::evaluator_options capped_opt;
+  capped_opt.contention.residents.push_back(resident("dnn-0", full_depth));
+  capped_opt.contention.residents.push_back(resident("dnn-1", early_depth));
+  capped_opt.contention.dvfs_cap.assign(tb.xavier.size(), 0);
+  const core::evaluation capped =
+      core::evaluator{tb.visformer, tb.xavier, capped_opt}.evaluate(winner.config);
+  const bool dvfs_ok = capped.avg_latency_ms >= lat[1];
+  std::cout << util::format("DVFS-capped (theta floor, 2 residents): %.2f ms vs %.2f ms (%s)\n",
+                            capped.avg_latency_ms, lat[1], dvfs_ok ? "ok" : "SPED UP (bug!)");
+
+  // --- 5. Thermally-throttled variants ------------------------------------
+  soc::thermal_model tight;
+  tight.throttle_c = tight.ambient_c + 1e-3;
+  core::evaluator_options tight_opt;
+  tight_opt.contention.thermal = tight;
+  const core::evaluation throttled =
+      core::evaluator{tb.visformer, tb.xavier, tight_opt}.evaluate(winner.config);
+
+  soc::thermal_model roomy;
+  roomy.throttle_c = roomy.ambient_c + 1e4 * roomy.r_thermal_c_per_w;  // effectively unbounded
+  core::evaluator_options roomy_opt;
+  roomy_opt.contention.thermal = roomy;
+  const core::evaluation sustained =
+      core::evaluator{tb.visformer, tb.xavier, roomy_opt}.evaluate(winner.config);
+
+  core::evaluator_options heater_opt = roomy_opt;
+  soc::resident_load heater;
+  heater.name = "heater";
+  heater.power_w = roomy.max_sustained_power_w();  // eats the whole envelope
+  heater_opt.contention.residents.push_back(heater);
+  const core::evaluation crowded =
+      core::evaluator{tb.visformer, tb.xavier, heater_opt}.evaluate(winner.config);
+
+  const bool thermal_ok = !throttled.feasible && sustained.feasible && !crowded.feasible;
+  std::cout << util::format(
+      "thermal: tight budget %s, roomy budget %s, roomy+resident %s (%s)\n\n",
+      throttled.feasible ? "ACCEPTED (bug!)" : "rejects",
+      sustained.feasible ? "accepts" : "REJECTED (bug!)",
+      crowded.feasible ? "ACCEPTED (bug!)" : "rejects", thermal_ok ? "ok" : "FAILED");
+
+  // --- 6. Search under a co-location scenario -----------------------------
+  // One resident reserves a CU and keeps traffic on the shared paths; the
+  // session must search only the remaining units and still produce a
+  // feasible front.
+  serving::mapping_request colocated_req = legacy_req;
+  soc::resident_load owner = resident("cohab", full_depth);
+  const std::size_t reserved_cu = tb.xavier.size() - 1;
+  owner.reserved_units = {reserved_cu};
+  colocated_req.eval.contention.residents.push_back(owner);
+  serving::mapping_service colocated_service{sopt};
+  colocated_service.register_network(tb.visformer);
+  colocated_service.register_platform(tb.xavier);
+  const serving::mapping_report colocated = colocated_service.map(colocated_req);
+  bool colocated_search_ok = !colocated.front.empty() && colocated.scenario.has_value();
+  for (const core::evaluation& e : colocated.front) {
+    colocated_search_ok = colocated_search_ok && e.feasible;
+    for (const std::size_t cu : e.config.mapping)
+      colocated_search_ok = colocated_search_ok && cu != reserved_cu;
+  }
+  std::cout << util::format(
+      "co-located search (CU %zu reserved): %zu front entries, %zu evaluator runs, "
+      "winner %.2f mJ vs %.2f mJ idle (%s)\n",
+      reserved_cu, colocated.front.size(), evaluator_runs(colocated),
+      colocated.ours_energy().avg_energy_mj, winner.avg_energy_mj,
+      colocated_search_ok ? "ok" : "FAILED");
+
+  // --- metrics + verdict ---------------------------------------------------
+  json.metric("idle_identical", idle_identical ? 1.0 : 0.0);
+  json.metric("monotone_latency", monotone_latency ? 1.0 : 0.0);
+  json.metric("monotone_energy", monotone_energy ? 1.0 : 0.0);
+  json.metric("dvfs_ok", dvfs_ok ? 1.0 : 0.0);
+  json.metric("thermal_ok", thermal_ok ? 1.0 : 0.0);
+  json.metric("colocated_search_ok", colocated_search_ok ? 1.0 : 0.0);
+  json.metric("latency_factor_4residents", lat[0] > 0.0 ? lat[2] / lat[0] : 0.0);
+  json.metric("energy_factor_4residents", energy[0] > 0.0 ? energy[2] / energy[0] : 0.0);
+  json.metric("capped_latency_ms", capped.avg_latency_ms);
+  json.metric("colocated_front", static_cast<double>(colocated.front.size()));
+
+  const bool all_ok = idle_identical && monotone_latency && monotone_energy && dvfs_ok &&
+                      thermal_ok && colocated_search_ok;
+  std::cout << "\noverall: " << (all_ok ? "OK" : "FAILED") << "\n";
+  return all_ok ? 0 : 1;
+}

@@ -86,6 +86,7 @@ int main(int argc, char** argv) {
   serving::mapping_request req;
   req.network = visformer.name;
   req.ga = cfg.ga;
+  req.eval.contention = cfg.scenario;
   const serving::mapping_report result = service.map(req);
 
   const core::evaluation& ours_e = result.ours_energy();

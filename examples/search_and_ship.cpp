@@ -112,6 +112,7 @@ int main(int argc, char** argv) {
   req.network = vis.name;
   req.orientation = serving::objective_orientation::energy;
   req.ga = cfg.ga;
+  req.eval.contention = cfg.scenario;
   auto pending = service.submit(req);
   std::cout << "request submitted (" << (cfg.ga.island.islands ? cfg.ga.island.islands : 1)
             << " island(s)); waiting for the mapping report...\n";

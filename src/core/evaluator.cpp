@@ -69,20 +69,32 @@ evaluator::evaluator(const nn::network& net, const soc::platform& plat, evaluato
   if (opt_.population == 0) throw std::invalid_argument("evaluator: empty population");
   if (opt_.limits.fmap_reuse_cap < 0.0 || opt_.limits.fmap_reuse_cap > 1.0)
     throw std::invalid_argument("evaluator: fmap_reuse_cap out of [0,1]");
+  opt_.contention.validate(plat);
+  if (!opt_.contention.residents.empty())
+    contended_plat_ = soc::apply_contention(plat, opt_.contention);
+}
+
+void evaluator::apply_dvfs_caps(perf::stage_plan& plan) const {
+  const std::vector<std::size_t>& cap = opt_.contention.dvfs_cap;
+  if (cap.empty()) return;
+  const std::size_t n = std::min(cap.size(), plan.dvfs_level.size());
+  for (std::size_t u = 0; u < n; ++u)
+    plan.dvfs_level[u] = std::min(plan.dvfs_level[u], cap[u]);
 }
 
 evaluation evaluator::evaluate(const configuration& config) const {
-  const dynamic_network dyn =
-      transform(*net_, groups_, ranking_, config, *plat_, opt_.reorder);
+  dynamic_network dyn = transform(*net_, groups_, ranking_, config, *plat_, opt_.reorder);
+  apply_dvfs_caps(dyn.plan);
+  const soc::platform& plat = sim_plat();
 
   // --- hardware simulation (analytic or surrogate) ------------------------
   const perf::execution_result exec =
       opt_.predictor != nullptr
-          ? perf::simulate_costed(*plat_, dyn.plan,
-                                  predict_costs(dyn.plan, *plat_, *opt_.predictor))
-          : perf::simulate(*plat_, dyn.plan, opt_.model);
+          ? perf::simulate_costed(plat, dyn.plan,
+                                  predict_costs(dyn.plan, plat, *opt_.predictor))
+          : perf::simulate(plat, dyn.plan, opt_.model);
   const perf::dynamic_profile profile =
-      opt_.count_idle_power ? perf::characterize_system(exec, dyn.plan, *plat_)
+      opt_.count_idle_power ? perf::characterize_system(exec, dyn.plan, plat, scenario_ctx())
                             : perf::characterize(exec);
   return finish(config, dyn, exec, profile);
 }
@@ -106,7 +118,7 @@ std::vector<evaluation> evaluator::evaluate_batch(
   // characterizer is per-call (arena scratch is mutable; the evaluator
   // stays const/thread-safe) and its arena capacity persists across chunks.
   constexpr std::size_t kChunk = 16;
-  perf::batch_characterizer characterizer{*plat_, opt_.model};
+  perf::batch_characterizer characterizer{sim_plat(), opt_.model, scenario_ctx()};
   std::vector<dynamic_network> dyns;
   std::vector<const perf::stage_plan*> plans;
   std::vector<perf::batch_profile> profiles;
@@ -114,9 +126,11 @@ std::vector<evaluation> evaluator::evaluate_batch(
     const std::size_t n = std::min(kChunk, configs.size() - base);
     dyns.clear();
     plans.clear();
-    for (std::size_t k = 0; k < n; ++k)
+    for (std::size_t k = 0; k < n; ++k) {
       dyns.push_back(
           transform(*net_, groups_, ranking_, *configs[base + k], *plat_, opt_.reorder));
+      apply_dvfs_caps(dyns.back().plan);
+    }
     for (const dynamic_network& dyn : dyns) plans.push_back(&dyn.plan);
     profiles.assign(n, {});
     characterizer.run(plans, opt_.count_idle_power, profiles);
@@ -189,6 +203,32 @@ evaluation evaluator::finish(const configuration& config, const dynamic_network&
     if (opt_.thermal->throttles(sustained_w))
       reject(util::format("sustained %.2f W trips the %.0f C throttle", sustained_w,
                           opt_.thermal->throttle_c));
+  }
+  // --- co-location scenario constraints (idle context: branch-only skip) ----
+  const soc::contention_context& scen = opt_.contention;
+  if (!scen.idle()) {
+    for (std::size_t i = 0; i < dyn.plan.cu_of_stage.size(); ++i) {
+      const std::size_t u = dyn.plan.cu_of_stage[i];
+      if (!scen.unit_reserved(u)) continue;
+      // A stage owning no work never executes, so it may nominally sit on
+      // a reserved CU (the M permutation always covers every unit).
+      const bool active = std::any_of(dyn.plan.steps[i].begin(), dyn.plan.steps[i].end(),
+                                      [](const perf::stage_step& s) { return !s.cost.empty(); });
+      if (active)
+        reject(util::format("stage %u mapped to CU %u reserved by a co-resident",
+                            static_cast<unsigned>(i), static_cast<unsigned>(u)));
+    }
+    const double resident_bytes = scen.total_shared_memory_bytes();
+    if (resident_bytes > 0.0 &&
+        dyn.stored_fmap_bytes > plat_->shared_memory_bytes - resident_bytes)
+      reject(util::format("stored fmaps %.0f B exceed the %.0f B left by co-residents",
+                          dyn.stored_fmap_bytes, plat_->shared_memory_bytes - resident_bytes));
+    if (scen.thermal && ev.avg_latency_ms > 0.0) {
+      const double sustained_w = ev.avg_energy_mj / ev.avg_latency_ms + scen.total_power_w();
+      if (scen.thermal->throttles(sustained_w))
+        reject(util::format("sustained %.2f W (with co-residents) trips the %.0f C throttle",
+                            sustained_w, scen.thermal->throttle_c));
+    }
   }
   if (!std::isfinite(ev.objective)) reject("degenerate objective");
 

@@ -20,6 +20,7 @@
 
 #include "perf/characterizer.h"
 #include "perf/concurrent_executor.h"
+#include "soc/contention.h"
 #include "soc/platform.h"
 #include "soc/thermal.h"
 #include "surrogate/predictor.h"
@@ -49,6 +50,11 @@ struct evaluator_options {
   /// When set, mappings whose sustained power would trip the package
   /// throttle are rejected (extension; see soc::thermal_model).
   std::optional<soc::thermal_model> thermal;
+  /// Co-location scenario: co-resident traffic derates the platform, DVFS
+  /// caps clamp per-CU levels, reserved CUs and over-budget/over-thermal
+  /// mappings are rejected. The default (idle) context changes nothing —
+  /// evaluation stays bit-identical to the contention-free path.
+  soc::contention_context contention;
 };
 
 /// Everything measured about one candidate.
@@ -117,9 +123,23 @@ class evaluator {
                                   const perf::execution_result& exec,
                                   const perf::dynamic_profile& profile) const;
 
+  /// Platform the hardware simulation runs against: the contention-derated
+  /// copy when residents exist, the pristine platform otherwise.
+  [[nodiscard]] const soc::platform& sim_plat() const noexcept {
+    return contended_plat_ ? *contended_plat_ : *plat_;
+  }
+  /// Contention context for characterize_system, or null on the idle path.
+  [[nodiscard]] const soc::contention_context* scenario_ctx() const noexcept {
+    return opt_.contention.residents.empty() ? nullptr : &opt_.contention;
+  }
+  /// Clamps per-CU DVFS levels to the scenario caps (no-op when uncapped).
+  void apply_dvfs_caps(perf::stage_plan& plan) const;
+
   const nn::network* net_;
   const soc::platform* plat_;
   evaluator_options opt_;
+  /// apply_contention(*plat_, opt_.contention) when residents exist.
+  std::optional<soc::platform> contended_plat_;
   std::vector<nn::partition_group> groups_;
   nn::ranked_network ranking_;
   data::accuracy_params acc_params_;

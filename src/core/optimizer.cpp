@@ -35,7 +35,10 @@ std::size_t pick_within_slack(const std::vector<evaluation>& validated, double s
 }  // namespace
 
 optimizer::optimizer(const nn::network& net, const soc::platform& plat, optimizer_options opt)
-    : net_(&net), plat_(&plat), opt_(std::move(opt)), space_(net, plat, opt_.ratio_levels) {
+    : net_(&net),
+      plat_(&plat),
+      opt_(std::move(opt)),
+      space_(net, plat, opt_.ratio_levels, opt_.eval.contention.reserved_units()) {
   // Seed-equivalent engine sizing: the pre-serving facade built FIFO engines
   // with ga.threads workers and a few populations' worth of capacity.
   serving::service_options sopt;

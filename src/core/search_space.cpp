@@ -6,10 +6,18 @@
 
 namespace mapcq::core {
 
-search_space::search_space(const nn::network& net, const soc::platform& plat, int ratio_levels)
-    : plat_(&plat), stages_(plat.size()), ratio_levels_(ratio_levels) {
+search_space::search_space(const nn::network& net, const soc::platform& plat, int ratio_levels,
+                           const std::vector<std::size_t>& banned_units)
+    : plat_(&plat), allowed_mask_(plat.size(), true), ratio_levels_(ratio_levels) {
   if (ratio_levels < 2) throw std::invalid_argument("search_space: need >= 2 ratio levels");
-  if (plat.size() < 2) throw std::invalid_argument("search_space: need >= 2 compute units");
+  for (const std::size_t u : banned_units) {
+    if (u >= plat.size()) throw std::invalid_argument("search_space: banned unit out of range");
+    allowed_mask_[u] = false;
+  }
+  for (std::size_t u = 0; u < plat.size(); ++u)
+    if (allowed_mask_[u]) allowed_units_.push_back(u);
+  stages_ = allowed_units_.size();
+  if (stages_ < 2) throw std::invalid_argument("search_space: need >= 2 usable compute units");
   for (const auto& g : nn::make_partition_groups(net)) group_widths_.push_back(g.width);
 }
 
@@ -24,8 +32,7 @@ genome search_space::random(util::rng& gen) const {
       if (s + 1 < stages_) g.forward[grp][s] = gen.bernoulli(0.5);
     }
   }
-  g.mapping.resize(stages_);
-  for (std::size_t i = 0; i < stages_; ++i) g.mapping[i] = i;
+  g.mapping = allowed_units_;
   gen.shuffle(g.mapping);
   g.dvfs.resize(plat_->size());
   for (std::size_t u = 0; u < plat_->size(); ++u)
@@ -40,8 +47,7 @@ genome search_space::static_seed() const {
   g.forward.assign(groups(), std::vector<bool>(stages_, false));
   for (auto& row : g.forward)
     for (std::size_t s = 0; s + 1 < stages_; ++s) row[s] = true;
-  g.mapping.resize(stages_);
-  for (std::size_t i = 0; i < stages_; ++i) g.mapping[i] = i;
+  g.mapping = allowed_units_;
   g.dvfs.resize(plat_->size());
   for (std::size_t u = 0; u < plat_->size(); ++u) g.dvfs[u] = plat_->unit(u).dvfs.max_level();
   return g;
@@ -76,7 +82,7 @@ bool search_space::in_bounds(const genome& g) const noexcept {
   if (g.mapping.size() != stages_ || g.dvfs.size() != plat_->size()) return false;
   std::vector<bool> used(plat_->size(), false);
   for (const std::size_t cu : g.mapping) {
-    if (cu >= plat_->size() || used[cu]) return false;
+    if (cu >= plat_->size() || !allowed_mask_[cu] || used[cu]) return false;
     used[cu] = true;
   }
   for (std::size_t u = 0; u < g.dvfs.size(); ++u)
@@ -91,7 +97,7 @@ double search_space::log10_per_group() const {
 
 double search_space::log10_total() const {
   double lg = static_cast<double>(groups()) * log10_per_group();
-  // stage -> CU injections: U! / (U - M)!; here M == U so it's M!.
+  // stage -> CU injections over the usable units: M == |allowed|, so M!.
   for (std::size_t i = 2; i <= stages_; ++i) lg += std::log10(static_cast<double>(i));
   lg += std::log10(plat_->dvfs_configurations());
   return lg;

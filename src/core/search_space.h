@@ -27,10 +27,21 @@ struct genome {
 class search_space {
  public:
   /// `ratio_levels` = number of per-stage width choices (paper: 8).
-  search_space(const nn::network& net, const soc::platform& plat, int ratio_levels = 8);
+  /// `banned_units` removes platform CUs from the mapping permutation
+  /// (co-location: CUs reserved by co-resident networks are not searchable),
+  /// shrinking the stage count to the usable units. Throws
+  /// std::invalid_argument when a banned index is out of range or fewer
+  /// than two usable units remain. An empty ban list reproduces the classic
+  /// space bit-identically (same genomes from the same rng).
+  search_space(const nn::network& net, const soc::platform& plat, int ratio_levels = 8,
+               const std::vector<std::size_t>& banned_units = {});
 
   [[nodiscard]] std::size_t groups() const noexcept { return group_widths_.size(); }
   [[nodiscard]] std::size_t stages() const noexcept { return stages_; }
+  /// Platform unit indices the mapping permutation may use, ascending.
+  [[nodiscard]] const std::vector<std::size_t>& allowed_units() const noexcept {
+    return allowed_units_;
+  }
   [[nodiscard]] int ratio_levels() const noexcept { return ratio_levels_; }
   [[nodiscard]] const soc::platform& plat() const noexcept { return *plat_; }
   [[nodiscard]] const std::vector<std::int64_t>& group_widths() const noexcept {
@@ -67,6 +78,8 @@ class search_space {
  private:
   const soc::platform* plat_;
   std::vector<std::int64_t> group_widths_;
+  std::vector<std::size_t> allowed_units_;  ///< ascending; mapping values
+  std::vector<bool> allowed_mask_;          ///< [unit] -> usable
   std::size_t stages_;
   int ratio_levels_;
 };

@@ -232,6 +232,12 @@ std::string to_text(const report_summary& summary) {
     write_row(os, "refresh", n.observed, n.logged, n.attempts, n.promotions, n.rejections, n.epoch,
               n.last_candidate_tau, n.last_incumbent_tau);
   }
+  if (summary.scenario) {
+    const scenario_note& n = *summary.scenario;
+    write_row(os, "scenario", n.residents, n.reserved_units, n.dvfs_capped_units,
+              n.resident_interconnect_gbps, n.resident_dram_gbps, n.resident_power_w, n.ambient_c,
+              n.throttle_c);
+  }
   write_row(os, "entries", summary.entries.size());
   for (const summary_entry& e : summary.entries) {
     os << "entry " << e.label << "\n";
@@ -257,9 +263,9 @@ report_summary report_summary_from_text(const std::string& text) {
   s.ours_latency_index = read_sized(is, "ours_latency");
   s.ours_energy_index = read_sized(is, "ours_energy");
 
-  // The scheduler and refresh lines are optional: direct-map() artifacts
-  // (and files from before either existed) go straight to the entries
-  // section. When both are present the order is scheduler, then refresh.
+  // The scheduler, refresh and scenario lines are optional: direct-map()
+  // artifacts (and files from before each existed) go straight to the
+  // entries section. When present the order is scheduler, refresh, scenario.
   std::string line = next_line(is, "entries");
   {
     // The scheduler row grew fused counters (7 -> 9 values); both arities
@@ -294,6 +300,17 @@ report_summary report_summary_from_text(const std::string& text) {
                       note.rejections, note.epoch, note.last_candidate_tau,
                       note.last_incumbent_tau)) {
       s.refresh = note;
+      line = next_line(is, "entries");
+    }
+  }
+  {
+    // Optional co-location scenario line (format extension, after refresh).
+    scenario_note note;
+    if (try_parse_row(line, "scenario", note.residents, note.reserved_units,
+                      note.dvfs_capped_units, note.resident_interconnect_gbps,
+                      note.resident_dram_gbps, note.resident_power_w, note.ambient_c,
+                      note.throttle_c)) {
+      s.scenario = note;
       line = next_line(is, "entries");
     }
   }

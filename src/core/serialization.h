@@ -84,6 +84,22 @@ struct refresh_note {
   double last_incumbent_tau = 0.0;
 };
 
+/// Co-location scenario captured with a shipped report (the plain-scalar
+/// mirror of the soc::contention_context the mapping was scored under, kept
+/// here so core serialization does not depend on the serving layer).
+/// Present only for reports produced under a non-idle context; see
+/// serving::mapping_report::scenario.
+struct scenario_note {
+  std::uint64_t residents = 0;          ///< co-resident count
+  std::uint64_t reserved_units = 0;     ///< CUs owned by residents
+  std::uint64_t dvfs_capped_units = 0;  ///< CUs capped below their max level
+  double resident_interconnect_gbps = 0.0;
+  double resident_dram_gbps = 0.0;
+  double resident_power_w = 0.0;
+  double ambient_c = 0.0;   ///< 0 when the scenario has no thermal limit
+  double throttle_c = 0.0;  ///< 0 when the scenario has no thermal limit
+};
+
 /// Shippable summary of a serving::mapping_report (see
 /// serving::mapping_report::summary()).
 struct report_summary {
@@ -99,6 +115,10 @@ struct report_summary {
   /// session runs with surrogate refresh enabled (same optional-line
   /// back-compat as `scheduler`).
   std::optional<refresh_note> refresh;
+  /// Co-location scenario the report was produced under; absent for idle
+  /// contexts (and for every artifact written before co-location existed —
+  /// the line is optional for exactly that back-compat).
+  std::optional<scenario_note> scenario;
   std::vector<summary_entry> entries;
 };
 

@@ -48,8 +48,9 @@ std::span<unsigned char> batch_arena::take_flags(std::size_t n) {
   return s;
 }
 
-batch_characterizer::batch_characterizer(const soc::platform& plat, model_options opt)
-    : plat_(&plat), opt_(opt) {}
+batch_characterizer::batch_characterizer(const soc::platform& plat, model_options opt,
+                                         const soc::contention_context* ctx)
+    : plat_(&plat), opt_(opt), ctx_(ctx) {}
 
 void batch_characterizer::run(std::span<const stage_plan* const> plans, bool count_idle_power,
                               std::span<batch_profile> out) {
@@ -176,7 +177,7 @@ void batch_characterizer::run(std::span<const stage_plan* const> plans, bool cou
       res.stages[i].latency_ms = n_groups == 0 ? 0.0 : completion[i * n_groups + (n_groups - 1)];
 
     out[p].profile =
-        count_idle_power ? characterize_system(res, plan, *plat_) : characterize(res);
+        count_idle_power ? characterize_system(res, plan, *plat_, ctx_) : characterize(res);
     base += n_stages * n_groups;
   }
 }

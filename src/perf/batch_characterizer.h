@@ -70,8 +70,14 @@ struct batch_profile {
 /// SoA batched analytic characterizer (see file comment).
 class batch_characterizer {
  public:
-  /// Borrows `plat`; `opt` mirrors the scalar `model_options` knobs.
-  batch_characterizer(const soc::platform& plat, model_options opt);
+  /// Borrows `plat` (and `ctx` when given; both must outlive the
+  /// characterizer); `opt` mirrors the scalar `model_options` knobs. Pass
+  /// the co-location context the evaluator scored under (usually the same
+  /// one that produced `plat` via `apply_contention`) so the idle-power
+  /// sweep excludes resident-reserved CUs exactly as the scalar
+  /// `characterize_system` does; null keeps the legacy path bit-identical.
+  batch_characterizer(const soc::platform& plat, model_options opt,
+                      const soc::contention_context* ctx = nullptr);
 
   /// Characterizes every plan of the batch. `out` must be sized like
   /// `plans`; `count_idle_power` selects `characterize_system` vs
@@ -84,6 +90,7 @@ class batch_characterizer {
  private:
   const soc::platform* plat_;
   model_options opt_;
+  const soc::contention_context* ctx_ = nullptr;
   batch_arena arena_;
 };
 

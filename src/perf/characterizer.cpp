@@ -59,11 +59,16 @@ dynamic_profile characterize(const execution_result& result) {
 }
 
 dynamic_profile characterize_system(const execution_result& result, const stage_plan& plan,
-                                    const soc::platform& plat) {
+                                    const soc::platform& plat,
+                                    const soc::contention_context* ctx) {
   dynamic_profile p = characterize(result);
   const std::size_t n = result.stages.size();
   if (plan.cu_of_stage.size() != n)
     throw std::invalid_argument("characterize_system: plan/result stage mismatch");
+  // Resident-reserved CUs bill their power to the resident, not this
+  // mapping. The guard is branch-only so a null/idle context performs the
+  // exact legacy FP sequence.
+  const bool exclude_reserved = ctx != nullptr && !ctx->residents.empty();
 
   for (std::size_t m = 1; m <= n; ++m) {
     const double window = p.latency_upto[m - 1];
@@ -75,8 +80,10 @@ dynamic_profile characterize_system(const execution_result& result, const stage_
       // Gated once its stage's work is done.
       idle_mj += plat.unit(u).idle_power_w() * std::max(0.0, window - result.stages[i].busy_ms);
     }
-    for (std::size_t u = 0; u < plat.size(); ++u)
+    for (std::size_t u = 0; u < plat.size(); ++u) {
+      if (exclude_reserved && ctx->unit_reserved(u)) continue;
       if (!hosts_active[u]) idle_mj += plat.unit(u).idle_power_w() * window;
+    }
     p.energy_upto[m - 1] += idle_mj;
   }
   return p;

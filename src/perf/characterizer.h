@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "perf/concurrent_executor.h"
+#include "soc/contention.h"
 
 namespace mapcq::perf {
 
@@ -43,8 +44,15 @@ struct dynamic_profile {
 /// inference window (what a board-level power measurement sees): a CU whose
 /// stage finished idles at its gated power until the window closes; CUs
 /// whose stages are not instantiated idle for the whole window.
+///
+/// Under co-location (`ctx` non-null with residents), CUs reserved by a
+/// co-resident are excluded from the idle sweep — their power bills to the
+/// resident, not to this mapping. A null or idle context runs the exact
+/// legacy arithmetic (the guards are branch-only), keeping the idle path
+/// bit-identical.
 [[nodiscard]] dynamic_profile characterize_system(const execution_result& result,
                                                   const stage_plan& plan,
-                                                  const soc::platform& plat);
+                                                  const soc::platform& plat,
+                                                  const soc::contention_context* ctx = nullptr);
 
 }  // namespace mapcq::perf

@@ -104,6 +104,12 @@ std::string mapping_service::session_key(const mapping_request& req,
   } else {
     os << "none";
   }
+  // Co-location scenario: every field of the contention context changes the
+  // evaluator, so it all keys. Appended only when non-idle, keeping idle
+  // keys — and the snapshot filenames hashed from them — byte-identical to
+  // pre-co-location deployments (warm restores keep working across the
+  // upgrade).
+  if (!e.contention.idle()) os << "|scen=" << soc::scenario_key(e.contention);
   return os.str();
 }
 
@@ -224,7 +230,29 @@ mapping_report mapping_service::map(const mapping_request& req) {
   // inside the report, still parse_config-able.
   // Deliberately the default group: reports must stay bit-identical no
   // matter which shard topology served them.
-  rep.effective_config = dump_config(service_config{opt_, {}, req.ga}, 0);
+  rep.effective_config = dump_config(service_config{opt_, {}, req.ga, req.eval.contention}, 0);
+
+  // Stamp the co-location scenario the evaluator scored under (non-idle
+  // contexts only: idle reports stay byte-identical to legacy ones).
+  const soc::contention_context& scen = req.eval.contention;
+  if (!scen.idle()) {
+    core::scenario_note note;
+    note.residents = scen.residents.size();
+    for (const soc::resident_load& r : scen.residents) {
+      note.reserved_units += r.reserved_units.size();
+      note.resident_interconnect_gbps += r.interconnect_gbps;
+      note.resident_dram_gbps += r.dram_gbps;
+      note.resident_power_w += r.power_w;
+    }
+    const soc::platform& plat = session->plat();
+    for (std::size_t u = 0; u < scen.dvfs_cap.size() && u < plat.size(); ++u)
+      if (scen.dvfs_cap[u] < plat.unit(u).dvfs.max_level()) ++note.dvfs_capped_units;
+    if (scen.thermal) {
+      note.ambient_c = scen.thermal->ambient_c;
+      note.throttle_c = scen.thermal->throttle_c;
+    }
+    rep.scenario = note;
+  }
 
   // --- search, on the session engine matching the requested predictor -----
   core::evaluation_engine* search_engine = &session->analytic_engine();

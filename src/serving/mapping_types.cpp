@@ -41,6 +41,9 @@ std::string request_fingerprint(const mapping_request& req) {
   } else {
     os << "none";
   }
+  // Co-location scenario (only when non-idle, so legacy fingerprints — and
+  // the traces capturing them — stay byte-identical for idle requests).
+  if (!e.contention.idle()) os << "|scen=" << soc::scenario_key(e.contention);
   os << "|surr=" << req.use_surrogate;
   // The surrogate training knobs shape the report whenever a GBT is in the
   // loop: surrogate-backed search, or analytic search behind the pre-filter.
@@ -105,6 +108,7 @@ core::report_summary mapping_report::summary() const {
     note.last_incumbent_tau = refresh->last_incumbent_tau;
     s.refresh = note;
   }
+  s.scenario = scenario;
   s.entries.reserve(front.size());
   for (std::size_t i = 0; i < front.size(); ++i) {
     const core::evaluation& e = front[i];

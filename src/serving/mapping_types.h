@@ -163,6 +163,11 @@ struct mapping_report {
   /// it empty). Coalesced requests share their representative's snapshot.
   std::optional<scheduler_stats> scheduler;
 
+  /// Co-location scenario the mapping was scored under, set only when the
+  /// request carried a non-idle contention context (so idle reports — and
+  /// their serialized text — stay byte-identical to pre-co-location ones).
+  std::optional<core::scenario_note> scenario;
+
   /// The effective configuration that produced this report: the serving
   /// options of the service (post-normalization) plus the request's GA
   /// knobs, as one compact serving::service_config JSON document. Two

@@ -1,0 +1,77 @@
+#include "serving/placement_group.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace mapcq::serving {
+
+placement_group::placement_group(mapping_service& service, const soc::platform& plat,
+                                 soc::contention_context base)
+    : service_(&service), plat_(plat), base_(std::move(base)), ledger_(plat_.size()) {
+  plat_.validate();
+  base_.validate(plat_);
+  // Base residents claim their units in the ledger so members cannot take
+  // them; they are not members (leave() cannot remove them).
+  for (const soc::resident_load& r : base_.residents) ledger_.reserve(r);
+}
+
+void placement_group::join(const soc::resident_load& member) {
+  const std::lock_guard<std::mutex> lock{mu_};
+  ledger_.reserve(member);  // validates; throws on clash, leaves state intact
+  member_names_.push_back(member.name);
+}
+
+void placement_group::leave(const std::string& member) {
+  const std::lock_guard<std::mutex> lock{mu_};
+  const auto it = std::find(member_names_.begin(), member_names_.end(), member);
+  if (it == member_names_.end())
+    throw std::invalid_argument("placement_group: '" + member + "' is not a member");
+  ledger_.release(member);
+  member_names_.erase(it);
+}
+
+soc::contention_context placement_group::scenario_for(const std::string& member) const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  if (std::find(member_names_.begin(), member_names_.end(), member) == member_names_.end())
+    throw std::invalid_argument("placement_group: '" + member + "' is not a member");
+  soc::contention_context ctx = base_;
+  ctx.residents.clear();
+  // Ledger order = base residents first, then members in join order; every
+  // registered load except the member itself contends with it.
+  for (const soc::resident_load& r : ledger_.residents())
+    if (r.name != member) ctx.residents.push_back(r);
+  return ctx;
+}
+
+mapping_request placement_group::request_for(const std::string& member,
+                                             mapping_request req) const {
+  req.platform = plat_.name;
+  req.eval.contention = scenario_for(member);
+  return req;
+}
+
+mapping_report placement_group::map(const std::string& member, const mapping_request& req) {
+  return service_->map(request_for(member, req));
+}
+
+std::shared_future<mapping_report> placement_group::submit(const std::string& member,
+                                                           mapping_request req) {
+  return service_->submit(request_for(member, std::move(req)));
+}
+
+std::vector<soc::resident_load> placement_group::members() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  std::vector<soc::resident_load> out;
+  for (const soc::resident_load& r : ledger_.residents())
+    if (std::find(member_names_.begin(), member_names_.end(), r.name) != member_names_.end())
+      out.push_back(r);
+  return out;
+}
+
+bool placement_group::unit_reserved(std::size_t unit) const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  return ledger_.reserved(unit);
+}
+
+}  // namespace mapcq::serving

@@ -1,0 +1,86 @@
+#pragma once
+// Serving-level co-location API: a `placement_group` binds several member
+// workloads to one registered platform of a `mapping_service` and keeps
+// their compute-unit reservations disjoint through a soc::resident_ledger.
+// Each member declares the steady load it imposes on the shared paths (a
+// soc::resident_load); when a member maps, every *other* member becomes a
+// co-resident in its contention context, so the optimizer searches mappings
+// under the contention-adjusted evaluator and the report carries the
+// scenario it was scored under. Group-wide DVFS caps and a shared thermal
+// budget apply to every member.
+//
+// A group with one member and no caps/thermal produces an idle context —
+// mapping through it is bit-identical to mapping against the service
+// directly.
+
+#include <future>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serving/mapping_service.h"
+#include "soc/contention.h"
+
+namespace mapcq::serving {
+
+/// Thread-safe co-location group over one platform of a mapping_service.
+///
+/// Ownership: borrows the service (must outlive the group) and copies the
+/// platform description for validation; the platform must also be
+/// registered with the service under the same name before members map.
+class placement_group {
+ public:
+  /// Binds the group to `service` and `plat`. `base` seeds the scenario
+  /// every member maps under: its DVFS caps, thermal budget, derate
+  /// coefficients and any *external* residents (workloads outside the
+  /// group) are shared group-wide; per-member residents are layered on
+  /// top. Throws std::invalid_argument when `base` does not validate
+  /// against `plat`.
+  placement_group(mapping_service& service, const soc::platform& plat,
+                  soc::contention_context base = {});
+
+  /// Adds a member workload and claims its reserved CUs in the group
+  /// ledger. Throws std::invalid_argument on an invalid load, a duplicate
+  /// member name (including a clash with a `base` resident), an
+  /// out-of-range unit, or a unit already owned.
+  void join(const soc::resident_load& member);
+
+  /// Removes a member and frees its reservations. Throws
+  /// std::invalid_argument for an unknown name.
+  void leave(const std::string& member);
+
+  /// The contention context `member` maps under: the base scenario plus
+  /// every *other* member as a co-resident (never itself). Throws
+  /// std::invalid_argument for an unknown member.
+  [[nodiscard]] soc::contention_context scenario_for(const std::string& member) const;
+
+  /// `req` rewritten for `member`: platform pinned to the group's,
+  /// `eval.contention` set to scenario_for(member). The search then runs
+  /// under the contention-adjusted evaluator.
+  [[nodiscard]] mapping_request request_for(const std::string& member,
+                                            mapping_request req) const;
+
+  /// Maps/submits on behalf of a member (request_for + the service call).
+  [[nodiscard]] mapping_report map(const std::string& member, const mapping_request& req);
+  [[nodiscard]] std::shared_future<mapping_report> submit(const std::string& member,
+                                                          mapping_request req);
+
+  /// Current members, in join order.
+  [[nodiscard]] std::vector<soc::resident_load> members() const;
+
+  /// Owner of a CU: a member or base-resident name, or nullptr when free.
+  /// The pointer is only valid until the next join/leave; copy it out.
+  [[nodiscard]] bool unit_reserved(std::size_t unit) const;
+
+  [[nodiscard]] const soc::platform& platform() const noexcept { return plat_; }
+
+ private:
+  mapping_service* service_;
+  soc::platform plat_;
+  soc::contention_context base_;
+  mutable std::mutex mu_;             ///< guards ledger_
+  soc::resident_ledger ledger_;       ///< base residents + members
+  std::vector<std::string> member_names_;  ///< join order; base residents excluded
+};
+
+}  // namespace mapcq::serving

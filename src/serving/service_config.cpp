@@ -498,11 +498,164 @@ void validate(const service_options& opt, const std::string& path) {
   validate(opt.snapshot, join(path, "snapshot"));
 }
 
+// ----------------------------------------------------- co-location scenario --
+
+value to_json(const soc::thermal_model& model) {
+  value obj{util::json::object{}};
+  obj.push_member("ambient_c", model.ambient_c);
+  obj.push_member("r_thermal_c_per_w", model.r_thermal_c_per_w);
+  obj.push_member("tau_s", model.tau_s);
+  obj.push_member("throttle_c", model.throttle_c);
+  return obj;
+}
+
+void from_json(const value& v, soc::thermal_model& out, const std::string& path) {
+  object_reader r{v, path};
+  r.get("ambient_c", out.ambient_c);
+  r.get("r_thermal_c_per_w", out.r_thermal_c_per_w);
+  r.get("tau_s", out.tau_s);
+  r.get("throttle_c", out.throttle_c);
+  r.finish();
+  validate(out, path);
+}
+
+void validate(const soc::thermal_model& model, const std::string& path) {
+  if (!(model.r_thermal_c_per_w > 0.0))
+    fail(join(path, "r_thermal_c_per_w"), "must be greater than 0");
+  if (!(model.tau_s > 0.0)) fail(join(path, "tau_s"), "must be greater than 0");
+  if (!(model.throttle_c > model.ambient_c)) fail(join(path, "throttle_c"), "must exceed ambient_c");
+}
+
+value to_json(const soc::resident_load& load) {
+  value obj{util::json::object{}};
+  obj.push_member("name", load.name);
+  obj.push_member("interconnect_gbps", load.interconnect_gbps);
+  obj.push_member("dram_gbps", load.dram_gbps);
+  obj.push_member("power_w", load.power_w);
+  obj.push_member("shared_memory_bytes", load.shared_memory_bytes);
+  util::json::array units;
+  for (const std::size_t u : load.reserved_units) units.push_back(value{u});
+  obj.push_member("reserved_units", value{std::move(units)});
+  return obj;
+}
+
+void from_json(const value& v, soc::resident_load& out, const std::string& path) {
+  object_reader r{v, path};
+  r.get("name", out.name);
+  r.get("interconnect_gbps", out.interconnect_gbps);
+  r.get("dram_gbps", out.dram_gbps);
+  r.get("power_w", out.power_w);
+  r.get("shared_memory_bytes", out.shared_memory_bytes);
+  if (const value* units = r.take("reserved_units")) {
+    const std::string upath = r.member_path("reserved_units");
+    if (!units->is_array()) fail(upath, "expected an array of CU indices");
+    out.reserved_units.clear();
+    for (std::size_t i = 0; i < units->as_array().size(); ++i) {
+      const std::string epath = upath + "[" + std::to_string(i) + "]";
+      const value& e = units->as_array()[i];
+      if (!e.is_number() || e.as_number() < 0.0 || e.as_number() != std::floor(e.as_number()))
+        fail(epath, "expected a non-negative integer");
+      out.reserved_units.push_back(static_cast<std::size_t>(e.as_number()));
+    }
+  }
+  r.finish();
+  validate(out, path);
+}
+
+void validate(const soc::resident_load& load, const std::string& path) {
+  if (load.name.empty()) fail(join(path, "name"), "must not be empty");
+  const std::pair<const char*, double> fields[] = {
+      {"interconnect_gbps", load.interconnect_gbps},
+      {"dram_gbps", load.dram_gbps},
+      {"power_w", load.power_w},
+      {"shared_memory_bytes", load.shared_memory_bytes},
+  };
+  for (const auto& [key, val] : fields)
+    if (!std::isfinite(val) || val < 0.0)
+      fail(join(path, key), "must be finite and non-negative");
+}
+
+value to_json(const soc::contention_context& ctx) {
+  value obj{util::json::object{}};
+  util::json::array residents;
+  for (const soc::resident_load& r : ctx.residents) residents.push_back(to_json(r));
+  obj.push_member("residents", value{std::move(residents)});
+  util::json::array cap;
+  for (const std::size_t level : ctx.dvfs_cap) cap.push_back(value{level});
+  obj.push_member("dvfs_cap", value{std::move(cap)});
+  obj.push_member("thermal", ctx.thermal ? to_json(*ctx.thermal) : value{});
+  obj.push_member("interconnect_alpha", ctx.interconnect_alpha);
+  obj.push_member("dram_alpha", ctx.dram_alpha);
+  obj.push_member("dram_energy_beta", ctx.dram_energy_beta);
+  return obj;
+}
+
+void from_json(const value& v, soc::contention_context& out, const std::string& path) {
+  object_reader r{v, path};
+  if (const value* res = r.take("residents")) {
+    const std::string rpath = r.member_path("residents");
+    if (!res->is_array()) fail(rpath, "expected an array of resident loads");
+    out.residents.clear();
+    for (std::size_t i = 0; i < res->as_array().size(); ++i) {
+      soc::resident_load load;
+      from_json(res->as_array()[i], load, rpath + "[" + std::to_string(i) + "]");
+      out.residents.push_back(std::move(load));
+    }
+  }
+  if (const value* cap = r.take("dvfs_cap")) {
+    const std::string cpath = r.member_path("dvfs_cap");
+    if (!cap->is_array()) fail(cpath, "expected an array of DVFS levels");
+    out.dvfs_cap.clear();
+    for (std::size_t i = 0; i < cap->as_array().size(); ++i) {
+      const std::string epath = cpath + "[" + std::to_string(i) + "]";
+      const value& e = cap->as_array()[i];
+      if (!e.is_number() || e.as_number() < 0.0 || e.as_number() != std::floor(e.as_number()))
+        fail(epath, "expected a non-negative integer");
+      out.dvfs_cap.push_back(static_cast<std::size_t>(e.as_number()));
+    }
+  }
+  if (const value* thermal = r.take("thermal")) {
+    if (thermal->is_null()) {
+      out.thermal.reset();
+    } else {
+      soc::thermal_model model;
+      from_json(*thermal, model, r.member_path("thermal"));
+      out.thermal = model;
+    }
+  }
+  r.get("interconnect_alpha", out.interconnect_alpha);
+  r.get("dram_alpha", out.dram_alpha);
+  r.get("dram_energy_beta", out.dram_energy_beta);
+  r.finish();
+  validate(out, path);
+}
+
+void validate(const soc::contention_context& ctx, const std::string& path) {
+  std::vector<std::string> seen;
+  for (std::size_t i = 0; i < ctx.residents.size(); ++i) {
+    const std::string rpath = join(path, "residents") + "[" + std::to_string(i) + "]";
+    validate(ctx.residents[i], rpath);
+    if (std::find(seen.begin(), seen.end(), ctx.residents[i].name) != seen.end())
+      fail(rpath + ".name", "duplicate resident name \"" + ctx.residents[i].name + "\"");
+    seen.push_back(ctx.residents[i].name);
+  }
+  const std::pair<const char*, double> coeffs[] = {
+      {"interconnect_alpha", ctx.interconnect_alpha},
+      {"dram_alpha", ctx.dram_alpha},
+      {"dram_energy_beta", ctx.dram_energy_beta},
+  };
+  for (const auto& [key, val] : coeffs)
+    if (!std::isfinite(val) || val < 0.0)
+      fail(join(path, key), "must be finite and non-negative");
+  if (ctx.thermal) validate(*ctx.thermal, join(path, "thermal"));
+}
+
 value to_json(const service_config& cfg) {
   value obj{util::json::object{}};
   push_service_fields(obj, cfg.service);
   obj.push_member("group", to_json(cfg.group));
   obj.push_member("ga", to_json(cfg.ga));
+  obj.push_member("scenario", to_json(cfg.scenario));
   return obj;
 }
 
@@ -511,6 +664,8 @@ void from_json(const value& v, service_config& out, const std::string& path) {
   read_service_fields(r, out.service);
   if (const value* g = r.take("group")) from_json(*g, out.group, r.member_path("group"));
   if (const value* ga = r.take("ga")) from_json(*ga, out.ga, r.member_path("ga"));
+  if (const value* scen = r.take("scenario"))
+    from_json(*scen, out.scenario, r.member_path("scenario"));
   r.finish();
   validate(out, path);
 }
@@ -523,6 +678,7 @@ void validate(const service_config& cfg, const std::string& path) {
   validate(cfg.service.snapshot, join(path, "snapshot"));
   validate(cfg.group, join(path, "group"));
   validate(cfg.ga, join(path, "ga"));
+  validate(cfg.scenario, join(path, "scenario"));
 }
 
 // ------------------------------------------------------------- top level --

@@ -49,7 +49,7 @@ class config_error : public std::runtime_error {
 /// form is one object with the blocks at top level:
 ///   { "workers": .., "max_sessions": .., "session_ttl_ms": ..,
 ///     "engine": {..}, "scheduler": {..}, "refresh": {..},
-///     "snapshot": {..}, "group": {..}, "ga": {..} }
+///     "snapshot": {..}, "group": {..}, "ga": {..}, "scenario": {..} }
 struct service_config {
   service_options service;  ///< engine/scheduler/refresh/snapshot + lifecycle
   /// Shard topology, consumed only by service_group boots (a plain
@@ -58,6 +58,11 @@ struct service_config {
   /// default group so reports stay bit-identical across reshards.
   group_options group;
   core::ga_options ga;      ///< search budget applied to each request
+  /// Co-location scenario applied to each request's evaluator
+  /// (`mapping_request::eval.contention`): co-resident loads, per-CU DVFS
+  /// caps, thermal budget. Defaults to idle — evaluation identical to a
+  /// contention-free deployment.
+  soc::contention_context scenario;
 };
 
 /// @name Per-struct JSON bindings
@@ -73,6 +78,9 @@ struct service_config {
 [[nodiscard]] util::json::value to_json(const snapshot_options& opt);
 [[nodiscard]] util::json::value to_json(const group_options& opt);
 [[nodiscard]] util::json::value to_json(const service_options& opt);
+[[nodiscard]] util::json::value to_json(const soc::thermal_model& model);
+[[nodiscard]] util::json::value to_json(const soc::resident_load& load);
+[[nodiscard]] util::json::value to_json(const soc::contention_context& ctx);
 [[nodiscard]] util::json::value to_json(const service_config& cfg);
 
 void from_json(const util::json::value& v, core::engine_options& out,
@@ -88,6 +96,12 @@ void from_json(const util::json::value& v, group_options& out,
                const std::string& path = "group");
 void from_json(const util::json::value& v, service_options& out,
                const std::string& path = "service");
+void from_json(const util::json::value& v, soc::thermal_model& out,
+               const std::string& path = "thermal");
+void from_json(const util::json::value& v, soc::resident_load& out,
+               const std::string& path = "resident");
+void from_json(const util::json::value& v, soc::contention_context& out,
+               const std::string& path = "scenario");
 void from_json(const util::json::value& v, service_config& out, const std::string& path = "");
 /// @}
 
@@ -105,6 +119,9 @@ void validate(const surrogate::refresh_options& opt, const std::string& path = "
 void validate(const snapshot_options& opt, const std::string& path = "snapshot");
 void validate(const group_options& opt, const std::string& path = "group");
 void validate(const service_options& opt, const std::string& path = "service");
+void validate(const soc::thermal_model& model, const std::string& path = "thermal");
+void validate(const soc::resident_load& load, const std::string& path = "resident");
+void validate(const soc::contention_context& ctx, const std::string& path = "scenario");
 void validate(const service_config& cfg, const std::string& path = "");
 /// @}
 

@@ -47,7 +47,9 @@ mapping_session::mapping_session(std::string key, std::shared_ptr<const nn::netw
       ranking_seed_(ranking_seed),
       engine_opt_(engine_opt),
       refresh_opt_(refresh_opt),
-      space_(*net_, *plat_, ratio_levels),
+      // CUs reserved by co-residents leave the mapping permutation entirely:
+      // the search proposes only mappings this session may actually run.
+      space_(*net_, *plat_, ratio_levels, eval_opt_.contention.reserved_units()),
       analytic_eval_(*net_, *plat_, eval_opt_, ranking_seed_),
       analytic_engine_(analytic_eval_, engine_opt_) {}
 

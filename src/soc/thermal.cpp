@@ -6,8 +6,10 @@
 namespace mapcq::soc {
 
 double thermal_model::temperature_after(double t0_c, double power_w, double dt_s) const {
-  if (power_w < 0.0) throw std::invalid_argument("thermal_model: negative power");
-  if (dt_s < 0.0) throw std::invalid_argument("thermal_model: negative time");
+  check_power(power_w);
+  check_time(dt_s);
+  if (!std::isfinite(t0_c))
+    throw std::invalid_argument("thermal_model: non-finite start temperature");
   const double target = steady_state_c(power_w);
   return target + (t0_c - target) * std::exp(-dt_s / tau_s);
 }

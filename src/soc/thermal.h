@@ -6,6 +6,7 @@
 // cannot sustain their predicted performance, so the evaluator can reject
 // them (an implicit constraint on real Jetsons, which throttle at ~87 C).
 
+#include <cmath>
 #include <stdexcept>
 
 namespace mapcq::soc {
@@ -17,9 +18,22 @@ struct thermal_model {
   double tau_s = 18.0;              ///< RC time constant
   double throttle_c = 87.0;         ///< DVFS throttle trip point
 
+  /// Shared argument validation for every temperature query: power must be
+  /// finite and non-negative. (`!(>= 0)` also rejects NaN.)
+  static void check_power(double power_w) {
+    if (!(power_w >= 0.0) || !std::isfinite(power_w))
+      throw std::invalid_argument("thermal_model: negative or non-finite power");
+  }
+
+  /// Shared argument validation for elapsed time: finite and non-negative.
+  static void check_time(double dt_s) {
+    if (!(dt_s >= 0.0) || !std::isfinite(dt_s))
+      throw std::invalid_argument("thermal_model: negative or non-finite time");
+  }
+
   /// Steady-state junction temperature under a constant power draw.
   [[nodiscard]] double steady_state_c(double power_w) const {
-    if (power_w < 0.0) throw std::invalid_argument("thermal_model: negative power");
+    check_power(power_w);
     return ambient_c + r_thermal_c_per_w * power_w;
   }
 

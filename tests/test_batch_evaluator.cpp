@@ -303,6 +303,67 @@ TEST(batch_evaluator, evaluate_batch_matches_scalar_across_networks) {
   }
 }
 
+TEST(batch_evaluator, evaluate_batch_matches_scalar_under_fixed_contention) {
+  // The SoA path must stay bit-identical under any *fixed* contention
+  // state, not just the idle one: co-resident traffic (derated platform),
+  // a reserved CU (rejections + idle-power exclusion) and DVFS caps all
+  // flow through both paths identically.
+  const nn::network net = nn::build_simple_cnn();
+  const soc::platform plat = soc::agx_xavier();
+  core::evaluator_options opt;
+  soc::resident_load neighbor;
+  neighbor.name = "neighbor";
+  neighbor.interconnect_gbps = 3.0;
+  neighbor.dram_gbps = 4.0;
+  neighbor.power_w = 1.0;
+  neighbor.reserved_units = {1};
+  opt.contention.residents.push_back(neighbor);
+  opt.contention.dvfs_cap.assign(plat.size(), 1);
+  const core::evaluator eval{net, plat, opt};
+  const core::search_space space{net, plat};
+  util::rng gen{41};
+  std::vector<core::configuration> configs;
+  for (std::size_t i = 0; i < 37; ++i) configs.push_back(space.decode(space.random(gen)));
+  std::vector<const core::configuration*> ptrs;
+  for (const core::configuration& c : configs) ptrs.push_back(&c);
+  const std::vector<core::evaluation> got = eval.evaluate_batch(ptrs);
+  ASSERT_EQ(got.size(), configs.size());
+  std::size_t rejected = 0;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const core::evaluation want = eval.evaluate(configs[i]);
+    expect_eval_identical(got[i], want);
+    EXPECT_EQ(eval_text(got[i]), eval_text(want));
+    if (!got[i].feasible) ++rejected;
+  }
+  EXPECT_GT(rejected, 0u);  // the reserved CU actually bites in this sweep
+}
+
+TEST(batch_characterizer, contention_context_threads_through_the_soa_path) {
+  // characterize_system with a non-idle context excludes reserved CUs from
+  // the gated-idle power accounting; the batch path must agree cell by cell.
+  const soc::platform plat = soc::agx_xavier();
+  soc::contention_context ctx;
+  soc::resident_load owner;
+  owner.name = "owner";
+  owner.reserved_units = {2};
+  ctx.residents.push_back(owner);
+  util::rng gen{59};
+  std::vector<perf::stage_plan> plans;
+  for (std::size_t n = 0; n < 8; ++n)
+    plans.push_back(random_plan(gen, plat, 1 + n % plat.size(), 1 + n % 4));
+  std::vector<const perf::stage_plan*> ptrs;
+  for (const perf::stage_plan& p : plans) ptrs.push_back(&p);
+  perf::batch_characterizer characterizer{plat, {}, &ctx};
+  std::vector<perf::batch_profile> got(plans.size());
+  characterizer.run(ptrs, true, got);
+  for (std::size_t p = 0; p < plans.size(); ++p) {
+    const perf::execution_result exec = perf::simulate(plat, plans[p], {});
+    const perf::dynamic_profile want = perf::characterize_system(exec, plans[p], plat, &ctx);
+    expect_exec_identical(got[p].exec, exec);
+    expect_profile_identical(got[p].profile, want);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Engine level: chunked SoA dispatch vs the scalar ablation.
 // ---------------------------------------------------------------------------

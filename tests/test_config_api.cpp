@@ -15,7 +15,9 @@
 #include "nn/models.h"
 #include "serving/mapping_service.h"
 #include "serving/service_config.h"
+#include "soc/contention.h"
 #include "soc/platform.h"
+#include "soc/thermal.h"
 #include "util/json.h"
 
 namespace {
@@ -123,6 +125,37 @@ TEST(config_round_trip, every_options_struct_survives_json) {
   expect_round_trip(cfg);
 }
 
+TEST(config_round_trip, colocation_scenario_survives_json) {
+  soc::contention_context scen;
+  soc::resident_load r;
+  r.name = "neighbor-dnn";
+  r.interconnect_gbps = 2.5;
+  r.dram_gbps = 3.25;
+  r.power_w = 1.5;
+  r.shared_memory_bytes = 4096;
+  r.reserved_units = {1, 2};
+  scen.residents.push_back(r);
+  scen.dvfs_cap = {3, 0, 2};
+  scen.thermal = soc::thermal_model{};
+  scen.dram_energy_beta = 0.5;
+  expect_round_trip(scen);
+
+  // Through the whole service_config, and the parsed form is semantically
+  // equal (same scenario key), not just textually stable.
+  service_config cfg;
+  cfg.scenario = scen;
+  expect_round_trip(cfg);
+  const service_config back = serving::parse_config(serving::dump_config(cfg));
+  EXPECT_EQ(soc::scenario_key(back.scenario), soc::scenario_key(scen));
+  ASSERT_TRUE(back.scenario.thermal.has_value());
+  EXPECT_EQ(back.scenario.thermal->throttle_c, scen.thermal->throttle_c);
+
+  // The default (idle) scenario stays idle across the round trip, so a
+  // dumped-then-loaded config still takes the legacy evaluation path.
+  const service_config defaults;
+  EXPECT_TRUE(serving::parse_config(serving::dump_config(defaults)).scenario.idle());
+}
+
 TEST(config_round_trip, default_config_dump_is_stable) {
   // parse(dump(defaults)) == defaults, and the dump is deterministic.
   const service_config defaults;
@@ -167,6 +200,21 @@ TEST(config_errors, out_of_range_values_are_rejected_by_path) {
 
 TEST(config_errors, islands_must_fit_the_population) {
   expect_config_error(R"({"ga": {"population": 8, "island": {"islands": 4}}})", "ga.island.islands");
+}
+
+TEST(config_errors, scenario_block_is_validated_by_path) {
+  expect_config_error(R"({"scenario": {"residents": [{"name": ""}]}})",
+                      "scenario.residents[0].name");
+  expect_config_error(R"({"scenario": {"residents": [{"name": "a", "dram_gbps": -1}]}})",
+                      "scenario.residents[0].dram_gbps");
+  expect_config_error(
+      R"({"scenario": {"residents": [{"name": "a"}, {"name": "a"}]}})", "scenario.residents");
+  expect_config_error(R"({"scenario": {"interconnect_alpha": -0.5}})",
+                      "scenario.interconnect_alpha");
+  expect_config_error(R"({"scenario": {"thermal": {"throttle_c": 10, "ambient_c": 50}}})",
+                      "scenario.thermal");
+  expect_config_error(R"({"scenario": {"thermal": {"tau_z": 3}}})", "scenario.thermal.tau_z");
+  expect_config_error(R"({"scenario": {"dvfs_cap": "high"}})", "scenario.dvfs_cap");
 }
 
 TEST(config_errors, load_config_names_the_missing_file) {

@@ -21,7 +21,9 @@
 #include "serving/service_config.h"
 #include "serving/session.h"
 #include "serving/session_snapshot.h"
+#include "soc/contention.h"
 #include "soc/platform.h"
+#include "soc/thermal.h"
 #include "util/json.h"
 #include "util/rng.h"
 
@@ -154,11 +156,13 @@ TEST_F(fuzz_fixture, report_summary_text_never_fails_untyped) {
     entry.fmap_reuse_pct = e.fmap_reuse_pct;
     summary.entries.push_back(std::move(entry));
   }
-  // A second corpus document exercises the optional scheduler/refresh lines,
-  // scheduler carrying the fused-dispatch counters (9-field row).
+  // A second corpus document exercises the optional scheduler/refresh/
+  // scenario lines, scheduler carrying the fused-dispatch counters (9-field
+  // row) and scenario the co-location note.
   core::report_summary with_notes = summary;
   with_notes.scheduler = core::scheduler_note{9, 6, 2, 1, 0, 5, 1, 3, 2};
   with_notes.refresh = core::refresh_note{100, 80, 3, 1, 2, 1, 0.93, 0.88};
+  with_notes.scenario = core::scenario_note{2, 1, 3, 4.5, 6.25, 1.5, 25.0, 85.0};
 
   // A third document carries the pre-fusion 7-field scheduler row (a legacy
   // artifact): rewrite the 9-field line back down to the old arity.
@@ -272,10 +276,23 @@ TEST_F(fuzz_fixture, service_config_parse_never_fails_untyped) {
       core::island_assignment{core::island_algorithm::ga, core::island_orientation::balanced},
       core::island_assignment{core::island_algorithm::sa, core::island_orientation::latency}};
   tweaked.ga.portfolio.prefilter.enabled = true;
+  // A config with a fully populated co-location scenario block (residents,
+  // caps, thermal), so the scenario bindings sit under the same fuzz.
+  serving::service_config colocated;
+  soc::resident_load neighbor;
+  neighbor.name = "neighbor-dnn";
+  neighbor.interconnect_gbps = 2.5;
+  neighbor.dram_gbps = 3.5;
+  neighbor.power_w = 1.25;
+  neighbor.shared_memory_bytes = 1 << 20;
+  neighbor.reserved_units = {1};
+  colocated.scenario.residents.push_back(neighbor);
+  colocated.scenario.dvfs_cap = {3, 2, 3};
+  colocated.scenario.thermal = soc::thermal_model{};
   fuzz_target target;
   target.name = "service-config";
-  target.corpus = {serving::dump_config(serving::service_config{}),
-                   serving::dump_config(tweaked)};
+  target.corpus = {serving::dump_config(serving::service_config{}), serving::dump_config(tweaked),
+                   serving::dump_config(colocated)};
   target.parse = [](const std::string& text) {
     try {
       (void)serving::parse_config(text);

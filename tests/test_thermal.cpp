@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 namespace {
 
@@ -77,6 +78,34 @@ TEST(thermal, rejects_bad_inputs) {
   bad = thermal_model{};
   bad.tau_s = 0.0;
   EXPECT_THROW(bad.validate(), std::logic_error);
+}
+
+TEST(thermal, validation_is_unified_across_entry_points) {
+  // steady_state_c and temperature_after share one power check: the same
+  // inputs must throw (or not) through either entry point.
+  const thermal_model t;
+  const double bad_powers[] = {-0.5, std::nan(""), std::numeric_limits<double>::infinity()};
+  for (const double p : bad_powers) {
+    EXPECT_THROW((void)t.steady_state_c(p), std::invalid_argument);
+    EXPECT_THROW((void)t.temperature_after(40.0, p, 1.0), std::invalid_argument);
+  }
+  EXPECT_THROW((void)t.temperature_after(40.0, 1.0, std::nan("")), std::invalid_argument);
+  EXPECT_THROW((void)t.temperature_after(std::nan(""), 1.0, 1.0), std::invalid_argument);
+  // Zero power is a valid boundary everywhere, not an error.
+  EXPECT_NO_THROW((void)t.steady_state_c(0.0));
+  EXPECT_NO_THROW((void)t.temperature_after(40.0, 0.0, 0.0));
+}
+
+TEST(thermal, throttle_boundary_from_both_sides) {
+  const thermal_model t;
+  const double p_max = t.max_sustained_power_w();
+  // Exactly at the trip point steady state *equals* the throttle
+  // temperature, which does not throttle (strict comparison); the FP
+  // round-trip is not exact, so probe from both sides with a margin.
+  EXPECT_FALSE(t.throttles(p_max * (1.0 - 1e-9)));
+  EXPECT_TRUE(t.throttles(p_max * (1.0 + 1e-9)));
+  EXPECT_TRUE(std::isinf(t.seconds_to_throttle(p_max * (1.0 - 1e-9))));
+  EXPECT_FALSE(std::isinf(t.seconds_to_throttle(p_max * (1.0 + 1e-6))));
 }
 
 }  // namespace

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Runs the CI bench suite (the seven acceptance benches plus the filtered
+# Runs the CI bench suite (the eight acceptance benches plus the filtered
 # scalar-vs-SoA characterizer head-to-head), merges their JSON
 # metric emissions into one BENCH.json artifact, and — when BENCH_BASELINE
 # is set — fails on any gated regression (see tools/compare_bench.py).
@@ -24,7 +24,7 @@ export MAPCQ_TRACE=${MAPCQ_TRACE:-bench/traces/smoke.trace}
 jsonl=$(mktemp)
 trap 'rm -f "$jsonl"' EXIT
 
-benches=(eval_engine serving_reuse island_scaling service_throughput surrogate_refresh trace_replay shard_restore)
+benches=(eval_engine serving_reuse island_scaling service_throughput surrogate_refresh trace_replay shard_restore colocation)
 for b in "${benches[@]}"; do
   echo "=== bench: $b ==="
   MAPCQ_BENCH_JSON=$jsonl "$build_dir/bench/$b"
